@@ -1,0 +1,104 @@
+// Ablation for the §IV-C2 discussion: CID-space fragmentation penalizes the
+// consensus algorithm (extra allreduce rounds hunting for a common free
+// slot) but not the exCID generator, and exCID subfield derivation
+// amortizes PGCID acquisitions across a series of constructor calls.
+
+#include "common.hpp"
+
+namespace sessmpi::bench {
+namespace {
+
+constexpr int kCreateIters = 6;
+
+/// Fragment the local CID space divergently across ranks: every rank holds
+/// `held` comms, then frees a rank-dependent subset.
+std::vector<Communicator> fragment(const Communicator& parent, int held) {
+  std::vector<Communicator> comms;
+  comms.reserve(static_cast<std::size_t>(held));
+  for (int i = 0; i < held; ++i) {
+    comms.push_back(parent.dup());
+  }
+  // Rank r frees slots at stride positions offset by r: divergent holes.
+  const int me = parent.rank();
+  for (int i = 0; i < held; ++i) {
+    if ((i + me) % 3 == 0) {
+      comms[static_cast<std::size_t>(i)].free();
+    }
+  }
+  std::erase_if(comms, [](const Communicator& c) { return c.is_null(); });
+  return comms;
+}
+
+double time_creates_consensus(int fragment_comms) {
+  RankSamples t;
+  run_cluster(2, 8, [&](sim::Process&) {
+    init();
+    set_cid_method(CidMethod::consensus);
+    Communicator world = comm_world();
+    auto held = fragment(world, fragment_comms);
+    world.barrier();
+    base::Stopwatch sw;
+    for (int i = 0; i < kCreateIters; ++i) {
+      Communicator c = world.dup();
+      c.free();
+    }
+    t.add(sw.elapsed_ms() * 1000.0 / kCreateIters);
+    world.barrier();
+    for (auto& c : held) {
+      c.free();
+    }
+    finalize();
+  });
+  return t.mean();
+}
+
+double time_creates_excid(int fragment_comms, bool derive) {
+  RankSamples t;
+  run_cluster(2, 8, [&](sim::Process&) {
+    Session s = Session::init();
+    set_excid_derivation(derive);
+    Communicator parent = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "ablate");
+    auto held = fragment(parent, fragment_comms);
+    parent.barrier();
+    base::Stopwatch sw;
+    for (int i = 0; i < kCreateIters; ++i) {
+      Communicator c = parent.dup();
+      c.free();
+    }
+    t.add(sw.elapsed_ms() * 1000.0 / kCreateIters);
+    parent.barrier();
+    for (auto& c : held) {
+      c.free();
+    }
+    parent.free();
+    s.finalize();
+  });
+  return t.mean();
+}
+
+}  // namespace
+}  // namespace sessmpi::bench
+
+int main() {
+  using namespace sessmpi;
+  using namespace sessmpi::bench;
+  std::cout << "bench_cid_ablation: CID generation under fragmentation "
+               "(§IV-C2 discussion) — 2 nodes x 8 procs\n";
+  print_header("Ablation: comm-create cost (us/dup) vs CID-space fragmentation",
+               "divergent holes across ranks force the consensus algorithm "
+               "into extra rounds; exCID generation is immune.");
+  sessmpi::base::Table t({"fragmented comms", "consensus (us)",
+                          "exCID+PGCID (us)", "exCID derived (us)"});
+  for (int frag : {0, 8, 24, 48}) {
+    t.add_row({std::to_string(frag),
+               sessmpi::base::Table::fmt(time_creates_consensus(frag), 1),
+               sessmpi::base::Table::fmt(time_creates_excid(frag, false), 1),
+               sessmpi::base::Table::fmt(time_creates_excid(frag, true), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nCheckpoints: consensus time grows with fragmentation "
+               "(extra allreduce rounds); both exCID columns stay flat; the "
+               "derived column is the cheapest once the PGCID is paid.\n";
+  return 0;
+}

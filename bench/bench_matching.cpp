@@ -1,0 +1,95 @@
+// google-benchmark micro-benchmarks for the data structures on the message
+// critical path: the 16-bit local-CID array index (ob1 fast path), the
+// exCID hash lookup (extended path), the lowest-free slot allocator the
+// consensus algorithm leans on, and exCID derivation itself.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "sessmpi/base/slot_allocator.hpp"
+#include "sessmpi/excid.hpp"
+
+namespace sessmpi {
+namespace {
+
+void BM_LocalCidArrayLookup(benchmark::State& state) {
+  // The fast path: constant-time index into the communicator array.
+  std::vector<int> comm_table(1 << 16, 0);
+  for (std::size_t i = 0; i < comm_table.size(); ++i) {
+    comm_table[i] = static_cast<int>(i);
+  }
+  std::uint16_t cid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm_table[cid]);
+    ++cid;
+  }
+}
+BENCHMARK(BM_LocalCidArrayLookup);
+
+void BM_ExCidHashLookup(benchmark::State& state) {
+  // The extended path: hash the 128-bit exCID. `range(0)` communicators.
+  std::unordered_map<ExCid, int, ExCidHash> table;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    table.emplace(ExCid{i, 0}, static_cast<int>(i));
+  }
+  std::uint64_t key = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(ExCid{key, 0}));
+    key = key % n + 1;
+  }
+}
+BENCHMARK(BM_ExCidHashLookup)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_SlotAllocatorLowestFree(benchmark::State& state) {
+  // Consensus building block under `range(0)` fragmentation holes.
+  base::SlotAllocator alloc(1 << 16);
+  const auto used = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < used; ++i) {
+    alloc.claim(i);
+  }
+  for (std::uint32_t i = 0; i < used; i += 7) {
+    alloc.release(i);  // punch holes
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.lowest_free(used / 2));
+  }
+}
+BENCHMARK(BM_SlotAllocatorLowestFree)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ExCidDerive(benchmark::State& state) {
+  ExCidSpace space = ExCidSpace::fresh(1);
+  for (auto _ : state) {
+    auto child = space.derive();
+    if (!child) {
+      space = ExCidSpace::fresh(space.id().hi + 1);
+      child = space.derive();
+    }
+    benchmark::DoNotOptimize(child->id());
+  }
+}
+BENCHMARK(BM_ExCidDerive);
+
+void BM_ExCidDeriveVsFreshChain(benchmark::State& state) {
+  // Walking a derivation chain to exhaustion, then refreshing — the cost
+  // profile of repeated MPI_Comm_dup under the amortized design.
+  ExCidSpace cursor = ExCidSpace::fresh(1);
+  std::uint64_t next_pgcid = 2;
+  for (auto _ : state) {
+    auto child = cursor.derive();
+    if (!child) {
+      cursor = ExCidSpace::fresh(next_pgcid++);
+      child = cursor.derive();
+    }
+    cursor = *child;
+    benchmark::DoNotOptimize(cursor.id());
+  }
+}
+BENCHMARK(BM_ExCidDeriveVsFreshChain);
+
+}  // namespace
+}  // namespace sessmpi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Ablation of the §III-B5 restructuring: MPI_Session_init is "local and
+// light-weight" — but the *first* session of an init cycle pays the shared
+// MPI resource initialization (MCA component load, PMIx_Init, PML setup),
+// while subsequent overlapping sessions only pay the handle cost, and a
+// fresh session after full teardown pays everything again.
+//
+// Three rows: first session of a cycle, Nth overlapping session, and first
+// session after a finalize-everything teardown. This quantifies both the
+// refcounted-subsystem sharing and the repeatable-initialization property.
+
+#include "common.hpp"
+
+namespace sessmpi::bench {
+namespace {
+
+struct SessionCosts {
+  double first_ms = 0;
+  double nth_ms = 0;
+  double after_teardown_ms = 0;
+};
+
+SessionCosts measure(int nodes, int ppn) {
+  RankSamples first, nth, after;
+  run_cluster(nodes, ppn, [&](sim::Process&) {
+    // First session: pays MCA + PMIx + PML + instance init.
+    base::Stopwatch sw;
+    Session s1 = Session::init();
+    first.add(sw.elapsed_ms());
+
+    // Overlapping sessions: handle-only.
+    constexpr int kOverlap = 8;
+    std::vector<Session> extra;
+    sw.reset();
+    for (int i = 0; i < kOverlap; ++i) {
+      extra.push_back(Session::init());
+    }
+    nth.add(sw.elapsed_ms() / kOverlap);
+
+    for (auto& s : extra) {
+      s.finalize();
+    }
+    s1.finalize();  // last reference: full teardown runs here
+
+    // Re-initialization: the cycle starts over and pays resource init
+    // again (everything except the once-per-process NFS component load).
+    sw.reset();
+    Session s2 = Session::init();
+    after.add(sw.elapsed_ms());
+    s2.finalize();
+  });
+  return {first.mean(), nth.mean(), after.mean()};
+}
+
+}  // namespace
+}  // namespace sessmpi::bench
+
+int main() {
+  using namespace sessmpi;
+  using namespace sessmpi::bench;
+  std::cout << "bench_session_overhead: Session_init cost decomposition "
+               "(§III-B5 restructuring)\n";
+  print_header("Session_init cost by position in the init cycle",
+               "ms per Session_init; overlapping sessions share the live "
+               "subsystems via reference counting.");
+  base::Table t({"nodes", "ppn", "first (ms)", "overlapping (ms)",
+                 "after teardown (ms)", "sharing gain"});
+  struct Shape {
+    int nodes, ppn;
+  };
+  for (Shape sh : {Shape{1, 8}, Shape{2, 8}, Shape{2, 28}}) {
+    const auto c = measure(sh.nodes, sh.ppn);
+    t.add_row({std::to_string(sh.nodes), std::to_string(sh.ppn),
+               base::Table::fmt(c.first_ms), base::Table::fmt(c.nth_ms, 4),
+               base::Table::fmt(c.after_teardown_ms),
+               base::Table::fmt(c.first_ms / std::max(c.nth_ms, 1e-9), 0) +
+                   "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\nCheckpoints: overlapping Session_init costs orders of "
+               "magnitude less than the first (subsystems shared); re-init "
+               "after teardown pays resource init again but not the NFS "
+               "component load (cached per process lifetime).\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+#pragma once
+
+// Shared infrastructure for the figure-reproduction benchmarks: calibrated
+// clusters, cross-rank timing collection, and paper-style table output.
+
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sessmpi/base/clock.hpp"
+#include "sessmpi/base/stats.hpp"
+#include "sessmpi/mpi.hpp"
+#include "sessmpi/sim/cluster.hpp"
+
+namespace sessmpi::bench {
+
+inline sim::Cluster::Options calibrated_opts(int nodes, int ppn) {
+  sim::Cluster::Options o;
+  o.topo = {nodes, ppn};
+  o.cost = base::CostModel::calibrated();
+  return o;
+}
+
+/// Collects one double per rank, thread-safely; reduces afterwards.
+class RankSamples {
+ public:
+  void add(double v) {
+    std::lock_guard lock(mu_);
+    samples_.push_back(v);
+  }
+  [[nodiscard]] double max() const {
+    std::lock_guard lock(mu_);
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+  [[nodiscard]] double mean() const {
+    std::lock_guard lock(mu_);
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    double s = 0;
+    for (double v : samples_) {
+      s += v;
+    }
+    return s / static_cast<double>(samples_.size());
+  }
+  [[nodiscard]] std::vector<double> values() const {
+    std::lock_guard lock(mu_);
+    return samples_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+/// Run `body` on a fresh calibrated cluster.
+inline void run_cluster(int nodes, int ppn,
+                        const std::function<void(sim::Process&)>& body) {
+  sim::Cluster cluster{calibrated_opts(nodes, ppn)};
+  cluster.run(body);
+}
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!note.empty()) {
+    std::cout << note << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace sessmpi::bench

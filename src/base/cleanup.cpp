@@ -1,0 +1,41 @@
+#include "sessmpi/base/cleanup.hpp"
+
+#include <utility>
+
+namespace sessmpi::base {
+
+void CleanupRegistry::register_cleanup(std::string name, Callback cb) {
+  std::lock_guard lock(mu_);
+  callbacks_.emplace_back(std::move(name), std::move(cb));
+}
+
+std::size_t CleanupRegistry::run_all() {
+  std::vector<std::pair<std::string, Callback>> to_run;
+  {
+    std::lock_guard lock(mu_);
+    to_run.swap(callbacks_);
+  }
+  for (auto it = to_run.rbegin(); it != to_run.rend(); ++it) {
+    if (it->second) {
+      it->second();
+    }
+  }
+  return to_run.size();
+}
+
+std::size_t CleanupRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return callbacks_.size();
+}
+
+std::vector<std::string> CleanupRegistry::names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(callbacks_.size());
+  for (const auto& [name, cb] : callbacks_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace sessmpi::base

@@ -1,0 +1,23 @@
+#include "sessmpi/base/clock.hpp"
+
+#include <thread>
+
+namespace sessmpi::base {
+
+void precise_delay(std::int64_t delay_ns) noexcept {
+  if (delay_ns <= 0) {
+    return;
+  }
+  const auto deadline = Clock::now() + Nanos(delay_ns);
+  if (delay_ns > kSpinThresholdNs) {
+    // Sleep for all but the final spin window. sleep_for may overshoot by a
+    // scheduler quantum; that is acceptable for the millisecond-scale costs
+    // modeled with this path (startup, server exchanges).
+    std::this_thread::sleep_for(Nanos(delay_ns - kSpinThresholdNs));
+  }
+  while (Clock::now() < deadline) {
+    // spin
+  }
+}
+
+}  // namespace sessmpi::base

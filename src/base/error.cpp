@@ -1,0 +1,44 @@
+#include "sessmpi/base/error.hpp"
+
+namespace sessmpi::base {
+
+std::string_view err_class_name(ErrClass c) noexcept {
+  switch (c) {
+    case ErrClass::success: return "SESSMPI_SUCCESS";
+    case ErrClass::buffer: return "SESSMPI_ERR_BUFFER";
+    case ErrClass::count: return "SESSMPI_ERR_COUNT";
+    case ErrClass::type: return "SESSMPI_ERR_TYPE";
+    case ErrClass::tag: return "SESSMPI_ERR_TAG";
+    case ErrClass::comm: return "SESSMPI_ERR_COMM";
+    case ErrClass::rank: return "SESSMPI_ERR_RANK";
+    case ErrClass::request: return "SESSMPI_ERR_REQUEST";
+    case ErrClass::root: return "SESSMPI_ERR_ROOT";
+    case ErrClass::group: return "SESSMPI_ERR_GROUP";
+    case ErrClass::op: return "SESSMPI_ERR_OP";
+    case ErrClass::topology: return "SESSMPI_ERR_TOPOLOGY";
+    case ErrClass::dims: return "SESSMPI_ERR_DIMS";
+    case ErrClass::arg: return "SESSMPI_ERR_ARG";
+    case ErrClass::unknown: return "SESSMPI_ERR_UNKNOWN";
+    case ErrClass::truncate: return "SESSMPI_ERR_TRUNCATE";
+    case ErrClass::other: return "SESSMPI_ERR_OTHER";
+    case ErrClass::intern: return "SESSMPI_ERR_INTERN";
+    case ErrClass::in_status: return "SESSMPI_ERR_IN_STATUS";
+    case ErrClass::pending: return "SESSMPI_ERR_PENDING";
+    case ErrClass::info_key: return "SESSMPI_ERR_INFO_KEY";
+    case ErrClass::info_value: return "SESSMPI_ERR_INFO_VALUE";
+    case ErrClass::info_nokey: return "SESSMPI_ERR_INFO_NOKEY";
+    case ErrClass::info: return "SESSMPI_ERR_INFO";
+    case ErrClass::session: return "SESSMPI_ERR_SESSION";
+    case ErrClass::proc_aborted: return "SESSMPI_ERR_PROC_ABORTED";
+    case ErrClass::rte_not_found: return "SESSMPI_RTE_ERR_NOT_FOUND";
+    case ErrClass::rte_timeout: return "SESSMPI_RTE_ERR_TIMEOUT";
+    case ErrClass::rte_proc_failed: return "SESSMPI_RTE_ERR_PROC_FAILED";
+    case ErrClass::rte_bad_param: return "SESSMPI_RTE_ERR_BAD_PARAM";
+    case ErrClass::rte_exists: return "SESSMPI_RTE_ERR_EXISTS";
+    case ErrClass::rte_unreachable: return "SESSMPI_RTE_ERR_UNREACHABLE";
+    case ErrClass::rte_not_supported: return "SESSMPI_RTE_ERR_NOT_SUPPORTED";
+  }
+  return "SESSMPI_ERR_INVALID_CLASS";
+}
+
+}  // namespace sessmpi::base

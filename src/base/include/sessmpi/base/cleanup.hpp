@@ -1,0 +1,38 @@
+#pragma once
+
+// Cleanup-callback framework, modeled after the OPAL finalize-cleanup
+// framework the prototype leans on (paper §III-B5): instead of a carefully
+// ordered series of teardown calls in MPI_Finalize, every subsystem registers
+// a cleanup callback when it is first initialized; when the last session (or
+// the World model) finalizes, the callbacks run in reverse registration
+// order and the framework resets so a new init cycle can begin.
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sessmpi::base {
+
+class CleanupRegistry {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Register a named cleanup callback. Thread-safe.
+  void register_cleanup(std::string name, Callback cb);
+
+  /// Run all callbacks in reverse registration order, then clear the
+  /// registry. Returns the number of callbacks executed.
+  std::size_t run_all();
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Names in registration order (for tests / diagnostics).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Callback>> callbacks_;
+};
+
+}  // namespace sessmpi::base

@@ -1,0 +1,125 @@
+#pragma once
+
+// Calibrated cost model for the simulated cluster.
+//
+// The paper's testbeds (Table I) are Cray XC40/XC30 machines with the Aries
+// interconnect; the software stack was loaded from a slow NFS mount, which
+// the authors call out as the reason for high absolute MPI_Init costs. We
+// reproduce the *shape* of every measurement, not absolute numbers: the
+// paper's second-scale startup costs are scaled down (to tens of ms) and its
+// sub-microsecond per-message costs are scaled up (to hundreds of us), so
+// that every modeled cost dominates the host scheduler's noise while the
+// full benchmark suite still completes in seconds. Protocol effects (extra
+// header bytes, extra round trips, server serialization) keep their ratios.
+//
+// Every injected delay in the runtime flows through this struct, so the
+// calibration is auditable in one place and the `zero()` preset turns the
+// simulator into a pure functional model for unit tests.
+
+#include <algorithm>
+#include <cstdint>
+
+namespace sessmpi::base {
+
+struct CostModel {
+  // --- wire costs (per message, applied on the sending side). The real
+  // hardware's sub-microsecond costs are scaled up (~500x) so that modeled
+  // time dominates the host scheduler's wake-up noise (tens of us on a
+  // loaded machine); every ratio the paper reports is preserved. ----------
+  std::int64_t shm_latency_ns = 200'000;   ///< intra-node per-message cost
+  double shm_bw_bytes_per_ns = 0.7;        ///< shared-memory copy bandwidth
+  std::int64_t net_latency_ns = 600'000;   ///< inter-node per-message cost
+  double net_bw_bytes_per_ns = 0.25;       ///< Aries-like link bandwidth
+  std::int64_t per_header_byte_ns = 100;   ///< marginal cost per header byte
+
+  // --- software per-message costs -----------------------------------------
+  std::int64_t match_fast_path_ns = 15'000;  ///< 16-bit CID array-index match
+  std::int64_t match_ext_lookup_ns = 60'000; ///< exCID hash lookup + bookkeeping
+  std::int64_t ext_send_overhead_ns = 50'000; ///< building/attaching the
+                                              ///< extended header on sends
+
+  // --- startup costs (paper: seconds; here scaled to ~10s of ms so the
+  // modeled costs dominate host-scheduler noise at high thread counts) ----
+  std::int64_t nfs_load_base_ns = 15'000'000;    ///< first-proc-on-node library load
+  std::int64_t nfs_load_per_node_ns = 2'500'000; ///< NFS contention per extra node
+  std::int64_t proc_attach_ns = 300'000;         ///< per-proc runtime attach
+  std::int64_t pmix_client_init_ns = 2'000'000;  ///< PMIx_Init RPC to local server
+  std::int64_t world_objects_init_ns = 3'000'000; ///< build COMM_WORLD/SELF state
+  std::int64_t session_resource_init_ns = 12'000'000; ///< first-session subsystem init
+  std::int64_t session_handle_ns = 250'000;      ///< per-session handle setup
+
+  // --- PMIx server-side costs ---------------------------------------------
+  std::int64_t srv_rpc_ns = 400'000;            ///< client<->local-server RPC
+  std::int64_t fence_base_ns = 8'000'000;       ///< server all-to-all, base
+  std::int64_t fence_per_node_ns = 4'000'000;   ///< per log2(servers) step
+  std::int64_t group_construct_base_ns = 16'000'000; ///< PGCID group construct, base
+  std::int64_t group_construct_per_node_ns = 8'000'000; ///< per log2(servers) step
+  std::int64_t group_destruct_base_ns = 4'000'000;
+
+  // --- derived helpers -----------------------------------------------------
+  [[nodiscard]] std::int64_t wire_cost(bool same_node, std::size_t payload_bytes,
+                                       std::size_t header_bytes) const noexcept {
+    const double bw = same_node ? shm_bw_bytes_per_ns : net_bw_bytes_per_ns;
+    const std::int64_t lat = same_node ? shm_latency_ns : net_latency_ns;
+    return lat + static_cast<std::int64_t>(static_cast<double>(payload_bytes) / bw) +
+           per_header_byte_ns * static_cast<std::int64_t>(header_bytes);
+  }
+
+  /// Wall-clock cost of the slow NFS library load, per node, as a function of
+  /// total node count (all nodes hammer the NFS server concurrently).
+  [[nodiscard]] std::int64_t nfs_load_cost(int num_nodes) const noexcept {
+    return nfs_load_base_ns +
+           nfs_load_per_node_ns * static_cast<std::int64_t>(std::max(0, num_nodes - 1));
+  }
+
+  /// Cost of the inter-server portion of a PMIx fence over `num_nodes` servers
+  /// (three-stage hierarchical: the all-to-all runs in ~log2(n) rounds).
+  [[nodiscard]] std::int64_t fence_exchange_cost(int num_nodes) const noexcept {
+    return num_nodes <= 1 ? fence_base_ns / 4
+                          : fence_base_ns + fence_per_node_ns * log2_ceil(num_nodes);
+  }
+
+  /// Cost of the inter-server portion of a PMIx group construct. More
+  /// expensive than a fence: membership lists are exchanged and a PGCID is
+  /// allocated by the leader and broadcast.
+  [[nodiscard]] std::int64_t group_exchange_cost(int num_nodes) const noexcept {
+    return num_nodes <= 1
+               ? group_construct_base_ns / 4
+               : group_construct_base_ns +
+                     group_construct_per_node_ns * log2_ceil(num_nodes);
+  }
+
+  static std::int64_t log2_ceil(int v) noexcept {
+    std::int64_t r = 0;
+    int x = 1;
+    while (x < v) {
+      x *= 2;
+      ++r;
+    }
+    return r;
+  }
+
+  /// All-zero model: no injected delays. Unit tests use this preset so the
+  /// simulator behaves as a pure functional model.
+  static CostModel zero() noexcept {
+    CostModel m;
+    m.shm_latency_ns = m.net_latency_ns = m.per_header_byte_ns = 0;
+    m.shm_bw_bytes_per_ns = m.net_bw_bytes_per_ns = 1e18;
+    m.match_fast_path_ns = m.match_ext_lookup_ns = 0;
+    m.ext_send_overhead_ns = 0;
+    m.nfs_load_base_ns = m.nfs_load_per_node_ns = 0;
+    m.proc_attach_ns = m.pmix_client_init_ns = 0;
+    m.world_objects_init_ns = m.session_resource_init_ns = 0;
+    m.session_handle_ns = 0;
+    m.srv_rpc_ns = 0;
+    m.fence_base_ns = m.fence_per_node_ns = 0;
+    m.group_construct_base_ns = m.group_construct_per_node_ns = 0;
+    m.group_destruct_base_ns = 0;
+    return m;
+  }
+
+  /// Default calibrated model (Cray-Aries-like shapes, ms-scale startup).
+  static CostModel calibrated() noexcept { return {}; }
+};
+
+}  // namespace sessmpi::base

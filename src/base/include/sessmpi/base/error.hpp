@@ -1,0 +1,84 @@
+#pragma once
+
+// Error classes for sessmpi, modeled after the MPI error classes that the
+// Sessions proposal touches, plus runtime-level (PMIx/PRRTE) error classes.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sessmpi::base {
+
+/// Error classes. Values are stable; tests rely on them.
+enum class ErrClass : int {
+  success = 0,
+  // MPI-level classes
+  buffer = 1,
+  count = 2,
+  type = 3,
+  tag = 4,
+  comm = 5,
+  rank = 6,
+  request = 7,
+  root = 8,
+  group = 9,
+  op = 10,
+  topology = 11,
+  dims = 12,
+  arg = 13,
+  unknown = 14,
+  truncate = 15,
+  other = 16,
+  intern = 17,
+  in_status = 18,
+  pending = 19,
+  info_key = 20,
+  info_value = 21,
+  info_nokey = 22,
+  info = 23,
+  session = 24,
+  proc_aborted = 25,
+  // Runtime (PMIx/PRRTE) classes
+  rte_not_found = 40,
+  rte_timeout = 41,
+  rte_proc_failed = 42,
+  rte_bad_param = 43,
+  rte_exists = 44,
+  rte_unreachable = 45,
+  rte_not_supported = 46,
+};
+
+/// Human-readable name for an error class (never throws).
+std::string_view err_class_name(ErrClass c) noexcept;
+
+/// Exception thrown by sessmpi APIs when an error handler does not abort.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrClass cls, const std::string& what_arg)
+      : std::runtime_error(std::string(err_class_name(cls)) + ": " + what_arg),
+        cls_(cls) {}
+
+  [[nodiscard]] ErrClass error_class() const noexcept { return cls_; }
+
+ private:
+  ErrClass cls_;
+};
+
+/// Status-style return for internal plumbing that must not throw across
+/// subsystem boundaries (e.g., progress callbacks).
+struct RtStatus {
+  ErrClass cls = ErrClass::success;
+  [[nodiscard]] bool ok() const noexcept { return cls == ErrClass::success; }
+  static RtStatus success() noexcept { return {}; }
+  static RtStatus fail(ErrClass c) noexcept { return {c}; }
+};
+
+}  // namespace sessmpi::base
+
+namespace sessmpi {
+// Convenience aliases: the MPI core layer uses these unqualified.
+using base::ErrClass;
+using base::Error;
+using base::RtStatus;
+using base::err_class_name;
+}  // namespace sessmpi

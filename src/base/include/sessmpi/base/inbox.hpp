@@ -1,0 +1,63 @@
+#pragma once
+
+// A blocking multi-producer single-consumer inbox used as the receive queue
+// of every simulated process endpoint. Producers are other rank threads (and
+// runtime threads); the consumer is the owning rank's progress engine.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace sessmpi::base {
+
+template <typename T>
+class Inbox {
+ public:
+  /// Enqueue an item and wake the consumer if it is blocked.
+  void push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Non-blocking pop; returns nullopt when empty.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Blocking pop with timeout. Returns nullopt on timeout.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_wait(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [&] { return !items_.empty(); })) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+};
+
+}  // namespace sessmpi::base

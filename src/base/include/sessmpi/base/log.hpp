@@ -1,0 +1,50 @@
+#pragma once
+
+// Minimal leveled logger. Off by default; enabled via set_level or the
+// SESSMPI_LOG environment variable (error|warn|info|debug). Thread-safe:
+// each message is written with a single ostream insertion under a lock.
+
+#include <sstream>
+#include <string>
+
+namespace sessmpi::base {
+
+enum class LogLevel : int { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit a message at `level` (no-op if below the current level).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() >= LogLevel::error)
+    log_message(LogLevel::error, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() >= LogLevel::warn)
+    log_message(LogLevel::warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() >= LogLevel::info)
+    log_message(LogLevel::info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() >= LogLevel::debug)
+    log_message(LogLevel::debug, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace sessmpi::base

@@ -1,0 +1,44 @@
+#pragma once
+
+// Result<T>: a status-or-value return used at runtime-layer boundaries
+// (PMIx/PRRTE) where exceptions must not propagate across subsystems.
+
+#include <utility>
+
+#include "sessmpi/base/error.hpp"
+
+namespace sessmpi::base {
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(ErrClass err) : err_(err) {}            // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return err_ == ErrClass::success; }
+  [[nodiscard]] ErrClass error() const noexcept { return err_; }
+
+  /// Access the value; throws Error if the result holds an error.
+  [[nodiscard]] T& value() {
+    if (!ok()) {
+      throw Error(err_, "Result::value() on error result");
+    }
+    return value_;
+  }
+  [[nodiscard]] const T& value() const {
+    if (!ok()) {
+      throw Error(err_, "Result::value() on error result");
+    }
+    return value_;
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  T value_{};
+  ErrClass err_ = ErrClass::success;
+};
+
+}  // namespace sessmpi::base

@@ -1,0 +1,66 @@
+#pragma once
+
+// Lowest-free-slot allocator backing the per-process communicator array.
+// Open MPI represents a communicator's CID as a 16-bit index into a local
+// array (paper §III-B2); the consensus algorithm repeatedly proposes the
+// lowest locally-free index, so the allocator must support both "lowest
+// free" queries and claiming a specific index chosen by consensus.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sessmpi::base {
+
+class SlotAllocator {
+ public:
+  /// `capacity` is the total CID space (Open MPI: 2^16).
+  explicit SlotAllocator(std::uint32_t capacity = 1u << 16)
+      : used_(capacity, false) {}
+
+  /// Lowest free index at or above `from`, or nullopt when exhausted.
+  [[nodiscard]] std::optional<std::uint32_t> lowest_free(
+      std::uint32_t from = 0) const {
+    for (std::uint32_t i = from; i < used_.size(); ++i) {
+      if (!used_[i]) {
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Claim a specific index. Returns false if already in use or out of range.
+  bool claim(std::uint32_t index) {
+    if (index >= used_.size() || used_[index]) {
+      return false;
+    }
+    used_[index] = true;
+    ++in_use_;
+    return true;
+  }
+
+  /// Release an index. Returns false if it was not in use.
+  bool release(std::uint32_t index) {
+    if (index >= used_.size() || !used_[index]) {
+      return false;
+    }
+    used_[index] = false;
+    --in_use_;
+    return true;
+  }
+
+  [[nodiscard]] bool is_used(std::uint32_t index) const {
+    return index < used_.size() && used_[index];
+  }
+
+  [[nodiscard]] std::uint32_t in_use() const { return in_use_; }
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(used_.size());
+  }
+
+ private:
+  std::vector<bool> used_;
+  std::uint32_t in_use_ = 0;
+};
+
+}  // namespace sessmpi::base

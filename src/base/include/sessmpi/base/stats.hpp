@@ -1,0 +1,37 @@
+#pragma once
+
+// Small statistics helpers shared by the benchmark harnesses: percentile,
+// mean, min/max over timing samples, and a fixed-width table printer that
+// renders the paper-style result tables.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sessmpi::base {
+
+struct Summary {
+  double min = 0, max = 0, mean = 0, median = 0, p99 = 0;
+  std::size_t count = 0;
+};
+
+/// Compute summary statistics; `samples` is copied and sorted internally.
+Summary summarize(std::vector<double> samples);
+
+/// Paper-style fixed-width table. Columns sized to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Render with column separators and a rule under the header.
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sessmpi::base

@@ -1,0 +1,79 @@
+#pragma once
+
+// Refcounted lazy subsystem registry, modeled after the restructured
+// initialization the prototype introduced in Open MPI (paper §III-B5):
+//
+//  * subsystems are defined once (name, init fn, cleanup fn, dependencies);
+//  * acquiring a subsystem initializes it on first use (dependencies first)
+//    and bumps a reference count;
+//  * releasing decrements the count; actual teardown is deferred;
+//  * when every subsystem's count reaches zero, the registered cleanup
+//    callbacks run in reverse init order and the registry is ready for a new
+//    init cycle (sessions can be initialized and finalized repeatedly).
+//
+// All operations are thread-safe: MPI_Session_init must be callable from
+// multiple threads concurrently.
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sessmpi/base/cleanup.hpp"
+#include "sessmpi/base/error.hpp"
+
+namespace sessmpi::base {
+
+class SubsystemRegistry {
+ public:
+  using InitFn = std::function<void()>;
+  using CleanupFn = std::function<void()>;
+
+  /// Define a subsystem. Throws Error(rte_exists) on duplicate definition and
+  /// Error(rte_not_found) if a dependency has not been defined.
+  void define(const std::string& name, InitFn init, CleanupFn cleanup,
+              std::vector<std::string> deps = {});
+
+  /// Acquire a subsystem: initialize it (and, recursively, its dependencies)
+  /// if this is the first acquisition since the last full teardown, otherwise
+  /// just bump its reference count. Dependencies are also ref-counted so they
+  /// cannot be torn down while a dependent is live.
+  void acquire(const std::string& name);
+
+  /// Release one reference on a subsystem (and its dependency references).
+  /// When the total live reference count across all subsystems reaches zero,
+  /// all cleanup callbacks run (reverse init order) and init state resets.
+  /// Returns true if full teardown was performed.
+  bool release(const std::string& name);
+
+  [[nodiscard]] bool is_initialized(const std::string& name) const;
+  [[nodiscard]] int ref_count(const std::string& name) const;
+  [[nodiscard]] int total_refs() const;
+  /// Number of completed full init->teardown cycles (tests use this to show
+  /// repeated initialization works).
+  [[nodiscard]] int completed_cycles() const;
+
+ private:
+  struct Subsystem {
+    InitFn init;
+    CleanupFn cleanup;
+    std::vector<std::string> deps;
+    int refs = 0;
+    bool initialized = false;
+  };
+
+  // Must be called with mu_ held.
+  void acquire_locked(const std::string& name);
+  void release_locked(const std::string& name);
+  Subsystem& find(const std::string& name);
+  const Subsystem& find(const std::string& name) const;
+
+  mutable std::recursive_mutex mu_;
+  std::unordered_map<std::string, Subsystem> subsystems_;
+  CleanupRegistry cleanups_;
+  int total_refs_ = 0;
+  int completed_cycles_ = 0;
+};
+
+}  // namespace sessmpi::base

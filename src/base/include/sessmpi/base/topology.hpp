@@ -1,0 +1,31 @@
+#pragma once
+
+// Cluster topology: a fixed number of nodes each hosting a fixed number of
+// ranks. Ranks are numbered globally, node-major, matching how prun lays out
+// processes with a constant procs-per-node mapping.
+
+#include <cstdint>
+
+namespace sessmpi::base {
+
+/// Global rank of a simulated MPI process within the allocation.
+using Rank = int;
+
+struct Topology {
+  int num_nodes = 1;
+  int procs_per_node = 1;
+
+  [[nodiscard]] int size() const noexcept { return num_nodes * procs_per_node; }
+  [[nodiscard]] int node_of(Rank r) const noexcept { return r / procs_per_node; }
+  [[nodiscard]] int local_rank_of(Rank r) const noexcept {
+    return r % procs_per_node;
+  }
+  [[nodiscard]] bool same_node(Rank a, Rank b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+  [[nodiscard]] bool valid_rank(Rank r) const noexcept {
+    return r >= 0 && r < size();
+  }
+};
+
+}  // namespace sessmpi::base

@@ -1,0 +1,55 @@
+#include "sessmpi/base/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string_view>
+
+namespace sessmpi::base {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SESSMPI_LOG");
+  if (env == nullptr) {
+    return LogLevel::off;
+  }
+  const std::string_view v{env};
+  if (v == "error") return LogLevel::error;
+  if (v == "warn") return LogLevel::warn;
+  if (v == "info") return LogLevel::info;
+  if (v == "debug") return LogLevel::debug;
+  return LogLevel::off;
+}
+
+std::atomic<int> g_level{static_cast<int>(level_from_env())};
+std::mutex g_io_mu;
+
+constexpr std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::error: return "[sessmpi:error] ";
+    case LogLevel::warn: return "[sessmpi:warn ] ";
+    case LogLevel::info: return "[sessmpi:info ] ";
+    case LogLevel::debug: return "[sessmpi:debug] ";
+    case LogLevel::off: break;
+  }
+  return "[sessmpi] ";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(g_io_mu);
+  std::cerr << level_tag(level) << msg << '\n';
+}
+
+}  // namespace sessmpi::base

@@ -1,0 +1,115 @@
+#include "sessmpi/base/subsystem.hpp"
+
+#include <utility>
+
+namespace sessmpi::base {
+
+void SubsystemRegistry::define(const std::string& name, InitFn init,
+                               CleanupFn cleanup,
+                               std::vector<std::string> deps) {
+  std::lock_guard lock(mu_);
+  if (subsystems_.contains(name)) {
+    throw Error(ErrClass::rte_exists, "subsystem already defined: " + name);
+  }
+  for (const auto& dep : deps) {
+    if (!subsystems_.contains(dep)) {
+      throw Error(ErrClass::rte_not_found,
+                  "subsystem dependency not defined: " + dep);
+    }
+  }
+  subsystems_.emplace(
+      name, Subsystem{std::move(init), std::move(cleanup), std::move(deps)});
+}
+
+SubsystemRegistry::Subsystem& SubsystemRegistry::find(const std::string& name) {
+  auto it = subsystems_.find(name);
+  if (it == subsystems_.end()) {
+    throw Error(ErrClass::rte_not_found, "unknown subsystem: " + name);
+  }
+  return it->second;
+}
+
+const SubsystemRegistry::Subsystem& SubsystemRegistry::find(
+    const std::string& name) const {
+  auto it = subsystems_.find(name);
+  if (it == subsystems_.end()) {
+    throw Error(ErrClass::rte_not_found, "unknown subsystem: " + name);
+  }
+  return it->second;
+}
+
+void SubsystemRegistry::acquire(const std::string& name) {
+  std::lock_guard lock(mu_);
+  acquire_locked(name);
+}
+
+void SubsystemRegistry::acquire_locked(const std::string& name) {
+  Subsystem& sub = find(name);
+  for (const auto& dep : sub.deps) {
+    acquire_locked(dep);
+  }
+  if (!sub.initialized) {
+    if (sub.init) {
+      sub.init();
+    }
+    sub.initialized = true;
+    // Defer teardown: register the cleanup with the framework; it runs only
+    // when the last reference anywhere is dropped.
+    CleanupFn cleanup = sub.cleanup;
+    std::string captured = name;
+    cleanups_.register_cleanup(captured, [this, captured] {
+      Subsystem& s = subsystems_.at(captured);
+      if (s.cleanup) {
+        s.cleanup();
+      }
+      s.initialized = false;
+    });
+  }
+  ++sub.refs;
+  ++total_refs_;
+}
+
+bool SubsystemRegistry::release(const std::string& name) {
+  std::lock_guard lock(mu_);
+  release_locked(name);
+  if (total_refs_ == 0) {
+    cleanups_.run_all();
+    ++completed_cycles_;
+    return true;
+  }
+  return false;
+}
+
+void SubsystemRegistry::release_locked(const std::string& name) {
+  Subsystem& sub = find(name);
+  if (sub.refs <= 0) {
+    throw Error(ErrClass::intern, "over-release of subsystem: " + name);
+  }
+  --sub.refs;
+  --total_refs_;
+  for (const auto& dep : sub.deps) {
+    release_locked(dep);
+  }
+}
+
+bool SubsystemRegistry::is_initialized(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return find(name).initialized;
+}
+
+int SubsystemRegistry::ref_count(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return find(name).refs;
+}
+
+int SubsystemRegistry::total_refs() const {
+  std::lock_guard lock(mu_);
+  return total_refs_;
+}
+
+int SubsystemRegistry::completed_cycles() const {
+  std::lock_guard lock(mu_);
+  return completed_cycles_;
+}
+
+}  // namespace sessmpi::base

@@ -1,0 +1,110 @@
+#include "sessmpi/attributes.hpp"
+
+#include <atomic>
+#include <vector>
+
+namespace sessmpi {
+
+namespace {
+
+/// Process-global keyval registry: callbacks looked up by keyval id.
+struct KeyvalEntry {
+  Keyval::CopyFn copy;
+  Keyval::DeleteFn del;
+};
+
+std::mutex g_keyvals_mu;
+std::map<int, KeyvalEntry>& keyvals() {
+  static std::map<int, KeyvalEntry> m;
+  return m;
+}
+std::atomic<int> g_next_keyval{1};
+
+KeyvalEntry lookup_entry(int id) {
+  std::lock_guard lock(g_keyvals_mu);
+  auto it = keyvals().find(id);
+  return it == keyvals().end() ? KeyvalEntry{} : it->second;
+}
+
+}  // namespace
+
+Keyval Keyval::create(CopyFn copy, DeleteFn del) {
+  const int id = g_next_keyval.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(g_keyvals_mu);
+  keyvals()[id] = {std::move(copy), std::move(del)};
+  return Keyval{id};
+}
+
+AttributeStore::~AttributeStore() { clear(); }
+
+void AttributeStore::set(const Keyval& kv, AttrValue value) {
+  std::lock_guard lock(mu_);
+  attrs_[kv.id()] = value;
+}
+
+std::optional<AttrValue> AttributeStore::get(const Keyval& kv) const {
+  std::lock_guard lock(mu_);
+  auto it = attrs_.find(kv.id());
+  if (it == attrs_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool AttributeStore::erase(const Keyval& kv) {
+  AttrValue value{};
+  {
+    std::lock_guard lock(mu_);
+    auto it = attrs_.find(kv.id());
+    if (it == attrs_.end()) {
+      return false;
+    }
+    value = it->second;
+    attrs_.erase(it);
+  }
+  if (auto entry = lookup_entry(kv.id()); entry.del) {
+    entry.del(value);
+  }
+  return true;
+}
+
+std::size_t AttributeStore::size() const {
+  std::lock_guard lock(mu_);
+  return attrs_.size();
+}
+
+void AttributeStore::copy_to(AttributeStore& dst) const {
+  std::vector<std::pair<int, AttrValue>> snapshot;
+  {
+    std::lock_guard lock(mu_);
+    snapshot.assign(attrs_.begin(), attrs_.end());
+  }
+  for (const auto& [id, value] : snapshot) {
+    const KeyvalEntry entry = lookup_entry(id);
+    if (entry.copy) {
+      if (auto copied = entry.copy(value)) {
+        std::lock_guard lock(dst.mu_);
+        dst.attrs_[id] = *copied;
+      }
+    } else {
+      // Default: copy verbatim (MPI_COMM_DUP_FN behaviour).
+      std::lock_guard lock(dst.mu_);
+      dst.attrs_[id] = value;
+    }
+  }
+}
+
+void AttributeStore::clear() {
+  std::map<int, AttrValue> snapshot;
+  {
+    std::lock_guard lock(mu_);
+    snapshot.swap(attrs_);
+  }
+  for (const auto& [id, value] : snapshot) {
+    if (auto entry = lookup_entry(id); entry.del) {
+      entry.del(value);
+    }
+  }
+}
+
+}  // namespace sessmpi

@@ -1,0 +1,436 @@
+#include "sessmpi/capi.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "sessmpi/mpi.hpp"
+#include "sessmpi/sim/cluster.hpp"
+
+namespace sessmpi::capi {
+
+// Handle wrappers: each opaque handle owns one C++ object.
+struct SessionHandle {
+  Session s;
+};
+struct GroupHandle {
+  Group g = Group::empty();
+};
+struct CommHandle {
+  Communicator c;
+};
+struct InfoHandle {
+  Info i;
+};
+struct ErrhandlerHandle {
+  Errhandler e = Errhandler::errors_return();
+};
+struct RequestHandle {
+  Request r;
+};
+
+namespace {
+
+int code_of(const Error& e) { return static_cast<int>(e.error_class()); }
+
+/// Run `fn`, translating exceptions into MPI error codes.
+template <typename Fn>
+int guarded(Fn&& fn) {
+  try {
+    fn();
+    return MPI_SUCCESS;
+  } catch (const Error& e) {
+    return code_of(e);
+  } catch (...) {
+    return static_cast<int>(ErrClass::unknown);
+  }
+}
+
+const Datatype& cxx_datatype(MPI_Datatype dt) {
+  switch (dt) {
+    case MPI_BYTE: return Datatype::byte();
+    case MPI_CHAR: return Datatype::char8();
+    case MPI_INT32_T: return Datatype::int32();
+    case MPI_INT64_T: return Datatype::int64();
+    case MPI_UINT64_T: return Datatype::uint64();
+    case MPI_FLOAT: return Datatype::float32();
+    case MPI_DOUBLE: return Datatype::float64();
+  }
+  throw Error(ErrClass::type, "unknown C datatype");
+}
+
+const Op& cxx_op(MPI_Op op) {
+  switch (op) {
+    case MPI_SUM: return Op::sum();
+    case MPI_PROD: return Op::prod();
+    case MPI_MAX: return Op::max();
+    case MPI_MIN: return Op::min();
+    case MPI_LAND: return Op::land();
+    case MPI_LOR: return Op::lor();
+    case MPI_BAND: return Op::band();
+    case MPI_BOR: return Op::bor();
+  }
+  throw Error(ErrClass::op, "unknown C op");
+}
+
+void fill_status(MPI_Status* out, const Status& st) {
+  if (out == MPI_STATUS_IGNORE) {
+    return;
+  }
+  out->MPI_SOURCE = st.source;
+  out->MPI_TAG = st.tag;
+  out->MPI_ERROR = static_cast<int>(st.error);
+  out->count_bytes = st.count_bytes;
+}
+
+}  // namespace
+
+MPI_Errhandler mpi_errors_are_fatal() {
+  static ErrhandlerHandle h{Errhandler::errors_are_fatal()};
+  return &h;
+}
+
+MPI_Errhandler mpi_errors_return() {
+  static ErrhandlerHandle h{Errhandler::errors_return()};
+  return &h;
+}
+
+int mpi_error_class(int code, int* errclass) {
+  if (errclass == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  *errclass = code;  // codes are error classes in this implementation
+  return MPI_SUCCESS;
+}
+
+// --- info ---------------------------------------------------------------------
+
+int MPI_Info_create(MPI_Info* info) {
+  return guarded([&] {
+    if (info == nullptr) {
+      throw Error(ErrClass::arg, "null info out-pointer");
+    }
+    *info = new InfoHandle{};
+  });
+}
+
+int MPI_Info_set(MPI_Info info, const char* key, const char* value) {
+  return guarded([&] {
+    if (info == nullptr || key == nullptr || value == nullptr) {
+      throw Error(ErrClass::arg, "null argument to Info_set");
+    }
+    info->i.set(key, value);
+  });
+}
+
+int MPI_Info_get(MPI_Info info, const char* key, int valuelen, char* value,
+                 int* flag) {
+  return guarded([&] {
+    if (info == nullptr || key == nullptr || value == nullptr ||
+        flag == nullptr) {
+      throw Error(ErrClass::arg, "null argument to Info_get");
+    }
+    auto v = info->i.get(key);
+    *flag = v.has_value() ? 1 : 0;
+    if (v) {
+      std::strncpy(value, v->c_str(), static_cast<std::size_t>(valuelen));
+      if (valuelen > 0) {
+        value[valuelen - 1] = '\0';
+      }
+    }
+  });
+}
+
+int MPI_Info_get_nkeys(MPI_Info info, int* nkeys) {
+  return guarded([&] {
+    if (info == nullptr || nkeys == nullptr) {
+      throw Error(ErrClass::arg, "null argument to Info_get_nkeys");
+    }
+    *nkeys = static_cast<int>(info->i.nkeys());
+  });
+}
+
+int MPI_Info_free(MPI_Info* info) {
+  return guarded([&] {
+    if (info == nullptr || *info == nullptr) {
+      throw Error(ErrClass::arg, "null info");
+    }
+    delete *info;
+    *info = MPI_INFO_NULL;
+  });
+}
+
+// --- sessions ------------------------------------------------------------------
+
+int MPI_Session_init(MPI_Info info, MPI_Errhandler errhandler,
+                     MPI_Session* session) {
+  return guarded([&] {
+    if (session == nullptr) {
+      throw Error(ErrClass::arg, "null session out-pointer");
+    }
+    const Info& i = info != MPI_INFO_NULL ? info->i : Info::null();
+    const Errhandler& e = errhandler != MPI_ERRHANDLER_NULL
+                              ? errhandler->e
+                              : Errhandler::errors_return();
+    *session = new SessionHandle{Session::init(i, e)};
+  });
+}
+
+int MPI_Session_finalize(MPI_Session* session) {
+  return guarded([&] {
+    if (session == nullptr || *session == nullptr) {
+      throw Error(ErrClass::session, "null session");
+    }
+    (*session)->s.finalize();
+    delete *session;
+    *session = MPI_SESSION_NULL;
+  });
+}
+
+int MPI_Session_get_num_psets(MPI_Session session, MPI_Info /*info*/,
+                              int* npset_names) {
+  return guarded([&] {
+    if (session == nullptr || npset_names == nullptr) {
+      throw Error(ErrClass::arg, "null argument");
+    }
+    *npset_names = session->s.num_psets();
+  });
+}
+
+int MPI_Session_get_nth_pset(MPI_Session session, MPI_Info /*info*/, int n,
+                             int* pset_len, char* pset_name) {
+  return guarded([&] {
+    if (session == nullptr || pset_len == nullptr) {
+      throw Error(ErrClass::arg, "null argument");
+    }
+    const std::string name = session->s.nth_pset(n);
+    if (pset_name == nullptr || *pset_len == 0) {
+      // Length query mode, as in the proposal.
+      *pset_len = static_cast<int>(name.size()) + 1;
+      return;
+    }
+    std::strncpy(pset_name, name.c_str(), static_cast<std::size_t>(*pset_len));
+    pset_name[*pset_len - 1] = '\0';
+  });
+}
+
+int MPI_Session_get_pset_info(MPI_Session session, const char* pset_name,
+                              MPI_Info* info) {
+  return guarded([&] {
+    if (session == nullptr || pset_name == nullptr || info == nullptr) {
+      throw Error(ErrClass::arg, "null argument");
+    }
+    *info = new InfoHandle{session->s.pset_info(pset_name)};
+  });
+}
+
+// --- groups ---------------------------------------------------------------------
+
+int MPI_Group_from_session_pset(MPI_Session session, const char* pset_name,
+                                MPI_Group* newgroup) {
+  return guarded([&] {
+    if (session == nullptr || pset_name == nullptr || newgroup == nullptr) {
+      throw Error(ErrClass::arg, "null argument");
+    }
+    *newgroup = new GroupHandle{session->s.group_from_pset(pset_name)};
+  });
+}
+
+int MPI_Group_size(MPI_Group group, int* size) {
+  return guarded([&] {
+    if (group == nullptr || size == nullptr) {
+      throw Error(ErrClass::group, "null group");
+    }
+    *size = group->g.size();
+  });
+}
+
+int MPI_Group_rank(MPI_Group group, int* rank) {
+  return guarded([&] {
+    if (group == nullptr || rank == nullptr) {
+      throw Error(ErrClass::group, "null group");
+    }
+    *rank = group->g.rank_of(sim::Cluster::current().rank());
+  });
+}
+
+int MPI_Group_free(MPI_Group* group) {
+  return guarded([&] {
+    if (group == nullptr || *group == nullptr) {
+      throw Error(ErrClass::group, "null group");
+    }
+    delete *group;
+    *group = MPI_GROUP_NULL;
+  });
+}
+
+// --- communicators ---------------------------------------------------------------
+
+int MPI_Comm_create_from_group(MPI_Group group, const char* stringtag,
+                               MPI_Info info, MPI_Errhandler errhandler,
+                               MPI_Comm* newcomm) {
+  return guarded([&] {
+    if (group == nullptr || stringtag == nullptr || newcomm == nullptr) {
+      throw Error(ErrClass::arg, "null argument");
+    }
+    const Info& i = info != MPI_INFO_NULL ? info->i : Info::null();
+    const Errhandler& e = errhandler != MPI_ERRHANDLER_NULL
+                              ? errhandler->e
+                              : Errhandler::errors_are_fatal();
+    *newcomm = new CommHandle{
+        Communicator::create_from_group(group->g, stringtag, i, e)};
+  });
+}
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank) {
+  return guarded([&] {
+    if (comm == nullptr || rank == nullptr) {
+      throw Error(ErrClass::comm, "null communicator");
+    }
+    *rank = comm->c.rank();
+  });
+}
+
+int MPI_Comm_size(MPI_Comm comm, int* size) {
+  return guarded([&] {
+    if (comm == nullptr || size == nullptr) {
+      throw Error(ErrClass::comm, "null communicator");
+    }
+    *size = comm->c.size();
+  });
+}
+
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm) {
+  return guarded([&] {
+    if (comm == nullptr || newcomm == nullptr) {
+      throw Error(ErrClass::comm, "null communicator");
+    }
+    *newcomm = new CommHandle{comm->c.dup()};
+  });
+}
+
+int MPI_Comm_free(MPI_Comm* comm) {
+  return guarded([&] {
+    if (comm == nullptr || *comm == nullptr) {
+      throw Error(ErrClass::comm, "null communicator");
+    }
+    (*comm)->c.free();
+    delete *comm;
+    *comm = MPI_COMM_NULL;
+  });
+}
+
+// --- messaging --------------------------------------------------------------------
+
+int MPI_Send(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
+             MPI_Comm comm) {
+  return guarded([&] {
+    if (comm == nullptr) {
+      throw Error(ErrClass::comm, "null communicator");
+    }
+    comm->c.send(buf, count, cxx_datatype(dt), dest, tag);
+  });
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int tag,
+             MPI_Comm comm, MPI_Status* status) {
+  return guarded([&] {
+    if (comm == nullptr) {
+      throw Error(ErrClass::comm, "null communicator");
+    }
+    Status st = comm->c.recv(buf, count, cxx_datatype(dt), source, tag);
+    fill_status(status, st);
+  });
+}
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
+              MPI_Comm comm, MPI_Request* request) {
+  return guarded([&] {
+    if (comm == nullptr || request == nullptr) {
+      throw Error(ErrClass::comm, "null argument");
+    }
+    *request =
+        new RequestHandle{comm->c.isend(buf, count, cxx_datatype(dt), dest, tag)};
+  });
+}
+
+int MPI_Irecv(void* buf, int count, MPI_Datatype dt, int source, int tag,
+              MPI_Comm comm, MPI_Request* request) {
+  return guarded([&] {
+    if (comm == nullptr || request == nullptr) {
+      throw Error(ErrClass::comm, "null argument");
+    }
+    *request = new RequestHandle{
+        comm->c.irecv(buf, count, cxx_datatype(dt), source, tag)};
+  });
+}
+
+int MPI_Wait(MPI_Request* request, MPI_Status* status) {
+  return guarded([&] {
+    if (request == nullptr || *request == nullptr) {
+      return;  // MPI_REQUEST_NULL: immediate success
+    }
+    Status st = (*request)->r.wait();
+    fill_status(status, st);
+    delete *request;
+    *request = MPI_REQUEST_NULL;
+  });
+}
+
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
+  return guarded([&] {
+    if (request == nullptr || flag == nullptr) {
+      throw Error(ErrClass::request, "null argument");
+    }
+    if (*request == nullptr) {
+      *flag = 1;
+      return;
+    }
+    if ((*request)->r.test()) {
+      *flag = 1;
+      fill_status(status, Status{});
+      delete *request;
+      *request = MPI_REQUEST_NULL;
+    } else {
+      *flag = 0;
+    }
+  });
+}
+
+int MPI_Barrier(MPI_Comm comm) {
+  return guarded([&] {
+    if (comm == nullptr) {
+      throw Error(ErrClass::comm, "null communicator");
+    }
+    comm->c.barrier();
+  });
+}
+
+int MPI_Ibarrier(MPI_Comm comm, MPI_Request* request) {
+  return guarded([&] {
+    if (comm == nullptr || request == nullptr) {
+      throw Error(ErrClass::comm, "null argument");
+    }
+    *request = new RequestHandle{comm->c.ibarrier()};
+  });
+}
+
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
+                  MPI_Datatype dt, MPI_Op op, MPI_Comm comm) {
+  return guarded([&] {
+    if (comm == nullptr) {
+      throw Error(ErrClass::comm, "null communicator");
+    }
+    comm->c.allreduce(sendbuf, recvbuf, count, cxx_datatype(dt), cxx_op(op));
+  });
+}
+
+int MPI_Bcast(void* buf, int count, MPI_Datatype dt, int root, MPI_Comm comm) {
+  return guarded([&] {
+    if (comm == nullptr) {
+      throw Error(ErrClass::comm, "null communicator");
+    }
+    comm->c.bcast(buf, count, cxx_datatype(dt), root);
+  });
+}
+
+}  // namespace sessmpi::capi

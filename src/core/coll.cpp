@@ -1,0 +1,356 @@
+// Blocking collectives over the PML point-to-point primitives. Algorithms
+// match the small-scale choices in the paper's stack: binomial trees for
+// barrier/bcast/reduce, linear gather/scatter, pairwise alltoall. All
+// internal traffic runs in the private negative tag space, derived from the
+// per-communicator collective sequence number so every member computes the
+// same tags without coordination.
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "detail/state.hpp"
+#include "sessmpi/comm.hpp"
+
+namespace sessmpi {
+
+using detail::CommState;
+using detail::ProcState;
+
+namespace {
+
+const std::shared_ptr<CommState>& coll_state(
+    const std::shared_ptr<CommState>& s) {
+  if (!s || s->freed) {
+    throw Error(ErrClass::comm, "collective on invalid communicator");
+  }
+  return s;
+}
+
+std::uint32_t next_seq(const std::shared_ptr<CommState>& s) {
+  std::lock_guard lock(s->ps->mu);
+  return s->coll_seq++;
+}
+
+/// Binomial-tree parent/children of `vrank` (virtual rank, root at 0).
+void tree(int vrank, int size, int* parent, std::vector<int>* children) {
+  *parent = -1;
+  int mask = 1;
+  while (mask < size) {
+    if ((vrank & mask) != 0) {
+      *parent = vrank & ~mask;
+      return;
+    }
+    const int child = vrank | mask;
+    if (child < size) {
+      children->push_back(child);
+    }
+    mask <<= 1;
+  }
+}
+
+}  // namespace
+
+void Communicator::barrier() const {
+  // Binomial fan-in/fan-out (the blocking form of Ibarrier). Note for the
+  // Fig. 5 reproduction: only tree edges exchange messages, so a barrier
+  // does NOT establish the exCID handshake between arbitrary rank pairs.
+  Status st = ibarrier().wait();
+  if (st.error != ErrClass::success) {
+    coll_state(state_)->errh.raise(st.error, "barrier aborted");
+  }
+}
+
+Request Communicator::ibarrier() const {
+  const auto& s = coll_state(state_);
+  return Request{detail::make_ibarrier(*s->ps, s)};
+}
+
+void Communicator::bcast(void* buf, int count, const Datatype& dt,
+                         int root) const {
+  const auto& s = coll_state(state_);
+  ProcState& ps = *s->ps;
+  const int n = s->size();
+  if (root < 0 || root >= n) {
+    s->errh.raise(ErrClass::root, "bcast root out of range");
+  }
+  if (n == 1) {
+    return;
+  }
+  const int tag = detail::internal_tag(next_seq(s), 0);
+  const int vrank = (s->myrank - root + n) % n;
+  int parent = -1;
+  std::vector<int> children;
+  tree(vrank, n, &parent, &children);
+  const auto real = [&](int v) { return (v + root) % n; };
+
+  if (parent >= 0) {
+    ps.blocking_recv(s, buf, count, dt, real(parent), tag);
+  }
+  for (int child : children) {
+    ps.blocking_send(s, buf, count, dt, real(child), tag, false);
+  }
+}
+
+void Communicator::reduce(const void* sendbuf, void* recvbuf, int count,
+                          const Datatype& dt, const Op& op, int root) const {
+  const auto& s = coll_state(state_);
+  ProcState& ps = *s->ps;
+  const int n = s->size();
+  if (root < 0 || root >= n) {
+    s->errh.raise(ErrClass::root, "reduce root out of range");
+  }
+  const std::size_t bytes = static_cast<std::size_t>(count) * dt.extent();
+  const int tag = detail::internal_tag(next_seq(s), 0);
+
+  // Accumulator starts as a copy of the local contribution.
+  std::vector<std::byte> acc(bytes);
+  std::memcpy(acc.data(), sendbuf, bytes);
+
+  if (!op.commutative()) {
+    // Linear, rank-ordered fold at the root preserves non-commutative
+    // semantics: result = ((v0 op v1) op v2) ... in strict rank order.
+    if (s->myrank == root) {
+      std::vector<std::byte> tmp(bytes);
+      bool first = true;
+      for (int r = 0; r < n; ++r) {
+        const void* contrib;
+        if (r == root) {
+          contrib = sendbuf;
+        } else {
+          ps.blocking_recv(s, tmp.data(), count, dt, r, tag);
+          contrib = tmp.data();
+        }
+        if (first) {
+          std::memcpy(recvbuf, contrib, bytes);
+          first = false;
+        } else {
+          op.apply(contrib, recvbuf, count, dt);
+        }
+      }
+    } else {
+      ps.blocking_send(s, sendbuf, count, dt, root, tag, false);
+    }
+    return;
+  }
+
+  const int vrank = (s->myrank - root + n) % n;
+  int parent = -1;
+  std::vector<int> children;
+  tree(vrank, n, &parent, &children);
+  const auto real = [&](int v) { return (v + root) % n; };
+
+  std::vector<std::byte> incoming(bytes);
+  for (int child : children) {
+    ps.blocking_recv(s, incoming.data(), count, dt, real(child), tag);
+    op.apply(incoming.data(), acc.data(), count, dt);
+  }
+  if (parent >= 0) {
+    ps.blocking_send(s, acc.data(), count, dt, real(parent), tag, false);
+  } else {
+    std::memcpy(recvbuf, acc.data(), bytes);
+  }
+}
+
+void Communicator::allreduce(const void* sendbuf, void* recvbuf, int count,
+                             const Datatype& dt, const Op& op) const {
+  reduce(sendbuf, recvbuf, count, dt, op, 0);
+  bcast(recvbuf, count, dt, 0);
+}
+
+void Communicator::gather(const void* sendbuf, int sendcount,
+                          const Datatype& sdt, void* recvbuf, int recvcount,
+                          const Datatype& rdt, int root) const {
+  const auto& s = coll_state(state_);
+  ProcState& ps = *s->ps;
+  const int n = s->size();
+  const int tag = detail::internal_tag(next_seq(s), 0);
+  if (s->myrank == root) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    const std::size_t slot = static_cast<std::size_t>(recvcount) * rdt.extent();
+    for (int r = 0; r < n; ++r) {
+      if (r == root) {
+        const std::size_t bytes =
+            static_cast<std::size_t>(sendcount) * sdt.extent();
+        std::memcpy(out + static_cast<std::size_t>(r) * slot, sendbuf, bytes);
+      } else {
+        ps.blocking_recv(s, out + static_cast<std::size_t>(r) * slot, recvcount,
+                         rdt, r, tag);
+      }
+    }
+  } else {
+    ps.blocking_send(s, sendbuf, sendcount, sdt, root, tag, false);
+  }
+}
+
+void Communicator::scatter(const void* sendbuf, int sendcount,
+                           const Datatype& sdt, void* recvbuf, int recvcount,
+                           const Datatype& rdt, int root) const {
+  const auto& s = coll_state(state_);
+  ProcState& ps = *s->ps;
+  const int n = s->size();
+  const int tag = detail::internal_tag(next_seq(s), 0);
+  if (s->myrank == root) {
+    const auto* in = static_cast<const std::byte*>(sendbuf);
+    const std::size_t slot = static_cast<std::size_t>(sendcount) * sdt.extent();
+    for (int r = 0; r < n; ++r) {
+      if (r == root) {
+        std::memcpy(recvbuf, in + static_cast<std::size_t>(r) * slot,
+                    static_cast<std::size_t>(recvcount) * rdt.extent());
+      } else {
+        ps.blocking_send(s, in + static_cast<std::size_t>(r) * slot, sendcount,
+                         sdt, r, tag, false);
+      }
+    }
+  } else {
+    ps.blocking_recv(s, recvbuf, recvcount, rdt, root, tag);
+  }
+}
+
+void Communicator::allgather(const void* sendbuf, int sendcount,
+                             const Datatype& sdt, void* recvbuf, int recvcount,
+                             const Datatype& rdt) const {
+  const auto& s = coll_state(state_);
+  gather(sendbuf, sendcount, sdt, recvbuf, recvcount, rdt, 0);
+  bcast(recvbuf, recvcount * s->size(), rdt, 0);
+}
+
+void Communicator::alltoall(const void* sendbuf, int sendcount,
+                            const Datatype& sdt, void* recvbuf, int recvcount,
+                            const Datatype& rdt) const {
+  const auto& s = coll_state(state_);
+  ProcState& ps = *s->ps;
+  const int n = s->size();
+  const int tag = detail::internal_tag(next_seq(s), 0);
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  const std::size_t sslot = static_cast<std::size_t>(sendcount) * sdt.extent();
+  const std::size_t rslot = static_cast<std::size_t>(recvcount) * rdt.extent();
+
+  std::memcpy(out + static_cast<std::size_t>(s->myrank) * rslot,
+              in + static_cast<std::size_t>(s->myrank) * sslot,
+              std::min(sslot, rslot));
+  // Pairwise exchange: at step i talk to rank+i (send) / rank-i (recv).
+  for (int i = 1; i < n; ++i) {
+    const int to = (s->myrank + i) % n;
+    const int from = (s->myrank - i + n) % n;
+    auto rreq = ps.irecv_impl(s, out + static_cast<std::size_t>(from) * rslot,
+                              recvcount, rdt, from, tag);
+    auto sreq = ps.isend_impl(s, in + static_cast<std::size_t>(to) * sslot,
+                              sendcount, sdt, to, tag, false);
+    ps.progress_until([&] { return rreq->done() && sreq->done(); });
+  }
+}
+
+void Communicator::exscan(const void* sendbuf, void* recvbuf, int count,
+                          const Datatype& dt, const Op& op) const {
+  const auto& s = coll_state(state_);
+  ProcState& ps = *s->ps;
+  const int n = s->size();
+  const int tag = detail::internal_tag(next_seq(s), 0);
+  const std::size_t bytes = static_cast<std::size_t>(count) * dt.extent();
+
+  // Chain: rank r receives the prefix of [0, r), forwards prefix op local.
+  std::vector<std::byte> prefix(bytes);
+  if (s->myrank > 0) {
+    ps.blocking_recv(s, prefix.data(), count, dt, s->myrank - 1, tag);
+    std::memcpy(recvbuf, prefix.data(), bytes);
+  }
+  if (s->myrank + 1 < n) {
+    if (s->myrank == 0) {
+      ps.blocking_send(s, sendbuf, count, dt, 1, tag, false);
+    } else {
+      // forward = prefix op local
+      op.apply(sendbuf, prefix.data(), count, dt);
+      ps.blocking_send(s, prefix.data(), count, dt, s->myrank + 1, tag, false);
+    }
+  }
+}
+
+void Communicator::reduce_scatter_block(const void* sendbuf, void* recvbuf,
+                                        int recvcount, const Datatype& dt,
+                                        const Op& op) const {
+  const auto& s = coll_state(state_);
+  const int n = s->size();
+  const std::size_t block = static_cast<std::size_t>(recvcount) * dt.extent();
+  // Reduce the full vector to rank 0, then scatter the blocks.
+  std::vector<std::byte> full(block * static_cast<std::size_t>(n));
+  reduce(sendbuf, full.data(), recvcount * n, dt, op, 0);
+  scatter(full.data(), recvcount, dt, recvbuf, recvcount, dt, 0);
+}
+
+void Communicator::gatherv(const void* sendbuf, int sendcount,
+                           const Datatype& sdt, void* recvbuf,
+                           const std::vector<int>& recvcounts,
+                           const std::vector<int>& displs, const Datatype& rdt,
+                           int root) const {
+  const auto& s = coll_state(state_);
+  ProcState& ps = *s->ps;
+  const int n = s->size();
+  if (s->myrank == root &&
+      (recvcounts.size() != static_cast<std::size_t>(n) ||
+       displs.size() != static_cast<std::size_t>(n))) {
+    s->errh.raise(ErrClass::arg, "gatherv counts/displs size mismatch");
+  }
+  const int tag = detail::internal_tag(next_seq(s), 0);
+  if (s->myrank == root) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    for (int r = 0; r < n; ++r) {
+      std::byte* dst = out + static_cast<std::size_t>(
+                                 displs[static_cast<std::size_t>(r)]) *
+                                 rdt.extent();
+      if (r == root) {
+        std::memcpy(dst, sendbuf,
+                    static_cast<std::size_t>(sendcount) * sdt.extent());
+      } else {
+        ps.blocking_recv(s, dst, recvcounts[static_cast<std::size_t>(r)], rdt,
+                         r, tag);
+      }
+    }
+  } else {
+    ps.blocking_send(s, sendbuf, sendcount, sdt, root, tag, false);
+  }
+}
+
+void Communicator::allgatherv(const void* sendbuf, int sendcount,
+                              const Datatype& sdt, void* recvbuf,
+                              const std::vector<int>& recvcounts,
+                              const std::vector<int>& displs,
+                              const Datatype& rdt) const {
+  const auto& s = coll_state(state_);
+  gatherv(sendbuf, sendcount, sdt, recvbuf, recvcounts, displs, rdt, 0);
+  // Broadcast the fully assembled buffer (max extent across blocks).
+  std::size_t total_elems = 0;
+  for (std::size_t r = 0; r < recvcounts.size(); ++r) {
+    total_elems = std::max(
+        total_elems, static_cast<std::size_t>(displs[r]) +
+                         static_cast<std::size_t>(recvcounts[r]));
+  }
+  bcast(recvbuf, static_cast<int>(total_elems), rdt, 0);
+  (void)s;
+}
+
+void Communicator::scan(const void* sendbuf, void* recvbuf, int count,
+                        const Datatype& dt, const Op& op) const {
+  const auto& s = coll_state(state_);
+  ProcState& ps = *s->ps;
+  const int n = s->size();
+  const int tag = detail::internal_tag(next_seq(s), 0);
+  const std::size_t bytes = static_cast<std::size_t>(count) * dt.extent();
+
+  std::memcpy(recvbuf, sendbuf, bytes);
+  if (s->myrank > 0) {
+    std::vector<std::byte> prefix(bytes);
+    ps.blocking_recv(s, prefix.data(), count, dt, s->myrank - 1, tag);
+    // recvbuf = prefix op local  (prefix of earlier ranks folds from left)
+    std::vector<std::byte> local(bytes);
+    std::memcpy(local.data(), recvbuf, bytes);
+    std::memcpy(recvbuf, prefix.data(), bytes);
+    op.apply(local.data(), recvbuf, count, dt);
+  }
+  if (s->myrank + 1 < n) {
+    ps.blocking_send(s, recvbuf, count, dt, s->myrank + 1, tag, false);
+  }
+}
+
+}  // namespace sessmpi

@@ -1,0 +1,166 @@
+#include "sessmpi/datatype.hpp"
+
+#include <cstring>
+
+namespace sessmpi {
+
+struct Datatype::Impl {
+  Kind kind = Kind::derived_k;
+  std::string name;
+  std::size_t size = 0;    // packed bytes per element
+  std::size_t extent = 0;  // memory bytes per element
+  // Derived-type structure: for contiguous, stride == blocklength.
+  std::shared_ptr<const Impl> base;  // null for primitives
+  int count = 1;                     // blocks
+  int blocklength = 1;               // base elements per block
+  int stride = 1;                    // base elements between block starts
+};
+
+namespace {
+
+Datatype::Impl make_primitive(Datatype::Kind kind, std::string name,
+                              std::size_t size) {
+  Datatype::Impl impl;
+  impl.kind = kind;
+  impl.name = std::move(name);
+  impl.size = size;
+  impl.extent = size;
+  return impl;
+}
+
+/// Pack one element of a (possibly nested) type into contiguous wire form.
+void pack_element(const Datatype::Impl& impl, const std::byte* mem,
+                  std::byte* wire) {
+  if (!impl.base) {
+    std::memcpy(wire, mem, impl.size);
+    return;
+  }
+  const Datatype::Impl& b = *impl.base;
+  std::size_t wire_off = 0;
+  for (int blk = 0; blk < impl.count; ++blk) {
+    const std::size_t mem_off =
+        static_cast<std::size_t>(blk) * static_cast<std::size_t>(impl.stride) *
+        b.extent;
+    for (int e = 0; e < impl.blocklength; ++e) {
+      pack_element(b, mem + mem_off + static_cast<std::size_t>(e) * b.extent,
+                   wire + wire_off);
+      wire_off += b.size;
+    }
+  }
+}
+
+/// Inverse of pack_element.
+void unpack_element(const Datatype::Impl& impl, const std::byte* wire,
+                    std::byte* mem) {
+  if (!impl.base) {
+    std::memcpy(mem, wire, impl.size);
+    return;
+  }
+  const Datatype::Impl& b = *impl.base;
+  std::size_t wire_off = 0;
+  for (int blk = 0; blk < impl.count; ++blk) {
+    const std::size_t mem_off =
+        static_cast<std::size_t>(blk) * static_cast<std::size_t>(impl.stride) *
+        b.extent;
+    for (int e = 0; e < impl.blocklength; ++e) {
+      unpack_element(b, wire + wire_off,
+                     mem + mem_off + static_cast<std::size_t>(e) * b.extent);
+      wire_off += b.size;
+    }
+  }
+}
+
+}  // namespace
+
+#define SESSMPI_PRIMITIVE(fn, kind_tag, cpp_name, bytes)                 \
+  const Datatype& Datatype::fn() {                                       \
+    static const Datatype t{std::make_shared<const Impl>(                \
+        make_primitive(Kind::kind_tag, cpp_name, bytes))};               \
+    return t;                                                            \
+  }
+
+SESSMPI_PRIMITIVE(byte, byte_k, "byte", 1)
+SESSMPI_PRIMITIVE(int32, int32_k, "int32", 4)
+SESSMPI_PRIMITIVE(int64, int64_k, "int64", 8)
+SESSMPI_PRIMITIVE(uint64, uint64_k, "uint64", 8)
+SESSMPI_PRIMITIVE(float32, float32_k, "float32", 4)
+SESSMPI_PRIMITIVE(float64, float64_k, "float64", 8)
+SESSMPI_PRIMITIVE(char8, char_k, "char", 1)
+#undef SESSMPI_PRIMITIVE
+
+Datatype Datatype::contiguous(int count, const Datatype& base) {
+  if (count < 0) {
+    throw Error(ErrClass::count, "negative count in Type_contiguous");
+  }
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Kind::derived_k;
+  impl->name = "contiguous(" + std::to_string(count) + "," + base.name() + ")";
+  impl->base = base.impl_;
+  impl->count = count;
+  impl->blocklength = 1;
+  impl->stride = 1;
+  impl->size = static_cast<std::size_t>(count) * base.size();
+  impl->extent = static_cast<std::size_t>(count) * base.extent();
+  return Datatype{impl};
+}
+
+Datatype Datatype::vector(int count, int blocklength, int stride,
+                          const Datatype& base) {
+  if (count < 0 || blocklength < 0) {
+    throw Error(ErrClass::count, "negative count in Type_vector");
+  }
+  if (count > 0 && stride < blocklength) {
+    throw Error(ErrClass::arg, "Type_vector stride smaller than blocklength");
+  }
+  auto impl = std::make_shared<Impl>();
+  impl->kind = Kind::derived_k;
+  impl->name = "vector(" + std::to_string(count) + "," +
+               std::to_string(blocklength) + "," + std::to_string(stride) +
+               "," + base.name() + ")";
+  impl->base = base.impl_;
+  impl->count = count;
+  impl->blocklength = blocklength;
+  impl->stride = stride;
+  impl->size = static_cast<std::size_t>(count) *
+               static_cast<std::size_t>(blocklength) * base.size();
+  impl->extent =
+      count == 0
+          ? 0
+          : (static_cast<std::size_t>(count - 1) *
+                 static_cast<std::size_t>(stride) +
+             static_cast<std::size_t>(blocklength)) *
+                base.extent();
+  return Datatype{impl};
+}
+
+std::size_t Datatype::size() const noexcept { return impl_->size; }
+std::size_t Datatype::extent() const noexcept { return impl_->extent; }
+const std::string& Datatype::name() const noexcept { return impl_->name; }
+bool Datatype::is_primitive() const noexcept { return impl_->base == nullptr; }
+Datatype::Kind Datatype::kind() const noexcept { return impl_->kind; }
+
+void Datatype::pack(const void* src, int count, std::byte* dst) const {
+  const auto* mem = static_cast<const std::byte*>(src);
+  for (int i = 0; i < count; ++i) {
+    pack_element(*impl_, mem + static_cast<std::size_t>(i) * impl_->extent,
+                 dst + static_cast<std::size_t>(i) * impl_->size);
+  }
+}
+
+void Datatype::unpack(const std::byte* src, int count, void* dst) const {
+  auto* mem = static_cast<std::byte*>(dst);
+  for (int i = 0; i < count; ++i) {
+    unpack_element(*impl_, src + static_cast<std::size_t>(i) * impl_->size,
+                   mem + static_cast<std::size_t>(i) * impl_->extent);
+  }
+}
+
+template <> const Datatype& datatype_of<std::byte>() { return Datatype::byte(); }
+template <> const Datatype& datatype_of<char>() { return Datatype::char8(); }
+template <> const Datatype& datatype_of<std::int32_t>() { return Datatype::int32(); }
+template <> const Datatype& datatype_of<std::int64_t>() { return Datatype::int64(); }
+template <> const Datatype& datatype_of<std::uint64_t>() { return Datatype::uint64(); }
+template <> const Datatype& datatype_of<float>() { return Datatype::float32(); }
+template <> const Datatype& datatype_of<double>() { return Datatype::float64(); }
+
+}  // namespace sessmpi

@@ -1,0 +1,32 @@
+#pragma once
+
+// CID generation internals: the original Open MPI consensus algorithm
+// (paper §III-B2) and its building block, a small binomial allreduce over a
+// subset of a parent communicator's ranks.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "detail/state.hpp"
+
+namespace sessmpi::detail {
+
+/// Element-wise max-allreduce of a pair of int64 values across
+/// `participants` (comm ranks of `parent`, ascending, must contain the
+/// caller). `base_tag` must come from the internal tag space and be agreed
+/// by all participants.
+std::array<std::int64_t, 2> subset_allreduce_max2(
+    ProcState& ps, const std::shared_ptr<CommState>& parent,
+    const std::vector<int>& participants, std::array<std::int64_t, 2> value,
+    int base_tag);
+
+/// Run the consensus algorithm over `participants` of `parent`: repeated
+/// rounds of propose-lowest-free + allreduce until every participant
+/// proposes the same free slot. Claims and returns the agreed CID.
+std::uint16_t consensus_cid(ProcState& ps,
+                            const std::shared_ptr<CommState>& parent,
+                            const std::vector<int>& participants, int base_tag,
+                            int* rounds_out = nullptr);
+
+}  // namespace sessmpi::detail

@@ -1,0 +1,183 @@
+// Nonblocking collectives: a binomial-tree Ibarrier advanced by the
+// progress engine. QUO's low-perturbation quiescence loops over
+// Ibarrier-test/nanosleep, exactly as the paper's prototype emulated
+// MPI_Barrier() for 2MESH (§IV-E).
+
+#include "detail/state.hpp"
+
+namespace sessmpi::detail {
+
+namespace {
+
+/// Binomial-tree neighbors of `rank` in a tree of `size` rooted at 0.
+void tree_neighbors(int rank, int size, int* parent, std::vector<int>* children) {
+  *parent = -1;
+  int mask = 1;
+  while (mask < size) {
+    if ((rank & mask) != 0) {
+      *parent = rank & ~mask;
+      break;
+    }
+    const int child = rank | mask;
+    if (child < size) {
+      children->push_back(child);
+    }
+    mask <<= 1;
+  }
+}
+
+}  // namespace
+
+RequestPtr make_ibarrier(ProcState& ps, const std::shared_ptr<CommState>& comm) {
+  auto req = std::make_shared<RequestImpl>();
+  req->ps = &ps;
+  req->comm = comm.get();
+  req->kind = RequestImpl::Kind::nbc;
+  auto nbc = std::make_unique<NbcOp>();
+  nbc->comm = comm;
+
+  int tag;
+  {
+    std::lock_guard lock(ps.mu);
+    tag = internal_tag(comm->coll_seq++, 0);
+  }
+  nbc->tag = tag;
+  tree_neighbors(comm->myrank, comm->size(), &nbc->parent, &nbc->children);
+  nbc->scratch.resize(nbc->children.size() + 1);
+
+  // Post fan-in receives from every child (empty messages; one byte of
+  // capacity so a poison marker is not truncated away).
+  for (std::size_t i = 0; i < nbc->children.size(); ++i) {
+    nbc->child_recvs.push_back(ps.irecv_impl(comm, &nbc->scratch[i], 1,
+                                             Datatype::byte(),
+                                             nbc->children[i], tag));
+  }
+  req->nbc = std::move(nbc);
+
+  {
+    std::lock_guard lock(ps.mu);
+    ps.nbc_live.push_back(req);
+    ps.advance_nbc_locked();  // a leaf can fire its fan-in send immediately
+  }
+  return req;
+}
+
+namespace {
+
+/// A barrier message with a payload is a poison marker: a peer observed a
+/// failure and is aborting the operation tree-wide.
+bool is_poisoned(const RequestPtr& r) {
+  return r && r->done() &&
+         (r->status.error == ErrClass::rte_proc_failed ||
+          r->status.count_bytes > 0);
+}
+
+}  // namespace
+
+void ProcState::advance_nbc_locked() {
+  for (auto it = nbc_live.begin(); it != nbc_live.end();) {
+    RequestImpl& req = **it;
+    NbcOp& op = *req.nbc;
+    bool finished = false;
+
+    // A failed peer completes sub-requests with rte_proc_failed (sweep) or
+    // a poison marker (tree propagation); either way the barrier aborts at
+    // this rank and the abort floods the remaining tree edges so no
+    // survivor keeps waiting on a live-but-aborted neighbor.
+    bool failed = false;
+    std::vector<bool> child_poisoned(op.child_recvs.size(), false);
+    for (std::size_t c = 0; c < op.child_recvs.size(); ++c) {
+      child_poisoned[c] = is_poisoned(op.child_recvs[c]);
+      failed = failed || child_poisoned[c];
+    }
+    const bool parent_poisoned = is_poisoned(op.parent_recv);
+    failed = failed || parent_poisoned;
+    if (failed) {
+      // Flood the abort down the remaining tree edges — but never back the
+      // edge the poison arrived on: that rank already aborted and freed its
+      // receives, so a reply would become a stale packet able to cross-match
+      // a recycled CID later.
+      static const std::byte kPoison{1};
+      fabric::Fabric& fab = proc.cluster().fabric();
+      if (op.parent >= 0 && !parent_poisoned &&
+          !fab.is_failed(op.comm->global_of(op.parent))) {
+        isend_impl(op.comm, &kPoison, 1, Datatype::byte(), op.parent, op.tag,
+                   false);
+      }
+      for (std::size_t c = 0; c < op.children.size(); ++c) {
+        const int child = op.children[c];
+        const bool skip =
+            (c < child_poisoned.size() && child_poisoned[c]) ||
+            fab.is_failed(op.comm->global_of(child));
+        if (!skip) {
+          isend_impl(op.comm, &kPoison, 1, Datatype::byte(), child, op.tag,
+                     false);
+        }
+      }
+      // Retire our still-posted sub-receives so stray tree messages for
+      // this operation cannot match them later.
+      std::erase_if(op.comm->posted, [&](const RequestPtr& posted) {
+        if (posted == op.parent_recv) {
+          return true;
+        }
+        for (const RequestPtr& r : op.child_recvs) {
+          if (posted == r) {
+            return true;
+          }
+        }
+        return false;
+      });
+      Status st;
+      st.error = ErrClass::rte_proc_failed;
+      req.finish(st);
+      it = nbc_live.erase(it);
+      continue;
+    }
+
+    if (op.phase == NbcOp::Phase::fanin) {
+      bool children_done = true;
+      for (const RequestPtr& r : op.child_recvs) {
+        if (!r->done()) {
+          children_done = false;
+          break;
+        }
+      }
+      if (children_done) {
+        if (op.parent >= 0) {
+          // Notify parent, then wait for the release wave.
+          isend_impl(op.comm, nullptr, 0, Datatype::byte(), op.parent, op.tag,
+                     /*sync=*/false);
+          op.parent_recv =
+              irecv_impl(op.comm, &op.scratch[op.children.size()], 1,
+                         Datatype::byte(), op.parent, op.tag);
+          op.phase = NbcOp::Phase::waiting_parent;
+        } else {
+          // Root: start the release wave.
+          for (int child : op.children) {
+            isend_impl(op.comm, nullptr, 0, Datatype::byte(), child, op.tag,
+                       /*sync=*/false);
+          }
+          op.phase = NbcOp::Phase::done;
+          finished = true;
+        }
+      }
+    }
+    if (op.phase == NbcOp::Phase::waiting_parent && op.parent_recv->done()) {
+      for (int child : op.children) {
+        isend_impl(op.comm, nullptr, 0, Datatype::byte(), child, op.tag,
+                   /*sync=*/false);
+      }
+      op.phase = NbcOp::Phase::done;
+      finished = true;
+    }
+
+    if (finished) {
+      req.finish(Status{});
+      it = nbc_live.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sessmpi::detail

@@ -1,0 +1,432 @@
+#include "sessmpi/base/clock.hpp"
+#include "detail/state.hpp"
+
+namespace sessmpi::detail {
+
+namespace {
+
+/// Packed byte size of `count` elements.
+std::size_t packed_bytes(int count, const Datatype& dt) {
+  return static_cast<std::size_t>(count) * dt.size();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Matching
+// ---------------------------------------------------------------------------
+
+RequestPtr ProcState::match_posted(CommState& comm, const fabric::Packet& pkt) {
+  for (auto it = comm.posted.begin(); it != comm.posted.end(); ++it) {
+    RequestPtr& req = *it;
+    if (tags_match(req->src, req->tag, pkt.match.src, pkt.match.tag)) {
+      RequestPtr matched = std::move(req);
+      comm.posted.erase(it);
+      return matched;
+    }
+  }
+  return nullptr;
+}
+
+bool ProcState::match_against_unexpected(CommState& comm,
+                                         const RequestPtr& req) {
+  for (auto it = comm.unexpected.begin(); it != comm.unexpected.end(); ++it) {
+    if (tags_match(req->src, req->tag, it->match.src, it->match.tag)) {
+      fabric::Packet pkt = std::move(*it);
+      comm.unexpected.erase(it);
+      deliver(comm, req, std::move(pkt));
+      return true;
+    }
+  }
+  return false;
+}
+
+void ProcState::handle_incoming(const std::shared_ptr<CommState>& comm,
+                                fabric::Packet&& pkt) {
+  if (RequestPtr req = match_posted(*comm, pkt)) {
+    deliver(*comm, req, std::move(pkt));
+  } else {
+    comm->unexpected.push_back(std::move(pkt));
+  }
+}
+
+void ProcState::deliver(CommState& comm, const RequestPtr& req,
+                        fabric::Packet&& pkt) {
+  (void)comm;  // kept in the signature for symmetry / future stats
+  Status st;
+  st.source = pkt.match.src;
+  st.tag = pkt.match.tag;
+
+  if (pkt.kind == fabric::PacketKind::rndv_rts ||
+      pkt.kind == fabric::PacketKind::rndv_rts_ext) {
+    // Rendezvous: remember the request under (sender, token) and clear the
+    // sender to ship the data.
+    req->rndv_source = pkt.match.src;
+    req->rndv_tag = pkt.match.tag;
+    recv_tokens[{pkt.src_rank, pkt.token}] = req;
+    fabric::Packet cts;
+    cts.kind = fabric::PacketKind::rndv_cts;
+    cts.src_rank = proc.rank();
+    cts.dst_rank = pkt.src_rank;
+    cts.token = pkt.token;
+    proc.cluster().fabric().send(std::move(cts));
+    return;  // completion happens on rndv_data
+  }
+
+  // Eager payload: unpack with truncation handling.
+  const std::size_t cap =
+      req->dt ? packed_bytes(req->capacity, *req->dt) : 0;
+  std::size_t bytes = pkt.payload.size();
+  if (bytes > cap) {
+    st.error = ErrClass::truncate;
+    bytes = cap;
+  }
+  if (req->dt && bytes > 0) {
+    const int elements = static_cast<int>(bytes / req->dt->size());
+    req->dt->unpack(pkt.payload.data(), elements, req->buf);
+  }
+  st.count_bytes = bytes;
+
+  if (pkt.token != 0) {
+    // Synchronous send: acknowledge the match.
+    fabric::Packet ack;
+    ack.kind = fabric::PacketKind::sync_ack;
+    ack.src_rank = proc.rank();
+    ack.dst_rank = pkt.src_rank;
+    ack.token = pkt.token;
+    proc.cluster().fabric().send(std::move(ack));
+  }
+  req->finish(st);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch (mu held by caller)
+// ---------------------------------------------------------------------------
+
+void ProcState::dispatch(fabric::Packet&& pkt) {
+  using fabric::PacketKind;
+  switch (pkt.kind) {
+    case PacketKind::eager:
+    case PacketKind::rndv_rts: {
+      // Fast path: constant-time lookup in the local communicator array.
+      base::precise_delay(cost.match_fast_path_ns);
+      std::shared_ptr<CommState> comm =
+          pkt.match.cid < comm_by_cid.size() ? comm_by_cid[pkt.match.cid]
+                                             : nullptr;
+      if (comm && !comm->freed) {
+        handle_incoming(comm, std::move(pkt));
+      }
+      return;
+    }
+    case PacketKind::eager_ext:
+    case PacketKind::rndv_rts_ext: {
+      // Extended path: hash the exCID, learn the sender's CID, and ACK with
+      // ours (paper §III-B4).
+      base::precise_delay(cost.match_ext_lookup_ns);
+      const ExCid id{pkt.ext.excid_hi, pkt.ext.excid_lo};
+      auto it = comm_by_excid.find(id);
+      if (it == comm_by_excid.end()) {
+        // Peer finished communicator construction before us: park it.
+        orphans.push_back(std::move(pkt));
+        return;
+      }
+      std::shared_ptr<CommState> comm = it->second;
+      auto& peer = comm->peers[static_cast<std::size_t>(pkt.match.src)];
+      peer.remote_cid = pkt.ext.sender_cid;
+      if (!peer.ack_sent) {
+        peer.ack_sent = true;
+        fabric::Packet ack;
+        ack.kind = PacketKind::cid_ack;
+        ack.src_rank = proc.rank();
+        ack.dst_rank = pkt.src_rank;
+        ack.match.src = comm->myrank;
+        ack.ext.excid_hi = id.hi;
+        ack.ext.excid_lo = id.lo;
+        ack.ext.sender_cid = comm->cid;
+        proc.cluster().fabric().send(std::move(ack));
+      }
+      handle_incoming(comm, std::move(pkt));
+      return;
+    }
+    case PacketKind::cid_ack: {
+      const ExCid id{pkt.ext.excid_hi, pkt.ext.excid_lo};
+      auto it = comm_by_excid.find(id);
+      if (it != comm_by_excid.end()) {
+        it->second->peers[static_cast<std::size_t>(pkt.match.src)].remote_cid =
+            pkt.ext.sender_cid;
+      }
+      return;
+    }
+    case PacketKind::rndv_cts: {
+      auto it = send_tokens.find(pkt.token);
+      if (it == send_tokens.end()) {
+        return;
+      }
+      RequestPtr req = it->second;
+      send_tokens.erase(it);
+      fabric::Packet data;
+      data.kind = PacketKind::rndv_data;
+      data.src_rank = proc.rank();
+      data.dst_rank = pkt.src_rank;
+      data.token = pkt.token;
+      data.payload = std::move(req->staged);
+      proc.cluster().fabric().send(std::move(data));
+      req->finish(Status{});
+      return;
+    }
+    case PacketKind::rndv_data: {
+      auto it = recv_tokens.find({pkt.src_rank, pkt.token});
+      if (it == recv_tokens.end()) {
+        return;
+      }
+      RequestPtr req = it->second;
+      recv_tokens.erase(it);
+      Status st;
+      st.source = req->status.source;  // set at match time? recompute below
+      const std::size_t cap = req->dt ? packed_bytes(req->capacity, *req->dt) : 0;
+      std::size_t bytes = pkt.payload.size();
+      if (bytes > cap) {
+        st.error = ErrClass::truncate;
+        bytes = cap;
+      }
+      if (req->dt && bytes > 0) {
+        const int elements = static_cast<int>(bytes / req->dt->size());
+        req->dt->unpack(pkt.payload.data(), elements, req->buf);
+      }
+      st.count_bytes = bytes;
+      st.source = req->rndv_source;
+      st.tag = req->rndv_tag;
+      req->finish(st);
+      return;
+    }
+    case PacketKind::sync_ack: {
+      auto it = send_tokens.find(pkt.token);
+      if (it != send_tokens.end()) {
+        RequestPtr req = it->second;
+        send_tokens.erase(it);
+        req->finish(Status{});
+      }
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Progress
+// ---------------------------------------------------------------------------
+
+void ProcState::progress_pass(bool block) {
+  bool any = false;
+  for (;;) {
+    auto pkt = proc.endpoint().inbox().try_pop();
+    if (!pkt) {
+      break;
+    }
+    any = true;
+    std::lock_guard lock(mu);
+    dispatch(std::move(*pkt));
+  }
+  if (!any && block) {
+    // Arrivals wake the pop immediately (notify-driven); the timeout only
+    // bounds abort/failure-detection latency, so keep it long enough that
+    // idle waiters do not generate wake-up storms at high rank counts.
+    auto pkt = proc.endpoint().inbox().pop_wait(std::chrono::milliseconds(5));
+    if (pkt) {
+      std::lock_guard lock(mu);
+      dispatch(std::move(*pkt));
+    } else {
+      // Idle: check whether anything we wait for is pinned on a dead peer.
+      std::lock_guard lock(mu);
+      sweep_failed_peers_locked();
+    }
+  }
+  std::lock_guard lock(mu);
+  advance_nbc_locked();
+}
+
+void ProcState::sweep_failed_peers_locked() {
+  fabric::Fabric& fab = proc.cluster().fabric();
+  const auto failed_status = [](int source, int tag) {
+    Status st;
+    st.source = source;
+    st.tag = tag;
+    st.error = ErrClass::rte_proc_failed;
+    return st;
+  };
+  // Posted receives from a specific, now-dead source.
+  for (auto& comm : comm_by_cid) {
+    if (!comm || comm->freed) {
+      continue;
+    }
+    for (auto it = comm->posted.begin(); it != comm->posted.end();) {
+      RequestPtr& req = *it;
+      if (req->src != any_source &&
+          fab.is_failed(comm->global_of(req->src))) {
+        req->finish(failed_status(req->src, req->tag));
+        it = comm->posted.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Rendezvous / synchronous sends waiting on a dead peer's CTS or ACK.
+  for (auto it = send_tokens.begin(); it != send_tokens.end();) {
+    RequestPtr& req = it->second;
+    if (req->comm != nullptr && req->dst >= 0 &&
+        fab.is_failed(req->comm->global_of(req->dst))) {
+      req->finish(failed_status(req->dst, req->tag));
+      it = send_tokens.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Rendezvous receives whose matched sender died before shipping the data.
+  for (auto it = recv_tokens.begin(); it != recv_tokens.end();) {
+    if (fab.is_failed(it->first.first)) {
+      it->second->finish(
+          failed_status(it->second->rndv_source, it->second->rndv_tag));
+      it = recv_tokens.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ProcState::progress_until(const std::function<bool()>& done) {
+  for (;;) {
+    if (done()) {
+      return;
+    }
+    if (proc.cluster().aborted()) {
+      throw Error(ErrClass::proc_aborted,
+                  "cluster run aborting (a rank threw)");
+    }
+    progress_pass(/*block=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point primitives
+// ---------------------------------------------------------------------------
+
+RequestPtr ProcState::isend_impl(const std::shared_ptr<CommState>& comm,
+                                 const void* buf, int count, const Datatype& dt,
+                                 int dst, int tag, bool sync) {
+  if (dst < 0 || dst >= comm->size()) {
+    throw Error(ErrClass::rank, "send destination out of range");
+  }
+  auto req = std::make_shared<RequestImpl>();
+  req->ps = this;
+  req->comm = comm.get();
+  req->dst = dst;
+
+  const std::size_t bytes = packed_bytes(count, dt);
+  std::vector<std::byte> payload(bytes);
+  if (bytes > 0) {
+    dt.pack(buf, count, payload.data());
+  }
+
+  fabric::Packet pkt;
+  pkt.src_rank = proc.rank();
+  pkt.dst_rank = comm->global_of(dst);
+  pkt.match.tag = tag;
+  pkt.match.src = comm->myrank;
+
+  bool eager = bytes <= kEagerLimit;
+  {
+    std::lock_guard lock(mu);
+    auto& peer = comm->peers[static_cast<std::size_t>(dst)];
+    const bool need_ext = comm->uses_excid && peer.remote_cid < 0;
+    if (need_ext) {
+      // First messages on a sessions-derived communicator: prepend the
+      // exCID header with our local CID; keep doing so until the ACK lands.
+      pkt.kind = eager ? fabric::PacketKind::eager_ext
+                       : fabric::PacketKind::rndv_rts_ext;
+      pkt.match.cid = comm->cid;
+      pkt.ext.excid_hi = comm->excid_space.id().hi;
+      pkt.ext.excid_lo = comm->excid_space.id().lo;
+      pkt.ext.sender_cid = comm->cid;
+      ++comm->ext_headers_sent;
+      base::precise_delay(cost.ext_send_overhead_ns);
+    } else {
+      pkt.kind = eager ? fabric::PacketKind::eager : fabric::PacketKind::rndv_rts;
+      pkt.match.cid = comm->uses_excid
+                          ? static_cast<std::uint16_t>(peer.remote_cid)
+                          : comm->cid;
+      ++comm->fast_headers_sent;
+    }
+    if (eager) {
+      pkt.payload = std::move(payload);
+      if (sync) {
+        req->kind = RequestImpl::Kind::send_sync;
+        req->token = new_token_locked();
+        pkt.token = req->token;
+        send_tokens[req->token] = req;
+      } else {
+        req->kind = RequestImpl::Kind::send_eager;
+      }
+    } else {
+      req->kind = RequestImpl::Kind::send_rndv;
+      req->staged = std::move(payload);
+      req->token = new_token_locked();
+      pkt.token = req->token;
+      pkt.advertised_size = bytes;
+      send_tokens[req->token] = req;
+    }
+  }
+
+  proc.cluster().fabric().send(std::move(pkt));
+  if (req->kind == RequestImpl::Kind::send_eager) {
+    req->finish(Status{});  // buffered: locally complete once on the wire
+  }
+  return req;
+}
+
+RequestPtr ProcState::irecv_impl(const std::shared_ptr<CommState>& comm,
+                                 void* buf, int count, const Datatype& dt,
+                                 int src, int tag) {
+  if (src != any_source && (src < 0 || src >= comm->size())) {
+    throw Error(ErrClass::rank, "receive source out of range");
+  }
+  auto req = std::make_shared<RequestImpl>();
+  req->ps = this;
+  req->comm = comm.get();
+  req->kind = RequestImpl::Kind::recv;
+  req->buf = buf;
+  req->capacity = count;
+  req->dt = dt;
+  req->src = src;
+  req->tag = tag;
+
+  std::lock_guard lock(mu);
+  if (!match_against_unexpected(*comm, req)) {
+    comm->posted.push_back(req);
+  }
+  return req;
+}
+
+Status ProcState::blocking_recv(const std::shared_ptr<CommState>& comm,
+                                void* buf, int count, const Datatype& dt,
+                                int src, int tag) {
+  RequestPtr req = irecv_impl(comm, buf, count, dt, src, tag);
+  progress_until([&] { return req->done(); });
+  if (req->status.error == ErrClass::rte_proc_failed) {
+    // Failure must surface even on internal (collective) receives so a dead
+    // rank cannot hang survivors inside a collective.
+    throw Error(ErrClass::rte_proc_failed,
+                "peer process failed during receive");
+  }
+  return req->status;
+}
+
+void ProcState::blocking_send(const std::shared_ptr<CommState>& comm,
+                              const void* buf, int count, const Datatype& dt,
+                              int dst, int tag, bool sync) {
+  RequestPtr req = isend_impl(comm, buf, count, dt, dst, tag, sync);
+  progress_until([&] { return req->done(); });
+  if (req->status.error == ErrClass::rte_proc_failed) {
+    throw Error(ErrClass::rte_proc_failed, "peer process failed during send");
+  }
+}
+
+}  // namespace sessmpi::detail

@@ -1,0 +1,171 @@
+#include "detail/state.hpp"
+
+#include "sessmpi/base/clock.hpp"
+#include "sessmpi/base/log.hpp"
+
+namespace sessmpi::detail {
+
+ProcState::ProcState(sim::Process& p)
+    : proc(p), cost(p.cluster().dvm().cost()) {
+  ensure_subsystems_defined();
+}
+
+ProcState& ProcState::of(sim::Process& p) {
+  // Several threads may act as this rank concurrently (ProcessAdopter), so
+  // creation must be synchronized.
+  std::lock_guard lock(p.mpi_state_mu);
+  if (!p.mpi_state) {
+    p.mpi_state = std::make_shared<ProcState>(p);
+  }
+  return *std::static_pointer_cast<ProcState>(p.mpi_state);
+}
+
+ProcState& ProcState::current() { return of(sim::Cluster::current()); }
+
+pmix::PmixClient& ProcState::pmix() {
+  if (!proc.pmix_client) {
+    throw Error(ErrClass::session, "PMIx not initialized (no live session)");
+  }
+  return *proc.pmix_client;
+}
+
+void ProcState::ensure_subsystems_defined() {
+  auto& reg = proc.subsystems();
+  // Idempotence: ProcState is constructed once per process, and these
+  // definitions survive init/finalize cycles; guard anyway for re-entry.
+  try {
+    reg.define("mca",
+               [this] {
+                 // Component (MCA) load: first process on the node pays the
+                 // NFS cost, node-mates block on the same load (§IV-C1).
+                 proc.cluster().dvm().load_components(proc.node());
+               },
+               nullptr);
+  } catch (const Error&) {
+    return;  // already defined
+  }
+  reg.define("pmix",
+             [this] {
+               proc.pmix_client = std::make_unique<pmix::PmixClient>(
+                   proc.cluster().dvm().pmix(), proc.rank());
+             },
+             [this] { proc.pmix_client.reset(); }, {"mca"});
+  reg.define("pml",
+             nullptr,
+             [this] {
+               // Final teardown: all communicators are invalid after the
+               // last session finalizes; clear the PML tables so a new init
+               // cycle starts clean.
+               std::lock_guard lock(mu);
+               for (auto& c : comm_by_cid) {
+                 if (c) {
+                   c->freed = true;
+                 }
+               }
+               comm_by_cid.clear();
+               comm_by_excid.clear();
+               orphans.clear();
+               send_tokens.clear();
+               recv_tokens.clear();
+               nbc_live.clear();
+               cid_alloc = base::SlotAllocator{kCidSpace};
+             },
+             {"mca"});
+  reg.define("instance",
+             [this] {
+               // MPI resource initialization associated with the first
+               // session handle (paper: ~30% of sessions startup at 28 ppn).
+               base::precise_delay(cost.session_resource_init_ns);
+             },
+             nullptr, {"mca", "pmix", "pml"});
+  reg.define("world", [this] { init_world_objects(*this); },
+             [this] { teardown_world_objects(*this); }, {"instance"});
+}
+
+void ProcState::acquire_instance() {
+  proc.subsystems().acquire("instance");
+  {
+    std::lock_guard lock(mu);
+    ++live_sessions;
+  }
+}
+
+void ProcState::release_instance() {
+  {
+    std::lock_guard lock(mu);
+    --live_sessions;
+  }
+  proc.subsystems().release("instance");
+}
+
+std::shared_ptr<CommState> ProcState::register_comm(
+    const Group& grp, ExCidSpace space, bool uses_excid,
+    std::optional<std::uint16_t> fixed_cid, bool already_claimed) {
+  std::lock_guard lock(mu);
+  std::uint32_t cid;
+  if (fixed_cid) {
+    cid = *fixed_cid;
+    if (!already_claimed && !cid_alloc.claim(cid)) {
+      throw Error(ErrClass::intern, "CID slot already in use");
+    }
+  } else {
+    auto lowest = cid_alloc.lowest_free();
+    if (!lowest) {
+      throw Error(ErrClass::other, "communicator CID space exhausted");
+    }
+    cid = *lowest;
+    cid_alloc.claim(cid);
+  }
+
+  auto comm = std::make_shared<CommState>();
+  comm->ps = this;
+  comm->grp = grp;
+  comm->myrank = grp.rank_of(proc.rank());
+  comm->cid = static_cast<std::uint16_t>(cid);
+  comm->excid_space = space;
+  comm->uses_excid = uses_excid;
+  comm->method = method;
+  comm->peers.resize(static_cast<std::size_t>(grp.size()));
+
+  if (comm_by_cid.size() <= cid) {
+    comm_by_cid.resize(cid + 1);
+  }
+  comm_by_cid[cid] = comm;
+  if (uses_excid) {
+    comm_by_excid[comm->excid_space.id()] = comm;
+    // Re-deliver any early arrivals that referenced this exCID before the
+    // local communicator existed (peers can finish construction first).
+    std::vector<fabric::Packet> replay;
+    for (auto it = orphans.begin(); it != orphans.end();) {
+      if (it->ext.excid_hi == comm->excid_space.id().hi &&
+          it->ext.excid_lo == comm->excid_space.id().lo) {
+        replay.push_back(std::move(*it));
+        it = orphans.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& pkt : replay) {
+      dispatch(std::move(pkt));
+    }
+  }
+  return comm;
+}
+
+void ProcState::unregister_comm(CommState& comm) {
+  std::lock_guard lock(mu);
+  if (comm.freed) {
+    return;
+  }
+  comm.freed = true;
+  comm.attrs.clear();
+  cid_alloc.release(comm.cid);
+  if (comm.cid < comm_by_cid.size()) {
+    comm_by_cid[comm.cid] = nullptr;
+  }
+  if (comm.uses_excid) {
+    comm_by_excid.erase(comm.excid_space.id());
+  }
+}
+
+}  // namespace sessmpi::detail

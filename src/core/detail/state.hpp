@@ -1,0 +1,252 @@
+#pragma once
+
+// Internal per-process MPI state. One ProcState hangs off each simulated
+// process; it owns the ob1-style PML tables (local-CID communicator array,
+// exCID hash, rendezvous token maps, matching queues), the session/world
+// bookkeeping, and the progress engine.
+//
+// Thread-safety: a process may run several sessions from several threads
+// (the Sessions motivation), so all table mutations and matching happen
+// under a per-process recursive mutex. Blocking waits release the mutex
+// while parked on the endpoint inbox.
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sessmpi/base/slot_allocator.hpp"
+#include "sessmpi/comm.hpp"
+#include "sessmpi/constants.hpp"
+#include "sessmpi/excid.hpp"
+#include "sessmpi/fabric/fabric.hpp"
+#include "sessmpi/session.hpp"
+#include "sessmpi/sim/cluster.hpp"
+
+namespace sessmpi::detail {
+
+struct CommState;
+struct ProcState;
+struct NbcOp;
+
+struct RequestImpl {
+  enum class Kind : std::uint8_t { send_eager, send_sync, send_rndv, recv, nbc };
+
+  Kind kind = Kind::send_eager;
+  ProcState* ps = nullptr;
+  CommState* comm = nullptr;
+  std::atomic<bool> complete{false};
+  Status status{};
+
+  // Receive bookkeeping.
+  void* buf = nullptr;
+  int capacity = 0;  ///< max elements
+  std::optional<Datatype> dt;
+  int src = any_source;
+  int tag = any_tag;
+
+  // Send bookkeeping (rendezvous payload staged until CTS; sync token).
+  std::vector<std::byte> staged;
+  std::uint64_t token = 0;
+  int dst = -1;
+
+  // Matched rendezvous source/tag (set when the RTS matches; the Status is
+  // finalized when the bulk data arrives).
+  int rndv_source = -1;
+  int rndv_tag = -1;
+
+  // Nonblocking-collective state machine (Ibarrier).
+  std::unique_ptr<NbcOp> nbc;
+
+  void finish(Status st) {
+    status = st;
+    complete.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool done() const noexcept {
+    return complete.load(std::memory_order_acquire);
+  }
+};
+
+using RequestPtr = std::shared_ptr<RequestImpl>;
+
+/// Nonblocking binomial-tree barrier: fan-in to rank 0, fan-out. Advanced
+/// from the progress engine; used by QUO's low-perturbation quiescence.
+struct NbcOp {
+  enum class Phase : std::uint8_t { fanin, waiting_parent, done };
+  Phase phase = Phase::fanin;
+  int tag = 0;
+  std::shared_ptr<CommState> comm;
+  std::vector<RequestPtr> child_recvs;  // fan-in messages expected
+  RequestPtr parent_recv;               // fan-out release from parent
+  std::vector<int> children;            // comm ranks
+  int parent = -1;
+  /// One byte of receive capacity per tree edge: normal tree messages are
+  /// empty; a 1-byte payload is the failure poison marker.
+  std::vector<std::byte> scratch;
+};
+
+/// Start a nonblocking binomial barrier on `comm` (MPI_Ibarrier).
+RequestPtr make_ibarrier(ProcState& ps, const std::shared_ptr<CommState>& comm);
+
+struct CommState {
+  ProcState* ps = nullptr;
+  Group grp = Group::empty();
+  int myrank = -1;            ///< my rank within grp
+  std::uint16_t cid = 0;      ///< local 16-bit array index
+  ExCidSpace excid_space = ExCidSpace::builtin(0);
+  bool uses_excid = false;    ///< sessions wire protocol (ext header + ACK)
+  CidMethod method = CidMethod::excid;
+  std::string comm_name;
+  Errhandler errh = Errhandler::errors_are_fatal();
+  mutable AttributeStore attrs;
+  std::uint32_t coll_seq = 0;  ///< collective ordinal (tags derive from it)
+  bool freed = false;
+
+  struct Peer {
+    int remote_cid = -1;   ///< peer's local CID once learned (ACK/ext header)
+    bool ack_sent = false; ///< we already told this peer our CID
+  };
+  std::vector<Peer> peers;  ///< indexed by comm rank
+
+  std::deque<RequestPtr> posted;            ///< posted receives, in order
+  std::deque<fabric::Packet> unexpected;    ///< unmatched arrivals, in order
+
+  // Wire statistics (Fig. 5 benchmarks read these).
+  std::uint64_t ext_headers_sent = 0;
+  std::uint64_t fast_headers_sent = 0;
+
+  [[nodiscard]] base::Rank global_of(int commrank) const {
+    return grp.global_of(commrank);
+  }
+  [[nodiscard]] int size() const noexcept { return grp.size(); }
+};
+
+struct SessionState {
+  ProcState* ps = nullptr;
+  int id = 0;
+  bool finalized = false;
+  ThreadLevel level = ThreadLevel::multiple;
+  Info info_obj;  // snapshot of the init info
+  Errhandler errh = Errhandler::errors_return();
+  mutable AttributeStore attrs;
+};
+
+struct ProcState {
+  explicit ProcState(sim::Process& p);
+
+  sim::Process& proc;
+  base::CostModel cost;
+  std::recursive_mutex mu;
+
+  // Configuration.
+  CidMethod method = CidMethod::excid;
+  bool excid_derive = true;
+
+  // --- PML (ob1) tables ---------------------------------------------------
+  base::SlotAllocator cid_alloc{kCidSpace};
+  std::vector<std::shared_ptr<CommState>> comm_by_cid;  // grows on demand
+  std::unordered_map<ExCid, std::shared_ptr<CommState>, ExCidHash> comm_by_excid;
+  std::vector<fabric::Packet> orphans;  ///< ext packets for not-yet-known exCIDs
+  std::unordered_map<std::uint64_t, RequestPtr> send_tokens;
+  std::map<std::pair<base::Rank, std::uint64_t>, RequestPtr> recv_tokens;
+  std::uint64_t next_token = 1;
+  std::vector<RequestPtr> nbc_live;
+
+  // --- session / world bookkeeping ----------------------------------------
+  bool world_init = false;
+  std::shared_ptr<CommState> world;
+  std::shared_ptr<CommState> self;
+  int next_session_id = 1;
+  int live_sessions = 0;
+  std::uint64_t pgcids = 0;  ///< PGCIDs acquired by this process
+
+  // --- access ----------------------------------------------------------------
+  /// ProcState of a simulated process (created on demand).
+  static ProcState& of(sim::Process& p);
+  /// ProcState of the calling rank thread.
+  static ProcState& current();
+  /// PMIx client (valid while the pmix subsystem is held).
+  pmix::PmixClient& pmix();
+
+  // --- lifecycle -----------------------------------------------------------
+  void ensure_subsystems_defined();
+  /// Acquire the MPI instance (mca -> pmix -> pml -> instance chain).
+  void acquire_instance();
+  void release_instance();
+
+  // --- progress engine -------------------------------------------------------
+  /// One pass: drain the inbox (optionally blocking briefly) and advance
+  /// nonblocking collectives. Idle passes also sweep for operations pinned
+  /// on failed peers and complete them with rte_proc_failed (§II-C: a
+  /// failure must not hang survivors).
+  void progress_pass(bool block);
+  /// Drive progress until `done()` returns true; aborts with
+  /// Error(proc_aborted) if the cluster run is aborting.
+  void progress_until(const std::function<bool()>& done);
+  void dispatch(fabric::Packet&& pkt);
+
+  // --- pt2pt primitives (comm ranks; callers hold no lock) -----------------
+  RequestPtr isend_impl(const std::shared_ptr<CommState>& comm, const void* buf,
+                        int count, const Datatype& dt, int dst, int tag,
+                        bool sync);
+  RequestPtr irecv_impl(const std::shared_ptr<CommState>& comm, void* buf,
+                        int count, const Datatype& dt, int src, int tag);
+  Status blocking_recv(const std::shared_ptr<CommState>& comm, void* buf,
+                       int count, const Datatype& dt, int src, int tag);
+  void blocking_send(const std::shared_ptr<CommState>& comm, const void* buf,
+                     int count, const Datatype& dt, int dst, int tag,
+                     bool sync);
+
+  // --- communicator registration --------------------------------------------
+  /// Create and register a CommState. `fixed_cid` pins the local CID (world
+  /// builtins, consensus results); otherwise the lowest free slot is used.
+  /// `already_claimed` marks a fixed CID the caller reserved beforehand
+  /// (the consensus algorithm claims during agreement).
+  std::shared_ptr<CommState> register_comm(const Group& grp,
+                                           ExCidSpace space, bool uses_excid,
+                                           std::optional<std::uint16_t> fixed_cid,
+                                           bool already_claimed = false);
+  void unregister_comm(CommState& comm);
+
+  std::uint64_t new_token_locked() { return next_token++; }
+
+  /// Advance all live nonblocking collectives (mu held by caller).
+  void advance_nbc_locked();
+
+ private:
+  // Matching internals; all called with mu held.
+  /// Complete requests whose specific peer has failed (mu held).
+  void sweep_failed_peers_locked();
+
+  RequestPtr match_posted(CommState& comm, const fabric::Packet& pkt);
+  bool match_against_unexpected(CommState& comm, const RequestPtr& req);
+  void handle_incoming(const std::shared_ptr<CommState>& comm,
+                       fabric::Packet&& pkt);
+  void deliver(CommState& comm, const RequestPtr& req, fabric::Packet&& pkt);
+};
+
+/// World Process Model object construction/teardown (defined in world.cpp;
+/// wired into the "world" subsystem).
+void init_world_objects(ProcState& ps);
+void teardown_world_objects(ProcState& ps);
+
+/// Tag used for round `round` of internal collective number `seq`.
+inline int internal_tag(std::uint32_t seq, int round) {
+  return kInternalTagBase - static_cast<int>((seq % (1u << 20)) * 32u) - round;
+}
+
+/// True when `posted_tag`/`posted_src` accept a packet with (src, tag).
+inline bool tags_match(int posted_src, int posted_tag, int src, int tag) {
+  const bool src_ok = posted_src == any_source || posted_src == src;
+  // Wildcard tags never match internal (negative) collective-context tags.
+  const bool tag_ok = posted_tag == tag || (posted_tag == any_tag && tag >= 0);
+  return src_ok && tag_ok;
+}
+
+}  // namespace sessmpi::detail

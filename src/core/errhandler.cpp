@@ -1,0 +1,49 @@
+#include "sessmpi/errhandler.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace sessmpi {
+
+Errhandler::Errhandler(Kind kind, HandlerFn fn)
+    : kind_(kind), state_(std::make_shared<State>()) {
+  state_->fn = std::move(fn);
+}
+
+Errhandler Errhandler::create(HandlerFn fn) {
+  return Errhandler{Kind::custom, std::move(fn)};
+}
+
+const Errhandler& Errhandler::errors_are_fatal() {
+  static const Errhandler h{Kind::fatal, nullptr};
+  return h;
+}
+
+const Errhandler& Errhandler::errors_return() {
+  static const Errhandler h{Kind::ret, nullptr};
+  return h;
+}
+
+int Errhandler::invocations() const noexcept {
+  return state_->count->load(std::memory_order_relaxed);
+}
+
+void Errhandler::raise(ErrClass cls, const std::string& msg) const {
+  state_->count->fetch_add(1, std::memory_order_relaxed);
+  switch (kind_) {
+    case Kind::fatal:
+      std::cerr << "sessmpi: fatal error " << err_class_name(cls) << ": " << msg
+                << '\n';
+      std::abort();
+    case Kind::custom:
+      if (state_->fn) {
+        state_->fn(cls, msg);
+      }
+      [[fallthrough]];
+    case Kind::ret:
+      throw Error(cls, msg);
+  }
+  throw Error(cls, msg);  // unreachable; keeps [[noreturn]] honest
+}
+
+}  // namespace sessmpi

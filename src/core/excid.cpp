@@ -1,0 +1,26 @@
+#include "sessmpi/excid.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace sessmpi {
+
+std::string ExCid::str() const {
+  std::ostringstream oss;
+  oss << std::hex << std::setfill('0') << std::setw(16) << hi << ":"
+      << std::setw(16) << lo;
+  return oss.str();
+}
+
+std::optional<ExCidSpace> ExCidSpace::derive() noexcept {
+  // Paper §III-B3: "If the active subfield of the parent communicator is 0,
+  // or the active subfield value is 255, ... a new PGCID is acquired".
+  if (active_ <= 0 || counter_ == 255) {
+    return std::nullopt;
+  }
+  ++counter_;
+  ExCidSpace child{id_.with_subfield(active_, counter_), active_ - 1};
+  return child;
+}
+
+}  // namespace sessmpi

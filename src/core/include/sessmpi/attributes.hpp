@@ -1,0 +1,66 @@
+#pragma once
+
+// MPI attribute caching (keyvals + per-object attribute stores). The
+// Sessions proposal requires session-attribute functions to work before
+// initialization and to be thread-safe (paper §III-B5), so the keyval
+// registry is a process-global, always-locked structure with no dependency
+// on MPI init state.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+
+namespace sessmpi {
+
+/// Attribute values are 64-bit integers (the address-sized value MPI caches).
+using AttrValue = std::int64_t;
+
+class Keyval {
+ public:
+  using CopyFn = std::function<std::optional<AttrValue>(AttrValue)>;
+  using DeleteFn = std::function<void(AttrValue)>;
+
+  /// Create a keyval (MPI_*_create_keyval). `copy` decides what a duplicated
+  /// object inherits (nullopt = do not copy; default copies verbatim);
+  /// `del` runs when an attribute is deleted or its object is freed.
+  static Keyval create(CopyFn copy = nullptr, DeleteFn del = nullptr);
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  friend bool operator==(const Keyval&, const Keyval&) = default;
+
+ private:
+  friend class AttributeStore;
+  explicit Keyval(int id) : id_(id) {}
+  int id_;
+};
+
+/// Per-object attribute cache (sessions and communicators each own one).
+class AttributeStore {
+ public:
+  AttributeStore() = default;
+  ~AttributeStore();
+
+  AttributeStore(const AttributeStore&) = delete;
+  AttributeStore& operator=(const AttributeStore&) = delete;
+
+  void set(const Keyval& kv, AttrValue value);
+  [[nodiscard]] std::optional<AttrValue> get(const Keyval& kv) const;
+  /// Returns true if the attribute existed; runs its delete callback.
+  bool erase(const Keyval& kv);
+  [[nodiscard]] std::size_t size() const;
+
+  /// Copy attributes into `dst` honoring each keyval's copy callback
+  /// (object duplication).
+  void copy_to(AttributeStore& dst) const;
+
+  /// Delete everything, running delete callbacks (object free).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, AttrValue> attrs_;
+};
+
+}  // namespace sessmpi

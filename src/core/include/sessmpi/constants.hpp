@@ -1,0 +1,46 @@
+#pragma once
+
+// Library-wide MPI constants and configuration knobs.
+
+#include <cstdint>
+
+namespace sessmpi {
+
+/// Wildcard source for receives (MPI_ANY_SOURCE).
+inline constexpr int any_source = -1;
+/// Wildcard tag for receives (MPI_ANY_TAG). Wildcard tag matching applies
+/// only to application messages (tag >= 0); the collective engine uses the
+/// negative tag space below kInternalTagBase as private context.
+inline constexpr int any_tag = -2;
+
+/// Base of the internal (collective) tag space; all internal tags are
+/// <= this value, application tags must be >= 0.
+inline constexpr int kInternalTagBase = -1000;
+
+/// Highest tag value applications may use (MPI_TAG_UB).
+inline constexpr int tag_ub = (1 << 30);
+
+/// Thread support levels (MPI_THREAD_*).
+enum class ThreadLevel : int {
+  single = 0,
+  funneled = 1,
+  serialized = 2,
+  multiple = 3,
+};
+
+/// Communicator-identifier generation method (paper §III-B3): the prototype
+/// can use either the original consensus algorithm (requires a parent
+/// communicator) or the new exCID generator backed by PMIx PGCIDs.
+enum class CidMethod {
+  consensus,  ///< multi-round lowest-common-free-slot agreement
+  excid,      ///< 128-bit extended CID from PGCID + derivation subfields
+};
+
+/// Messages with packed size <= this are sent eagerly; larger payloads use
+/// the rendezvous protocol (RTS/CTS/DATA).
+inline constexpr std::size_t kEagerLimit = 4096;
+
+/// Capacity of the per-process communicator array (16-bit CIDs, as in ob1).
+inline constexpr std::uint32_t kCidSpace = 1u << 16;
+
+}  // namespace sessmpi

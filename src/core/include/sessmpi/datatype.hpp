@@ -1,0 +1,88 @@
+#pragma once
+
+// MPI datatypes, reduced to what the paper's workloads exercise: the common
+// primitives plus contiguous and (strided) vector derived types. A datatype
+// knows how to pack host memory into a contiguous wire buffer and unpack it
+// back — the simulator always ships contiguous payloads.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sessmpi/base/error.hpp"
+
+namespace sessmpi {
+
+class Datatype {
+ public:
+  // --- predefined primitives ------------------------------------------------
+  static const Datatype& byte();
+  static const Datatype& int32();
+  static const Datatype& int64();
+  static const Datatype& uint64();
+  static const Datatype& float32();
+  static const Datatype& float64();
+  static const Datatype& char8();
+
+  /// `count` consecutive elements of `base` (MPI_Type_contiguous).
+  static Datatype contiguous(int count, const Datatype& base);
+
+  /// `count` blocks of `blocklength` elements spaced `stride` elements apart
+  /// (MPI_Type_vector). Extent spans the full stride pattern.
+  static Datatype vector(int count, int blocklength, int stride,
+                         const Datatype& base);
+
+  /// Packed (wire) size of one element of this type, in bytes.
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Memory span of one element, in bytes (>= size for strided types).
+  [[nodiscard]] std::size_t extent() const noexcept;
+  [[nodiscard]] const std::string& name() const noexcept;
+  [[nodiscard]] bool is_primitive() const noexcept;
+
+  /// Pack `count` elements starting at `src` into `dst` (contiguous wire
+  /// format). `dst` must hold count*size() bytes.
+  void pack(const void* src, int count, std::byte* dst) const;
+  /// Inverse of pack.
+  void unpack(const std::byte* src, int count, void* dst) const;
+
+  /// Identity (handle) comparison: same underlying type object.
+  [[nodiscard]] bool same_as(const Datatype& other) const noexcept {
+    return impl_ == other.impl_;
+  }
+
+  /// For reductions: primitive kind tag.
+  enum class Kind : std::uint8_t {
+    byte_k,
+    int32_k,
+    int64_k,
+    uint64_k,
+    float32_k,
+    float64_k,
+    char_k,
+    derived_k,
+  };
+  [[nodiscard]] Kind kind() const noexcept;
+
+  /// Internal representation (public declaration so the implementation can
+  /// define it at namespace scope; not part of the stable API).
+  struct Impl;
+
+ private:
+  explicit Datatype(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<const Impl> impl_;
+};
+
+/// Map a C++ arithmetic type to its predefined Datatype.
+template <typename T>
+const Datatype& datatype_of() = delete;
+template <> const Datatype& datatype_of<std::byte>();
+template <> const Datatype& datatype_of<char>();
+template <> const Datatype& datatype_of<std::int32_t>();
+template <> const Datatype& datatype_of<std::int64_t>();
+template <> const Datatype& datatype_of<std::uint64_t>();
+template <> const Datatype& datatype_of<float>();
+template <> const Datatype& datatype_of<double>();
+
+}  // namespace sessmpi

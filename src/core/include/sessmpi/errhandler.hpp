@@ -1,0 +1,49 @@
+#pragma once
+
+// MPI_Errhandler-like object. Usable before any initialization and from any
+// thread (paper §III-B5). Semantics:
+//  * errors_are_fatal: report and abort the program (MPI_ERRORS_ARE_FATAL);
+//  * errors_return:    throw sessmpi::Error to the caller (the C++ analogue
+//                      of MPI_ERRORS_RETURN);
+//  * custom handlers:  invoked with (class, message); if the handler
+//                      returns, the Error is then thrown.
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sessmpi/base/error.hpp"
+
+namespace sessmpi {
+
+class Errhandler {
+ public:
+  using HandlerFn = std::function<void(ErrClass, const std::string&)>;
+
+  /// Create a custom error handler (MPI_Session_create_errhandler et al.).
+  static Errhandler create(HandlerFn fn);
+  static const Errhandler& errors_are_fatal();
+  static const Errhandler& errors_return();
+
+  /// Dispatch an error through this handler. Never returns normally:
+  /// either aborts (fatal) or throws Error (return/custom).
+  [[noreturn]] void raise(ErrClass cls, const std::string& msg) const;
+
+  [[nodiscard]] bool is_fatal() const noexcept { return kind_ == Kind::fatal; }
+
+  /// Number of times this handler object was invoked (tests/diagnostics).
+  [[nodiscard]] int invocations() const noexcept;
+
+ private:
+  enum class Kind { fatal, ret, custom };
+  struct State {
+    HandlerFn fn;
+    std::shared_ptr<std::atomic_int> count = std::make_shared<std::atomic_int>(0);
+  };
+  Errhandler(Kind kind, HandlerFn fn);
+  Kind kind_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sessmpi

@@ -1,0 +1,84 @@
+#pragma once
+
+// The 128-bit extended communicator identifier (exCID) and its derivation
+// scheme, exactly as the paper specifies (§III-B3):
+//
+//  * the high 64 bits hold the PGCID obtained from PMIx (non-zero; 0 is
+//    reserved for World-model built-in communicators);
+//  * the low 64 bits are eight 8-bit subfields used to derive children
+//    without a runtime round-trip;
+//  * each communicator tracks its *active subfield*, initialized to 7 for a
+//    fresh PGCID. Deriving a child increments the parent's value in the
+//    active subfield (up to 2^8 times) and assigns the child the next lower
+//    active subfield. When the parent's active subfield is 0, or the value
+//    would exceed 255, a fresh PGCID must be acquired instead.
+//
+// All members of a communicator derive in lockstep (constructors are
+// collective), so the values agree without communication.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace sessmpi {
+
+struct ExCid {
+  std::uint64_t hi = 0;  ///< PGCID; 0 for World-model built-ins
+  std::uint64_t lo = 0;  ///< eight 8-bit derivation subfields
+
+  friend bool operator==(const ExCid&, const ExCid&) = default;
+
+  [[nodiscard]] std::uint8_t subfield(int i) const noexcept {
+    return static_cast<std::uint8_t>(lo >> (8 * i));
+  }
+  [[nodiscard]] ExCid with_subfield(int i, std::uint8_t v) const noexcept {
+    ExCid out = *this;
+    out.lo &= ~(std::uint64_t{0xff} << (8 * i));
+    out.lo |= std::uint64_t{v} << (8 * i);
+    return out;
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+struct ExCidHash {
+  std::size_t operator()(const ExCid& c) const noexcept {
+    return std::hash<std::uint64_t>{}(c.hi) ^
+           (std::hash<std::uint64_t>{}(c.lo) * 1099511628211ull);
+  }
+};
+
+/// Per-communicator exCID derivation state.
+class ExCidSpace {
+ public:
+  /// Fresh space from a newly acquired PGCID: active subfield 7, counter 0.
+  static ExCidSpace fresh(std::uint64_t pgcid) noexcept {
+    return ExCidSpace{ExCid{pgcid, 0}, 7};
+  }
+  /// Space of a World-model built-in (no derivation possible without PMIx,
+  /// but the id itself is representable: hi == 0).
+  static ExCidSpace builtin(std::uint8_t which) noexcept {
+    return ExCidSpace{ExCid{0, which}, -1};
+  }
+
+  [[nodiscard]] const ExCid& id() const noexcept { return id_; }
+  [[nodiscard]] int active_subfield() const noexcept { return active_; }
+  [[nodiscard]] std::uint8_t derivations() const noexcept { return counter_; }
+
+  /// How many more children can be derived before a fresh PGCID is needed.
+  [[nodiscard]] int remaining() const noexcept {
+    return active_ <= 0 ? 0 : 255 - counter_;
+  }
+
+  /// Derive a child space, or nullopt when a fresh PGCID is required (the
+  /// conditions the paper lists: active subfield exhausted or value 255).
+  std::optional<ExCidSpace> derive() noexcept;
+
+ private:
+  ExCidSpace(ExCid id, int active) noexcept : id_(id), active_(active) {}
+  ExCid id_;
+  int active_;                 ///< -1 when derivation is impossible
+  std::uint8_t counter_ = 0;   ///< last value written into the active subfield
+};
+
+}  // namespace sessmpi

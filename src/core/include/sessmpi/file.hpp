@@ -1,0 +1,77 @@
+#pragma once
+
+// MPI_File over the simulated shared filesystem. Like windows, files can be
+// created from a Sessions group: the prototype builds an intermediate
+// communicator, calls the MPI-3 creation function, and frees the
+// intermediate (paper §III-B6) — File::open_from_group follows that path.
+
+#include <memory>
+#include <string>
+
+#include "sessmpi/comm.hpp"
+
+namespace sessmpi {
+
+class File {
+ public:
+  /// Open flags (subset of MPI_MODE_*).
+  struct Mode {
+    bool create = true;
+    bool truncate = false;
+    bool read_only = false;
+  };
+
+  File() = default;
+
+  /// MPI_File_open (collective over `comm`).
+  static File open(const Communicator& comm, const std::string& path,
+                   Mode mode);
+  static File open(const Communicator& comm, const std::string& path) {
+    return open(comm, path, Mode{});
+  }
+
+  /// Sessions path: intermediate communicator from `group`, MPI-3 open,
+  /// intermediate freed.
+  static File open_from_group(const Group& group, const std::string& tag,
+                              const std::string& path, Mode mode);
+  static File open_from_group(const Group& group, const std::string& tag,
+                              const std::string& path) {
+    return open_from_group(group, tag, path, Mode{});
+  }
+
+  [[nodiscard]] bool is_null() const noexcept { return state_ == nullptr; }
+  [[nodiscard]] int rank() const;
+  [[nodiscard]] int size() const;
+  [[nodiscard]] const std::string& path() const;
+
+  /// MPI_File_write_at: independent write of `count` elements at a byte
+  /// offset.
+  void write_at(std::size_t offset, const void* buf, int count,
+                const Datatype& dt) const;
+  /// MPI_File_read_at: returns the number of whole elements read.
+  int read_at(std::size_t offset, void* buf, int count,
+              const Datatype& dt) const;
+
+  /// MPI_File_write_at_all / read_at_all: collective variants (barrier
+  /// semantics around the independent operation).
+  void write_at_all(std::size_t offset, const void* buf, int count,
+                    const Datatype& dt) const;
+  int read_at_all(std::size_t offset, void* buf, int count,
+                  const Datatype& dt) const;
+
+  /// MPI_File_get_size / MPI_File_set_size (set is collective).
+  [[nodiscard]] std::size_t file_size() const;
+  void set_size(std::size_t size) const;
+
+  /// MPI_File_close (collective).
+  void close();
+
+  /// Internal representation (public declaration for the implementation).
+  struct State;
+
+ private:
+  explicit File(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sessmpi

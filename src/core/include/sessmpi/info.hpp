@@ -1,0 +1,48 @@
+#pragma once
+
+// MPI_Info-like key/value object. Per the Sessions proposal (paper §III-B5),
+// Info objects must be fully usable *before* any MPI initialization and from
+// multiple threads, so the internal lock is always enabled; none of these
+// code paths sit on the communication critical path.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sessmpi {
+
+class Info {
+ public:
+  /// Create an empty info object (MPI_Info_create). Requires no MPI init.
+  Info();
+
+  /// Deep copy (MPI_Info_dup).
+  [[nodiscard]] Info dup() const;
+
+  void set(const std::string& key, const std::string& value);
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  /// Returns true if the key existed (MPI_Info_delete).
+  bool erase(const std::string& key);
+
+  [[nodiscard]] std::size_t nkeys() const;
+  /// N-th key in sorted order (MPI_Info_get_nthkey); nullopt out of range.
+  [[nodiscard]] std::optional<std::string> nthkey(std::size_t n) const;
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Null info (MPI_INFO_NULL): shares no state, always empty, set() ignored.
+  static const Info& null();
+  [[nodiscard]] bool is_null() const noexcept { return state_ == nullptr; }
+
+ private:
+  struct State {
+    mutable std::mutex mu;
+    std::map<std::string, std::string> kv;
+  };
+  explicit Info(std::nullptr_t) {}
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sessmpi

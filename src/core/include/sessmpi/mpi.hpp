@@ -1,0 +1,59 @@
+#pragma once
+
+// Umbrella header plus the World Process Model API (MPI_Init-style).
+//
+// The legacy initialization path is implemented exactly as the prototype
+// restructured it (paper §III-B5): init() creates an *internal* session and
+// additionally builds the World-model objects (COMM_WORLD / COMM_SELF);
+// finalize() releases them; the process-wide teardown runs when no session
+// reference remains, allowing init() -> finalize() -> init() cycles.
+
+#include "sessmpi/attributes.hpp"
+#include "sessmpi/comm.hpp"
+#include "sessmpi/constants.hpp"
+#include "sessmpi/datatype.hpp"
+#include "sessmpi/errhandler.hpp"
+#include "sessmpi/excid.hpp"
+#include "sessmpi/file.hpp"
+#include "sessmpi/group.hpp"
+#include "sessmpi/info.hpp"
+#include "sessmpi/op.hpp"
+#include "sessmpi/request.hpp"
+#include "sessmpi/session.hpp"
+#include "sessmpi/status.hpp"
+#include "sessmpi/win.hpp"
+
+namespace sessmpi {
+
+/// MPI_Init / MPI_Init_thread for the calling simulated process. Unlike
+/// classic MPI — and matching the restructured prototype — repeated
+/// init/finalize cycles are supported.
+void init(ThreadLevel level = ThreadLevel::single);
+
+/// MPI_Finalize.
+void finalize();
+
+/// MPI_Initialized (for the calling process).
+[[nodiscard]] bool initialized();
+
+/// COMM_WORLD / COMM_SELF handles; throw Error(session) before init().
+[[nodiscard]] Communicator comm_world();
+[[nodiscard]] Communicator comm_self();
+
+/// Select the CID generation method for communicators subsequently created
+/// by the calling process (paper: the prototype supports both). Default:
+/// CidMethod::excid when available, as in the prototype.
+void set_cid_method(CidMethod method);
+[[nodiscard]] CidMethod cid_method();
+
+/// Enable/disable exCID subfield derivation for derived communicators
+/// (MPI_Comm_dup). Disabled reproduces the measured prototype behaviour of
+/// Fig. 4 (a PGCID acquisition per dup); enabled shows the design's
+/// amortized path (§III-B3 / §IV-C2 discussion). Default: enabled.
+void set_excid_derivation(bool enabled);
+[[nodiscard]] bool excid_derivation();
+
+/// Number of PGCIDs this process acquired from PMIx so far (diagnostics).
+[[nodiscard]] std::uint64_t pgcids_acquired();
+
+}  // namespace sessmpi

@@ -1,0 +1,46 @@
+#pragma once
+
+// Reduction operations (MPI_Op). Predefined arithmetic/logical ops work on
+// the primitive datatypes; user-defined ops receive raw buffers plus the
+// datatype, mirroring MPI_User_function.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sessmpi/datatype.hpp"
+
+namespace sessmpi {
+
+class Op {
+ public:
+  static const Op& sum();
+  static const Op& prod();
+  static const Op& max();
+  static const Op& min();
+  static const Op& land();  ///< logical and
+  static const Op& lor();   ///< logical or
+  static const Op& band();  ///< bitwise and
+  static const Op& bor();   ///< bitwise or
+
+  using UserFn =
+      std::function<void(const void* in, void* inout, int count,
+                         const Datatype& dt)>;
+  /// User-defined reduction (MPI_Op_create). `commute` is informational.
+  static Op create(UserFn fn, bool commute = true, std::string name = "user");
+
+  /// Apply: inout[i] = op(in[i], inout[i]) for i in [0, count).
+  /// Predefined ops throw Error(op) for derived or unsupported datatypes.
+  void apply(const void* in, void* inout, int count, const Datatype& dt) const;
+
+  [[nodiscard]] const std::string& name() const noexcept;
+  [[nodiscard]] bool commutative() const noexcept;
+
+ private:
+  struct Impl;
+  explicit Op(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+  static Op builtin(int which, const char* name);
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace sessmpi

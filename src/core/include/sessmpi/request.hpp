@@ -1,0 +1,49 @@
+#pragma once
+
+// Nonblocking-operation handle (MPI_Request). Requests are value handles
+// sharing state with the progress engine; waiting drives progress on the
+// calling thread, as in single-threaded MPI implementations.
+
+#include <memory>
+#include <vector>
+
+#include "sessmpi/status.hpp"
+
+namespace sessmpi::detail {
+struct RequestImpl;
+}  // namespace sessmpi::detail
+
+namespace sessmpi {
+
+class Request {
+ public:
+  /// A null (inactive) request; wait() on it returns immediately.
+  Request() = default;
+
+  /// Block until complete, driving progress; returns the Status (receives
+  /// carry source/tag/count, sends a default Status).
+  Status wait();
+
+  /// Nonblocking completion check; drives one progress pass.
+  bool test();
+
+  [[nodiscard]] bool completed() const noexcept;
+  [[nodiscard]] bool is_null() const noexcept { return impl_ == nullptr; }
+
+  /// MPI_Waitall over a set of requests.
+  static std::vector<Status> wait_all(std::vector<Request>& reqs);
+  /// MPI_Testall: true when every request is complete.
+  static bool test_all(std::vector<Request>& reqs);
+  /// MPI_Waitany: block until some request completes; returns its index
+  /// (and nulls it), or -1 when every request is already null.
+  static int wait_any(std::vector<Request>& reqs, Status* status = nullptr);
+
+ private:
+  friend class Communicator;
+  friend struct detail::RequestImpl;
+  explicit Request(std::shared_ptr<detail::RequestImpl> impl)
+      : impl_(std::move(impl)) {}
+  std::shared_ptr<detail::RequestImpl> impl_;
+};
+
+}  // namespace sessmpi

@@ -1,0 +1,79 @@
+#pragma once
+
+// MPI Session: the Sessions Process Model entry point (paper Fig. 1).
+//
+//   Session s = Session::init(info, errhandler);   // local, light-weight
+//   auto psets = s.pset_names();                   // query the runtime
+//   Group g = s.group_from_pset("mpi://world");    // local
+//   Communicator c = Communicator::create_from_group(g, "mylib");
+//
+// Session::init is thread-safe and may be called any number of times within
+// one process lifetime, including after every prior session finalized: the
+// per-process subsystem registry re-initializes MPI resources on demand and
+// tears them down via the cleanup-callback framework when the last session
+// (or the World model) finalizes (§III-B5).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sessmpi/attributes.hpp"
+#include "sessmpi/constants.hpp"
+#include "sessmpi/errhandler.hpp"
+#include "sessmpi/group.hpp"
+#include "sessmpi/info.hpp"
+
+namespace sessmpi::detail {
+struct SessionState;
+}  // namespace sessmpi::detail
+
+namespace sessmpi {
+
+class Session {
+ public:
+  /// Null handle.
+  Session() = default;
+
+  /// MPI_Session_init. `info` may carry "thread_level" =
+  /// single|funneled|serialized|multiple (default multiple, which the
+  /// implementation always provides).
+  static Session init(const Info& info = Info::null(),
+                      const Errhandler& errh = Errhandler::errors_return());
+
+  /// MPI_Session_finalize: releases resources associated with this session;
+  /// MPI tears down fully when the last session/world reference drops.
+  /// Idempotent on the same handle is an error (throws via errhandler).
+  void finalize();
+
+  [[nodiscard]] bool is_null() const noexcept { return state_ == nullptr; }
+  [[nodiscard]] bool finalized() const;
+
+  // --- runtime queries (MPI_Session_get_num_psets etc.) ---------------------
+  [[nodiscard]] int num_psets() const;
+  [[nodiscard]] std::string nth_pset(int n) const;
+  [[nodiscard]] std::vector<std::string> pset_names() const;
+  /// Info for one pset: keys "mpi_size" and "pset_name".
+  [[nodiscard]] Info pset_info(const std::string& name) const;
+
+  /// MPI_Group_from_session_pset — local operation.
+  [[nodiscard]] Group group_from_pset(const std::string& name) const;
+
+  // --- session properties ------------------------------------------------------
+  [[nodiscard]] ThreadLevel thread_level() const;
+  [[nodiscard]] const Errhandler& errhandler() const;
+  [[nodiscard]] Info info() const;
+  [[nodiscard]] AttributeStore& attributes() const;
+  /// Monotonic per-process id of this session (diagnostics).
+  [[nodiscard]] int id() const;
+
+  friend bool operator==(const Session& a, const Session& b) {
+    return a.state_ == b.state_;
+  }
+
+ private:
+  explicit Session(std::shared_ptr<detail::SessionState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::SessionState> state_;
+};
+
+}  // namespace sessmpi

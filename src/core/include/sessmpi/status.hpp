@@ -1,0 +1,32 @@
+#pragma once
+
+// MPI_Status analogue: source/tag/error of a completed receive plus the
+// received byte count.
+
+#include <cstddef>
+
+#include "sessmpi/base/error.hpp"
+#include "sessmpi/datatype.hpp"
+
+namespace sessmpi {
+
+struct Status {
+  int source = -1;  ///< comm rank of the sender
+  int tag = -1;
+  ErrClass error = ErrClass::success;
+  std::size_t count_bytes = 0;  ///< received payload bytes
+
+  /// MPI_Get_count: number of `dt` elements received. Throws
+  /// Error(truncate) when the byte count is not a whole element multiple.
+  [[nodiscard]] int count(const Datatype& dt) const {
+    if (dt.size() == 0) {
+      return 0;
+    }
+    if (count_bytes % dt.size() != 0) {
+      throw Error(ErrClass::truncate, "partial element in Get_count");
+    }
+    return static_cast<int>(count_bytes / dt.size());
+  }
+};
+
+}  // namespace sessmpi

@@ -1,0 +1,71 @@
+#pragma once
+
+// MPI RMA window (active-target, fence-synchronized).
+//
+// The Sessions proposal creates windows (and files) from groups; the paper's
+// prototype implements MPI_Win_*_from_group by first building an
+// *intermediate communicator* from the group, calling the MPI-3 creation
+// function on it, and freeing the intermediate (§III-B6) — exactly what
+// Win::create_from_group does here. The window keeps a private dup of the
+// communicator, as MPI-3 implementations do.
+//
+// Communication is emulated over the PML (as Open MPI's pt2pt OSC
+// component does): puts/accumulates ship as messages applied during the
+// target's fence; gets are request/reply pairs completing at the origin's
+// fence. Visibility follows active-target semantics: remote stores become
+// visible only after the closing fence.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "sessmpi/comm.hpp"
+
+namespace sessmpi {
+
+class Win {
+ public:
+  Win() = default;
+
+  /// MPI_Win_create: expose `size` bytes at `base` across `comm`.
+  /// Collective; sizes may differ per process.
+  static Win create(void* base, std::size_t size, const Communicator& comm);
+
+  /// MPI_Win_create_from_group (Sessions path): intermediate communicator
+  /// from `group` (tagged), MPI-3 creation, intermediate freed.
+  static Win create_from_group(const Group& group, const std::string& tag,
+                               void* base, std::size_t size);
+
+  [[nodiscard]] int rank() const;
+  [[nodiscard]] int size() const;
+  [[nodiscard]] bool is_null() const noexcept { return state_ == nullptr; }
+  /// Exposed byte size of `target_rank`'s window.
+  [[nodiscard]] std::size_t size_of(int target_rank) const;
+
+  /// MPI_Put: visible at the target after the next fence.
+  void put(const void* origin, int count, const Datatype& dt, int target_rank,
+           std::size_t target_disp) const;
+  /// MPI_Get: `origin` is filled by the closing fence.
+  void get(void* origin, int count, const Datatype& dt, int target_rank,
+           std::size_t target_disp) const;
+  /// MPI_Accumulate with a predefined op (element-wise at the target).
+  void accumulate(const void* origin, int count, const Datatype& dt,
+                  const Op& op, int target_rank,
+                  std::size_t target_disp) const;
+
+  /// MPI_Win_fence: closes the current access/exposure epoch (collective).
+  /// All puts/accumulates issued by anyone are applied, all gets complete.
+  void fence() const;
+
+  /// MPI_Win_free (collective: fences, then releases).
+  void free();
+
+  /// Internal representation (public declaration for the implementation).
+  struct State;
+
+ private:
+  explicit Win(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sessmpi

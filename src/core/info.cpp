@@ -1,0 +1,83 @@
+#include "sessmpi/info.hpp"
+
+namespace sessmpi {
+
+Info::Info() : state_(std::make_shared<State>()) {}
+
+const Info& Info::null() {
+  static const Info n{nullptr};
+  return n;
+}
+
+Info Info::dup() const {
+  Info copy;
+  if (state_) {
+    std::lock_guard lock(state_->mu);
+    copy.state_->kv = state_->kv;
+  }
+  return copy;
+}
+
+void Info::set(const std::string& key, const std::string& value) {
+  if (!state_) {
+    return;
+  }
+  std::lock_guard lock(state_->mu);
+  state_->kv[key] = value;
+}
+
+std::optional<std::string> Info::get(const std::string& key) const {
+  if (!state_) {
+    return std::nullopt;
+  }
+  std::lock_guard lock(state_->mu);
+  auto it = state_->kv.find(key);
+  if (it == state_->kv.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool Info::erase(const std::string& key) {
+  if (!state_) {
+    return false;
+  }
+  std::lock_guard lock(state_->mu);
+  return state_->kv.erase(key) > 0;
+}
+
+std::size_t Info::nkeys() const {
+  if (!state_) {
+    return 0;
+  }
+  std::lock_guard lock(state_->mu);
+  return state_->kv.size();
+}
+
+std::optional<std::string> Info::nthkey(std::size_t n) const {
+  if (!state_) {
+    return std::nullopt;
+  }
+  std::lock_guard lock(state_->mu);
+  if (n >= state_->kv.size()) {
+    return std::nullopt;
+  }
+  auto it = state_->kv.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(n));
+  return it->first;
+}
+
+std::vector<std::string> Info::keys() const {
+  std::vector<std::string> out;
+  if (!state_) {
+    return out;
+  }
+  std::lock_guard lock(state_->mu);
+  out.reserve(state_->kv.size());
+  for (const auto& [k, v] : state_->kv) {
+    out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace sessmpi

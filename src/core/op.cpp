@@ -1,0 +1,139 @@
+#include "sessmpi/op.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace sessmpi {
+
+struct Op::Impl {
+  std::string name;
+  bool commutative = true;
+  UserFn fn;         // set for user ops
+  int builtin = -1;  // index into the builtin dispatch below
+};
+
+namespace {
+
+enum BuiltinIx { kSum, kProd, kMax, kMin, kLand, kLor, kBand, kBor };
+
+template <typename T>
+void apply_builtin_typed(int which, const T* in, T* inout, int count) {
+  switch (which) {
+    case kSum:
+      for (int i = 0; i < count; ++i) inout[i] = static_cast<T>(inout[i] + in[i]);
+      return;
+    case kProd:
+      for (int i = 0; i < count; ++i) inout[i] = static_cast<T>(inout[i] * in[i]);
+      return;
+    case kMax:
+      for (int i = 0; i < count; ++i) inout[i] = std::max(inout[i], in[i]);
+      return;
+    case kMin:
+      for (int i = 0; i < count; ++i) inout[i] = std::min(inout[i], in[i]);
+      return;
+    default:
+      break;
+  }
+  if constexpr (std::is_integral_v<T>) {
+    switch (which) {
+      case kLand:
+        for (int i = 0; i < count; ++i)
+          inout[i] = static_cast<T>((inout[i] != 0) && (in[i] != 0));
+        return;
+      case kLor:
+        for (int i = 0; i < count; ++i)
+          inout[i] = static_cast<T>((inout[i] != 0) || (in[i] != 0));
+        return;
+      case kBand:
+        for (int i = 0; i < count; ++i)
+          inout[i] = static_cast<T>(inout[i] & in[i]);
+        return;
+      case kBor:
+        for (int i = 0; i < count; ++i)
+          inout[i] = static_cast<T>(inout[i] | in[i]);
+        return;
+      default:
+        break;
+    }
+  }
+  throw Error(ErrClass::op, "operation not defined for this datatype");
+}
+
+void apply_builtin(int which, const void* in, void* inout, int count,
+                   const Datatype& dt) {
+  switch (dt.kind()) {
+    case Datatype::Kind::byte_k:
+    case Datatype::Kind::char_k:
+      apply_builtin_typed(which, static_cast<const std::uint8_t*>(in),
+                          static_cast<std::uint8_t*>(inout), count);
+      return;
+    case Datatype::Kind::int32_k:
+      apply_builtin_typed(which, static_cast<const std::int32_t*>(in),
+                          static_cast<std::int32_t*>(inout), count);
+      return;
+    case Datatype::Kind::int64_k:
+      apply_builtin_typed(which, static_cast<const std::int64_t*>(in),
+                          static_cast<std::int64_t*>(inout), count);
+      return;
+    case Datatype::Kind::uint64_k:
+      apply_builtin_typed(which, static_cast<const std::uint64_t*>(in),
+                          static_cast<std::uint64_t*>(inout), count);
+      return;
+    case Datatype::Kind::float32_k:
+      apply_builtin_typed(which, static_cast<const float*>(in),
+                          static_cast<float*>(inout), count);
+      return;
+    case Datatype::Kind::float64_k:
+      apply_builtin_typed(which, static_cast<const double*>(in),
+                          static_cast<double*>(inout), count);
+      return;
+    case Datatype::Kind::derived_k:
+      throw Error(ErrClass::op, "builtin op on derived datatype");
+  }
+  throw Error(ErrClass::op, "unknown datatype kind");
+}
+
+}  // namespace
+
+Op Op::builtin(int which, const char* name) {
+  auto impl = std::make_shared<Impl>();
+  impl->name = name;
+  impl->builtin = which;
+  return Op{impl};
+}
+
+#define SESSMPI_BUILTIN_OP(fn, which)              \
+  const Op& Op::fn() {                             \
+    static const Op op = Op::builtin(which, #fn);  \
+    return op;                                     \
+  }
+SESSMPI_BUILTIN_OP(sum, kSum)
+SESSMPI_BUILTIN_OP(prod, kProd)
+SESSMPI_BUILTIN_OP(max, kMax)
+SESSMPI_BUILTIN_OP(min, kMin)
+SESSMPI_BUILTIN_OP(land, kLand)
+SESSMPI_BUILTIN_OP(lor, kLor)
+SESSMPI_BUILTIN_OP(band, kBand)
+SESSMPI_BUILTIN_OP(bor, kBor)
+#undef SESSMPI_BUILTIN_OP
+
+Op Op::create(UserFn fn, bool commute, std::string name) {
+  auto impl = std::make_shared<Impl>();
+  impl->name = std::move(name);
+  impl->commutative = commute;
+  impl->fn = std::move(fn);
+  return Op{impl};
+}
+
+void Op::apply(const void* in, void* inout, int count, const Datatype& dt) const {
+  if (impl_->fn) {
+    impl_->fn(in, inout, count, dt);
+    return;
+  }
+  apply_builtin(impl_->builtin, in, inout, count, dt);
+}
+
+const std::string& Op::name() const noexcept { return impl_->name; }
+bool Op::commutative() const noexcept { return impl_->commutative; }
+
+}  // namespace sessmpi

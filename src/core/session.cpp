@@ -1,0 +1,135 @@
+// Sessions Process Model implementation. Session::init is local (no other
+// rank is involved), light-weight (a handle plus ref-counted subsystem
+// acquisition), thread-safe, and repeatable — the properties the proposal
+// requires and the paper evaluates.
+
+#include <algorithm>
+
+#include "detail/state.hpp"
+#include "sessmpi/base/clock.hpp"
+#include "sessmpi/session.hpp"
+
+namespace sessmpi {
+
+using detail::ProcState;
+using detail::SessionState;
+
+namespace {
+
+ThreadLevel level_from_info(const Info& info) {
+  const auto v = info.get("thread_level");
+  if (!v) {
+    return ThreadLevel::multiple;
+  }
+  if (*v == "single") return ThreadLevel::single;
+  if (*v == "funneled") return ThreadLevel::funneled;
+  if (*v == "serialized") return ThreadLevel::serialized;
+  if (*v == "multiple") return ThreadLevel::multiple;
+  throw Error(ErrClass::info_value, "bad thread_level: " + *v);
+}
+
+const std::shared_ptr<SessionState>& checked(
+    const std::shared_ptr<SessionState>& s) {
+  if (!s) {
+    throw Error(ErrClass::session, "null session handle");
+  }
+  if (s->finalized) {
+    throw Error(ErrClass::session, "operation on finalized session");
+  }
+  return s;
+}
+
+}  // namespace
+
+Session Session::init(const Info& info, const Errhandler& errh) {
+  ProcState& ps = ProcState::current();
+  const ThreadLevel level = level_from_info(info);  // may throw pre-acquire
+
+  ps.acquire_instance();
+  base::precise_delay(ps.cost.session_handle_ns);
+
+  auto state = std::make_shared<SessionState>();
+  state->ps = &ps;
+  state->level = level;
+  state->info_obj = info.is_null() ? Info{} : info.dup();
+  state->errh = errh;
+  {
+    std::lock_guard lock(ps.mu);
+    state->id = ps.next_session_id++;
+  }
+  return Session{state};
+}
+
+void Session::finalize() {
+  if (!state_) {
+    throw Error(ErrClass::session, "finalize of null session");
+  }
+  if (state_->finalized) {
+    state_->errh.raise(ErrClass::session, "session already finalized");
+  }
+  state_->finalized = true;
+  state_->attrs.clear();
+  state_->ps->release_instance();
+}
+
+bool Session::finalized() const {
+  if (!state_) {
+    throw Error(ErrClass::session, "null session handle");
+  }
+  return state_->finalized;
+}
+
+std::vector<std::string> Session::pset_names() const {
+  const auto& s = checked(state_);
+  auto names = s->ps->pmix().query_pset_names();
+  // mpi://self and mpi://shared are implementation-defined and resolved
+  // client-side; surface them alongside runtime-provided psets.
+  for (const char* builtin : {pmix::kPsetSelf, pmix::kPsetShared}) {
+    if (std::find(names.begin(), names.end(), builtin) == names.end()) {
+      names.push_back(builtin);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+int Session::num_psets() const {
+  return static_cast<int>(pset_names().size());
+}
+
+std::string Session::nth_pset(int n) const {
+  auto names = pset_names();
+  if (n < 0 || static_cast<std::size_t>(n) >= names.size()) {
+    checked(state_)->errh.raise(ErrClass::arg, "pset index out of range");
+  }
+  return names[static_cast<std::size_t>(n)];
+}
+
+Info Session::pset_info(const std::string& name) const {
+  const auto& s = checked(state_);
+  auto members = s->ps->pmix().query_pset_membership(name);
+  if (!members.ok()) {
+    s->errh.raise(ErrClass::arg, "unknown process set: " + name);
+  }
+  Info info;
+  info.set("pset_name", name);
+  info.set("mpi_size", std::to_string(members.value().size()));
+  return info;
+}
+
+Group Session::group_from_pset(const std::string& name) const {
+  const auto& s = checked(state_);
+  auto members = s->ps->pmix().query_pset_membership(name);
+  if (!members.ok()) {
+    s->errh.raise(ErrClass::arg, "unknown process set: " + name);
+  }
+  return Group::of(members.value());
+}
+
+ThreadLevel Session::thread_level() const { return checked(state_)->level; }
+const Errhandler& Session::errhandler() const { return checked(state_)->errh; }
+Info Session::info() const { return checked(state_)->info_obj.dup(); }
+AttributeStore& Session::attributes() const { return checked(state_)->attrs; }
+int Session::id() const { return checked(state_)->id; }
+
+}  // namespace sessmpi

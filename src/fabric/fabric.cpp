@@ -1,0 +1,53 @@
+#include "sessmpi/fabric/fabric.hpp"
+
+#include "sessmpi/base/clock.hpp"
+
+namespace sessmpi::fabric {
+
+Fabric::Fabric(base::Topology topo, base::CostModel cost)
+    : topo_(topo), cost_(cost), failed_(static_cast<std::size_t>(topo.size())) {
+  endpoints_.reserve(static_cast<std::size_t>(topo_.size()));
+  for (int i = 0; i < topo_.size(); ++i) {
+    endpoints_.push_back(std::make_unique<Endpoint>());
+    failed_[static_cast<std::size_t>(i)].store(false, std::memory_order_relaxed);
+  }
+}
+
+Endpoint& Fabric::endpoint(Rank r) {
+  if (!topo_.valid_rank(r)) {
+    throw base::Error(base::ErrClass::rte_bad_param,
+                      "invalid rank for endpoint lookup");
+  }
+  return *endpoints_[static_cast<std::size_t>(r)];
+}
+
+void Fabric::send(Packet&& packet) {
+  if (!topo_.valid_rank(packet.dst_rank) || !topo_.valid_rank(packet.src_rank)) {
+    throw base::Error(base::ErrClass::rte_bad_param, "invalid packet route");
+  }
+  const bool same_node = topo_.same_node(packet.src_rank, packet.dst_rank);
+  const std::size_t header = packet.header_bytes();
+  const std::size_t payload = packet.payload.size();
+  bytes_sent_.fetch_add(header + payload, std::memory_order_relaxed);
+  base::precise_delay(cost_.wire_cost(same_node, payload, header));
+  if (is_failed(packet.dst_rank)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Endpoint& ep = *endpoints_[static_cast<std::size_t>(packet.dst_rank)];
+  ep.delivered_.fetch_add(1, std::memory_order_relaxed);
+  ep.inbox_.push(std::move(packet));
+}
+
+void Fabric::mark_failed(Rank r) {
+  if (topo_.valid_rank(r)) {
+    failed_[static_cast<std::size_t>(r)].store(true, std::memory_order_release);
+  }
+}
+
+bool Fabric::is_failed(Rank r) const {
+  return topo_.valid_rank(r) &&
+         failed_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+}
+
+}  // namespace sessmpi::fabric

@@ -1,0 +1,77 @@
+#pragma once
+
+// The simulated interconnect. One Endpoint (blocking inbox) per rank; the
+// Fabric routes packets between endpoints, charging wire time from the cost
+// model on the sending side: shared-memory cost for intra-node traffic,
+// Aries-like network cost for inter-node traffic. Failure injection marks a
+// rank unreachable, after which sends to it are dropped (the runtime layers
+// surface this through PMIx failure events and operation timeouts).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sessmpi/base/cost_model.hpp"
+#include "sessmpi/base/error.hpp"
+#include "sessmpi/base/inbox.hpp"
+#include "sessmpi/base/topology.hpp"
+#include "sessmpi/fabric/packet.hpp"
+
+namespace sessmpi::fabric {
+
+class Endpoint {
+ public:
+  base::Inbox<Packet>& inbox() noexcept { return inbox_; }
+
+  /// Count of packets delivered to this endpoint (diagnostics / tests).
+  [[nodiscard]] std::uint64_t delivered() const noexcept {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Fabric;
+  base::Inbox<Packet> inbox_;
+  std::atomic<std::uint64_t> delivered_{0};
+};
+
+class Fabric {
+ public:
+  Fabric(base::Topology topo, base::CostModel cost);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Route a packet to its destination endpoint, injecting the modeled wire
+  /// time on the calling (sender) thread. Throws Error(rte_bad_param) for an
+  /// invalid destination. Sends to failed ranks are counted and dropped.
+  void send(Packet&& packet);
+
+  [[nodiscard]] Endpoint& endpoint(Rank r);
+  [[nodiscard]] const base::Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const base::CostModel& cost_model() const noexcept {
+    return cost_;
+  }
+
+  /// Failure injection: mark `r` unreachable.
+  void mark_failed(Rank r);
+  [[nodiscard]] bool is_failed(Rank r) const;
+
+  [[nodiscard]] std::uint64_t dropped_to_failed() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Total bytes (headers + payload) pushed through the fabric.
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  base::Topology topo_;
+  base::CostModel cost_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::atomic<bool>> failed_;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace sessmpi::fabric

@@ -1,0 +1,88 @@
+#pragma once
+
+// Wire-level packet formats.
+//
+// The fast path mirrors Open MPI's ob1 PML: a compact 14-byte match header
+// (receiver-local 16-bit CID, tag, source, sequence number) rides in front of
+// the user payload. Sessions-derived communicators additionally prepend an
+// 18-byte extended header carrying the 128-bit exCID plus the sender's local
+// CID until the receiver's CID ACK arrives (paper §III-B4). Header *sizes*
+// are modeled explicitly — the cost model charges per header byte — while
+// the in-memory representation is an ordinary struct.
+
+#include <cstdint>
+#include <vector>
+
+#include "sessmpi/base/topology.hpp"
+
+namespace sessmpi::fabric {
+
+using base::Rank;
+
+enum class PacketKind : std::uint8_t {
+  eager,      ///< eager send, fast-path match header only
+  eager_ext,  ///< eager send with extended (exCID) header prepended
+  cid_ack,    ///< control: receiver tells sender its local CID for a comm
+  rndv_rts,   ///< rendezvous ready-to-send (match header, size advertised)
+  rndv_rts_ext,  ///< rendezvous RTS with extended header
+  rndv_cts,   ///< rendezvous clear-to-send (token)
+  rndv_data,  ///< rendezvous bulk data (token)
+  sync_ack,   ///< synchronous-send acknowledgement (token)
+};
+
+/// 14-byte ob1-style match header (modeled size; see kMatchHeaderBytes).
+struct MatchHeader {
+  std::uint16_t cid = 0;   ///< local CID in the *receiver's* comm array once
+                           ///< the handshake completed; sender's before.
+  std::int32_t tag = 0;
+  std::int32_t src = 0;    ///< source rank within the communicator
+  std::uint32_t seq = 0;   ///< per (comm,peer) sequence number
+};
+inline constexpr std::size_t kMatchHeaderBytes = 14;
+
+/// Extended header for sessions-derived communicators (exCID + sender CID).
+struct ExtHeader {
+  std::uint64_t excid_hi = 0;  ///< PGCID half of the exCID
+  std::uint64_t excid_lo = 0;  ///< subfield half of the exCID
+  std::uint16_t sender_cid = 0;
+};
+inline constexpr std::size_t kExtHeaderBytes = 18;
+
+struct Packet {
+  PacketKind kind = PacketKind::eager;
+  Rank src_rank = -1;  ///< global source rank
+  Rank dst_rank = -1;  ///< global destination rank
+  MatchHeader match;
+  ExtHeader ext;                    ///< valid for *_ext and cid_ack kinds
+  std::uint64_t token = 0;          ///< rendezvous / sync-send pairing token
+  std::uint64_t advertised_size = 0;  ///< rndv_rts: payload size to come
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] bool has_ext_header() const noexcept {
+    return kind == PacketKind::eager_ext || kind == PacketKind::rndv_rts_ext;
+  }
+
+  /// Modeled wire header size in bytes (charged by the cost model).
+  [[nodiscard]] std::size_t header_bytes() const noexcept {
+    switch (kind) {
+      case PacketKind::eager:
+        return kMatchHeaderBytes;
+      case PacketKind::eager_ext:
+        return kMatchHeaderBytes + kExtHeaderBytes;
+      case PacketKind::rndv_rts:
+        return kMatchHeaderBytes + 8;  // + advertised size
+      case PacketKind::rndv_rts_ext:
+        return kMatchHeaderBytes + kExtHeaderBytes + 8;
+      case PacketKind::cid_ack:
+        return kExtHeaderBytes + 2;  // exCID + receiver CID
+      case PacketKind::rndv_cts:
+      case PacketKind::sync_ack:
+        return 8;  // token
+      case PacketKind::rndv_data:
+        return 8 + kMatchHeaderBytes;
+    }
+    return kMatchHeaderBytes;
+  }
+};
+
+}  // namespace sessmpi::fabric

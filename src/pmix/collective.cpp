@@ -1,0 +1,93 @@
+#include "sessmpi/pmix/collective.hpp"
+
+#include <algorithm>
+
+namespace sessmpi::pmix {
+
+namespace {
+/// Poll slice while waiting: bounds how stale the failure oracle can be.
+/// Completion itself is notify-driven; this only schedules failure checks,
+/// so it is kept long to avoid wake-up storms at high rank counts.
+constexpr base::Nanos kPollSlice{10'000'000};  // 10 ms
+}  // namespace
+
+CollectiveEngine::CollectiveEngine(FailureOracle is_failed)
+    : is_failed_(std::move(is_failed)) {}
+
+std::size_t CollectiveEngine::active_ops() const {
+  std::lock_guard lock(mu_);
+  return ops_.size();
+}
+
+CollectiveEngine::Outcome CollectiveEngine::arrive(
+    const std::string& key, const std::vector<ProcId>& participants,
+    ProcId self, std::optional<base::Nanos> timeout,
+    const std::function<std::uint64_t()>& on_complete,
+    std::int64_t post_release_delay_ns) {
+  std::unique_lock lock(mu_);
+
+  if (auto it = aborted_.find(key); it != aborted_.end()) {
+    return {base::RtStatus::fail(it->second), 0};
+  }
+
+  auto& slot = ops_[key];
+  if (!slot) {
+    slot = std::make_shared<Op>();
+    slot->participants = participants;
+  }
+  std::shared_ptr<Op> op = slot;
+  if (op->participants != participants) {
+    return {base::RtStatus::fail(base::ErrClass::rte_bad_param), 0};
+  }
+
+  ++op->arrived;
+  if (op->arrived == op->participants.size()) {
+    op->completed = true;
+    op->status = base::RtStatus::success();
+    op->value = on_complete ? on_complete() : 0;
+    op->cv.notify_all();
+  } else {
+    const auto deadline =
+        timeout ? std::optional{base::Clock::now() + *timeout} : std::nullopt;
+    while (!op->completed) {
+      auto slice_end = base::Clock::now() + kPollSlice;
+      if (deadline && *deadline < slice_end) {
+        slice_end = *deadline;
+      }
+      op->cv.wait_until(lock, slice_end);
+      if (op->completed) {
+        break;
+      }
+      // Abort paths. Only one thread performs the abort (completed flag).
+      const bool timed_out = deadline && base::Clock::now() >= *deadline;
+      const bool peer_failed =
+          is_failed_ && std::any_of(op->participants.begin(),
+                                    op->participants.end(), is_failed_);
+      if (timed_out || peer_failed) {
+        op->completed = true;
+        op->status = base::RtStatus::fail(peer_failed
+                                              ? base::ErrClass::rte_proc_failed
+                                              : base::ErrClass::rte_timeout);
+        aborted_[key] = op->status.cls;
+        op->cv.notify_all();
+        break;
+      }
+    }
+  }
+
+  const Outcome out{op->status, op->value};
+  ++op->departed;
+  const bool everyone_done = op->departed == op->participants.size();
+  const bool failed_and_drained = !op->status.ok() && op->departed == op->arrived;
+  if (everyone_done || failed_and_drained) {
+    ops_.erase(key);
+  }
+  lock.unlock();
+
+  if (out.status.ok()) {
+    base::precise_delay(post_release_delay_ns);
+  }
+  return out;
+}
+
+}  // namespace sessmpi::pmix

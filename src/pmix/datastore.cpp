@@ -1,0 +1,75 @@
+#include "sessmpi/pmix/datastore.hpp"
+
+namespace sessmpi::pmix {
+
+void Datastore::put(ProcId proc, const std::string& key, Value value) {
+  std::lock_guard lock(mu_);
+  staged_[proc][key] = std::move(value);
+}
+
+std::size_t Datastore::commit(ProcId proc) {
+  std::size_t published = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = staged_.find(proc);
+    if (it == staged_.end()) {
+      return 0;
+    }
+    for (auto& [key, value] : it->second) {
+      published_[proc][key] = std::move(value);
+      ++published;
+    }
+    staged_.erase(it);
+  }
+  cv_.notify_all();
+  return published;
+}
+
+std::optional<Value> Datastore::get_immediate(ProcId proc,
+                                              const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto pit = published_.find(proc);
+  if (pit == published_.end()) {
+    return std::nullopt;
+  }
+  auto kit = pit->second.find(key);
+  if (kit == pit->second.end()) {
+    return std::nullopt;
+  }
+  return kit->second;
+}
+
+std::optional<Value> Datastore::get(ProcId proc, const std::string& key,
+                                    base::Nanos timeout) {
+  std::unique_lock lock(mu_);
+  const auto deadline = base::Clock::now() + timeout;
+  for (;;) {
+    auto pit = published_.find(proc);
+    if (pit != published_.end()) {
+      auto kit = pit->second.find(key);
+      if (kit != pit->second.end()) {
+        return kit->second;
+      }
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return std::nullopt;
+    }
+  }
+}
+
+void Datastore::purge(ProcId proc) {
+  std::lock_guard lock(mu_);
+  staged_.erase(proc);
+  published_.erase(proc);
+}
+
+std::size_t Datastore::published_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [proc, keys] : published_) {
+    n += keys.size();
+  }
+  return n;
+}
+
+}  // namespace sessmpi::pmix

@@ -1,0 +1,58 @@
+#include "sessmpi/pmix/events.hpp"
+
+#include <algorithm>
+
+namespace sessmpi::pmix {
+
+int EventBus::register_handler(ProcId self, Handler handler) {
+  std::lock_guard lock(mu_);
+  const int id = next_id_++;
+  handlers_[self].emplace_back(id, std::move(handler));
+  return id;
+}
+
+void EventBus::deregister_handler(ProcId self, int id) {
+  std::lock_guard lock(mu_);
+  auto it = handlers_.find(self);
+  if (it == handlers_.end()) {
+    return;
+  }
+  std::erase_if(it->second, [id](const auto& p) { return p.first == id; });
+}
+
+void EventBus::notify(const Event& event, const std::vector<ProcId>& targets) {
+  std::lock_guard lock(mu_);
+  for (ProcId t : targets) {
+    queues_[t].push_back(event);
+  }
+}
+
+std::vector<Event> EventBus::poll(ProcId self) {
+  std::vector<Event> drained;
+  std::vector<std::pair<int, Handler>> handlers;
+  {
+    std::lock_guard lock(mu_);
+    auto qit = queues_.find(self);
+    if (qit != queues_.end()) {
+      drained.swap(qit->second);
+    }
+    auto hit = handlers_.find(self);
+    if (hit != handlers_.end()) {
+      handlers = hit->second;  // copy so handlers may (de)register themselves
+    }
+  }
+  for (const Event& e : drained) {
+    for (const auto& [id, handler] : handlers) {
+      handler(e);
+    }
+  }
+  return drained;
+}
+
+std::size_t EventBus::pending(ProcId self) const {
+  std::lock_guard lock(mu_);
+  auto it = queues_.find(self);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace sessmpi::pmix

@@ -1,0 +1,83 @@
+#include "sessmpi/pmix/group.hpp"
+
+#include <algorithm>
+
+namespace sessmpi::pmix {
+
+bool GroupRegistry::add(GroupRecord record) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = groups_.emplace(record.name, std::move(record));
+  return inserted;
+}
+
+std::optional<GroupRecord> GroupRegistry::remove(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = groups_.find(name);
+  if (it == groups_.end()) {
+    return std::nullopt;
+  }
+  GroupRecord rec = std::move(it->second);
+  groups_.erase(it);
+  return rec;
+}
+
+std::optional<GroupRecord> GroupRegistry::lookup(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = groups_.find(name);
+  if (it == groups_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<GroupRecord> GroupRegistry::lookup_by_pgcid(
+    std::uint64_t pgcid) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, rec] : groups_) {
+    if (rec.pgcid == pgcid) {
+      return rec;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<ProcId>> GroupRegistry::leave(const std::string& name,
+                                                        ProcId proc) {
+  std::lock_guard lock(mu_);
+  auto it = groups_.find(name);
+  if (it == groups_.end()) {
+    return std::nullopt;
+  }
+  auto& members = it->second.members;
+  std::erase(members, proc);
+  return members;
+}
+
+std::size_t GroupRegistry::count() const {
+  std::lock_guard lock(mu_);
+  return groups_.size();
+}
+
+std::vector<std::string> GroupRegistry::names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(groups_.size());
+  for (const auto& [name, rec] : groups_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<GroupRecord> GroupRegistry::groups_of(ProcId proc) const {
+  std::lock_guard lock(mu_);
+  std::vector<GroupRecord> out;
+  for (const auto& [name, rec] : groups_) {
+    if (std::find(rec.members.begin(), rec.members.end(), proc) !=
+        rec.members.end()) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+}  // namespace sessmpi::pmix

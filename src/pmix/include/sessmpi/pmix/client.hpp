@@ -1,0 +1,124 @@
+#pragma once
+
+// Per-process PMIx client. Provides the subset of the PMIx API the MPI
+// Sessions prototype needed (paper §III-A): modex put/commit/get, fence,
+// collective group construct/destruct (with directives: leader, timeout,
+// PGCID request, termination events), asynchronous group departure, pset
+// and group queries, and event-handler registration.
+//
+// Collectives run in the three-stage hierarchical fashion described in the
+// paper: node-local gather at the local server, inter-server all-to-all
+// (modeled by the cost model's exchange costs), node-local release.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sessmpi/base/result.hpp"
+#include "sessmpi/pmix/runtime.hpp"
+
+namespace sessmpi::pmix {
+
+struct GroupResult {
+  std::uint64_t pgcid = 0;
+  ProcId leader = -1;
+  std::vector<ProcId> members;
+};
+
+class PmixClient {
+ public:
+  /// PMIx_Init: attaches to the node-local server (cost: one serialized RPC
+  /// plus the modeled client-init time).
+  PmixClient(PmixRuntime& runtime, ProcId self);
+
+  /// PMIx_Finalize: departs any live groups asynchronously.
+  ~PmixClient();
+
+  PmixClient(const PmixClient&) = delete;
+  PmixClient& operator=(const PmixClient&) = delete;
+
+  [[nodiscard]] ProcId self() const noexcept { return self_; }
+  [[nodiscard]] PmixRuntime& runtime() noexcept { return runtime_; }
+
+  // --- modex -------------------------------------------------------------
+  void put(const std::string& key, Value value);
+  std::size_t commit();
+  /// Blocking lookup of `key` published by `proc` (dmodex semantics).
+  base::Result<Value> get(ProcId proc, const std::string& key,
+                          base::Nanos timeout = std::chrono::seconds(5));
+
+  // --- fence ---------------------------------------------------------------
+  /// Collective barrier over `procs` (must contain self). Events queued for
+  /// this process are delivered (handlers invoked) before returning.
+  base::RtStatus fence(const std::vector<ProcId>& procs,
+                       bool collect_data = false,
+                       std::optional<base::Nanos> timeout = std::nullopt);
+
+  // --- groups --------------------------------------------------------------
+  base::Result<GroupResult> group_construct(const std::string& name,
+                                            const std::vector<ProcId>& members,
+                                            const GroupDirectives& dirs = {});
+  /// Acquire a fresh PGCID collectively over `members` without registering
+  /// a named group (models a construct/destruct pair used purely for CID
+  /// generation; cost equals the group construct exchange). This is how the
+  /// MPI layer's exCID generator obtains new 64-bit ids (paper §III-B3).
+  /// `context` keeps concurrent acquisitions from overlapping member sets
+  /// apart (the MPI layer passes the user-visible string tag).
+  base::Result<std::uint64_t> acquire_pgcid(
+      const std::vector<ProcId>& members, const std::string& context = "",
+      std::optional<base::Nanos> timeout = std::nullopt);
+
+  base::RtStatus group_destruct(const std::string& name,
+                                const std::vector<ProcId>& members,
+                                std::optional<base::Nanos> timeout = std::nullopt);
+  /// Asynchronous departure: remaining members receive group_member_left.
+  base::RtStatus group_leave(const std::string& name);
+
+  // --- asynchronous (invite/join) construction (paper §III-A) -------------
+  /// Initiator: open an invitation; invitees receive group_invited events.
+  base::RtStatus group_invite(const std::string& name,
+                              const std::vector<ProcId>& members);
+  /// Invitee responses.
+  base::RtStatus group_join(const std::string& name);
+  base::RtStatus group_decline(const std::string& name);
+  /// Initiator: wait (up to `timeout`) for responses, then close the
+  /// invitation. Decliners and non-responders are dropped; the group forms
+  /// from whoever joined, gets a PGCID, and joined members receive
+  /// group_ready events.
+  base::Result<GroupResult> group_invite_finalize(
+      const std::string& name, const GroupDirectives& dirs = {},
+      std::optional<base::Nanos> timeout = std::nullopt);
+
+  // --- queries -------------------------------------------------------------
+  [[nodiscard]] std::size_t query_num_psets();
+  [[nodiscard]] std::vector<std::string> query_pset_names();
+  base::Result<std::vector<ProcId>> query_pset_membership(
+      const std::string& name);
+  [[nodiscard]] std::size_t query_num_groups();
+  [[nodiscard]] std::vector<std::string> query_group_names();
+
+  // --- events ----------------------------------------------------------------
+  int register_event_handler(EventBus::Handler handler);
+  void deregister_event_handler(int id);
+  std::vector<Event> poll_events();
+
+ private:
+  /// Three-stage hierarchical collective. `on_complete` runs exactly once
+  /// across all participants (on the last delegate of the inter-server
+  /// stage); its value is distributed to every participant.
+  CollectiveEngine::Outcome hier_collective(
+      const std::string& op_tag, const std::vector<ProcId>& participants,
+      std::optional<base::Nanos> timeout,
+      const std::function<std::uint64_t()>& on_complete,
+      std::int64_t exchange_delay_ns);
+
+  std::uint64_t next_seq(const std::string& op_key);
+
+  PmixRuntime& runtime_;
+  ProcId self_;
+  std::map<std::string, std::uint64_t> seq_;
+};
+
+}  // namespace sessmpi::pmix

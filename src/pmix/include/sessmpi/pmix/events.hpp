@@ -1,0 +1,60 @@
+#pragma once
+
+// PMIx event notification subsystem: clients register handlers; the runtime
+// (or other clients) raise events targeted at sets of processes. Events are
+// queued per target and delivered when the target polls (clients poll during
+// fences and explicitly), keeping delivery on the target's own thread.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sessmpi/pmix/value.hpp"
+
+namespace sessmpi::pmix {
+
+enum class EventKind : std::uint8_t {
+  proc_failed,        ///< a process terminated without leaving its groups
+  group_member_left,  ///< a member departed a PMIx group
+  group_invalidated,  ///< a group was destructed / its id invalidated
+  group_invited,      ///< asynchronous construction: you are invited
+  group_ready,        ///< asynchronous construction completed
+  user,               ///< application-raised event
+};
+
+struct Event {
+  EventKind kind = EventKind::user;
+  ProcId about = -1;       ///< the process the event concerns
+  std::string group;       ///< group name, when group-related
+  std::uint64_t pgcid = 0; ///< group id, when group-related
+  std::string info;        ///< free-form payload
+};
+
+class EventBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  /// Register a handler for `self`; returns a registration id.
+  int register_handler(ProcId self, Handler handler);
+  void deregister_handler(ProcId self, int id);
+
+  /// Queue `event` for every process in `targets`.
+  void notify(const Event& event, const std::vector<ProcId>& targets);
+
+  /// Drain `self`'s queue, invoking registered handlers on the caller's
+  /// thread; returns the drained events.
+  std::vector<Event> poll(ProcId self);
+
+  [[nodiscard]] std::size_t pending(ProcId self) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<ProcId, std::vector<std::pair<int, Handler>>> handlers_;
+  std::map<ProcId, std::vector<Event>> queues_;
+  int next_id_ = 1;
+};
+
+}  // namespace sessmpi::pmix

@@ -1,0 +1,64 @@
+#pragma once
+
+// PMIx group bookkeeping: live groups with their PGCID and membership, plus
+// the directive set accepted by the collective group constructor (paper
+// §III-A): leader selection, timeout, PGCID request, termination events.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sessmpi/base/clock.hpp"
+#include "sessmpi/pmix/value.hpp"
+
+namespace sessmpi::pmix {
+
+/// Directives accepted by PMIx_Group_construct.
+struct GroupDirectives {
+  std::optional<ProcId> leader;            ///< default: lowest participant
+  std::optional<base::Nanos> timeout;      ///< abort construct after this long
+  bool request_pgcid = true;               ///< assign a Process Group Context Id
+  bool notify_on_termination = false;      ///< raise events on member death
+  bool error_on_early_termination = false; ///< treat pre-join death as error
+};
+
+struct GroupRecord {
+  std::string name;
+  std::uint64_t pgcid = 0;
+  ProcId leader = -1;
+  std::vector<ProcId> members;
+  bool notify_on_termination = false;
+};
+
+class GroupRegistry {
+ public:
+  /// Register a constructed group. Returns false if the name is live.
+  bool add(GroupRecord record);
+
+  /// Remove a group (destruct). Returns the removed record, if any.
+  std::optional<GroupRecord> remove(const std::string& name);
+
+  [[nodiscard]] std::optional<GroupRecord> lookup(const std::string& name) const;
+  [[nodiscard]] std::optional<GroupRecord> lookup_by_pgcid(
+      std::uint64_t pgcid) const;
+
+  /// A member departs; returns remaining members, or nullopt if no group.
+  std::optional<std::vector<ProcId>> leave(const std::string& name,
+                                           ProcId proc);
+
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Groups (names) that `proc` currently belongs to.
+  [[nodiscard]] std::vector<GroupRecord> groups_of(ProcId proc) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, GroupRecord> groups_;
+};
+
+}  // namespace sessmpi::pmix

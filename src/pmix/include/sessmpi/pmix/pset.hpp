@@ -1,0 +1,47 @@
+#pragma once
+
+// Process-set registry. Process sets are *names for lists of processes*
+// (paper §III-B6) — distinct from PMIx groups, which are live objects with a
+// PGCID. The runtime predefines mpi://world, mpi://self and mpi://shared;
+// site-specific sets can be added by the resource manager (tests and
+// examples use this to model site-defined psets).
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sessmpi/pmix/value.hpp"
+
+namespace sessmpi::pmix {
+
+inline constexpr const char* kPsetWorld = "mpi://world";
+inline constexpr const char* kPsetSelf = "mpi://self";
+inline constexpr const char* kPsetShared = "mpi://shared";
+
+class PsetRegistry {
+ public:
+  /// Define or replace a named pset.
+  void define(const std::string& name, std::vector<ProcId> members);
+
+  /// Members of a pset, or nullopt if undefined. Per-process psets
+  /// (mpi://self, mpi://shared) are resolved relative to `asker`.
+  [[nodiscard]] std::optional<std::vector<ProcId>> lookup(
+      const std::string& name) const;
+
+  [[nodiscard]] std::size_t count() const;
+
+  /// All pset names, sorted. When `member` is given, only psets containing
+  /// that process are returned (how PMIX_QUERY_PSET_NAMES behaves per-proc).
+  [[nodiscard]] std::vector<std::string> names(
+      std::optional<ProcId> member = std::nullopt) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<ProcId>> psets_;
+};
+
+}  // namespace sessmpi::pmix

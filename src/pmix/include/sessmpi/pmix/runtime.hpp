@@ -1,0 +1,156 @@
+#pragma once
+
+// Allocation-wide shared PMIx state: the modex datastore, the collective
+// rendezvous engine, pset/group registries, the event bus, the PGCID
+// allocator and the per-node servers. One PmixRuntime exists per simulated
+// allocation; PRRTE (src/prte) owns it.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sessmpi/base/cost_model.hpp"
+#include "sessmpi/base/topology.hpp"
+#include "sessmpi/pmix/collective.hpp"
+#include "sessmpi/pmix/datastore.hpp"
+#include "sessmpi/pmix/events.hpp"
+#include "sessmpi/pmix/group.hpp"
+#include "sessmpi/pmix/invite.hpp"
+#include "sessmpi/pmix/pset.hpp"
+
+namespace sessmpi::pmix {
+
+class PmixServer;
+
+/// Tiny shared blackboard used to hand a value computed by a node delegate
+/// in the inter-server stage of a hierarchical collective to the node-local
+/// release stage.
+class ValueBoard {
+ public:
+  /// Idempotent: every node delegate posts the same value.
+  void post(const std::string& key, std::uint64_t value) {
+    std::lock_guard lock(mu_);
+    values_[key].value = value;
+  }
+  [[nodiscard]] std::uint64_t read(const std::string& key) const {
+    std::lock_guard lock(mu_);
+    auto it = values_.find(key);
+    return it == values_.end() ? 0 : it->second.value;
+  }
+  /// Read the value and count one consumer; the entry is erased when
+  /// `expected` consumers have read it. This is how the per-node release
+  /// stages of a hierarchical collective retire the entry without racing
+  /// each other (each node consumes exactly once).
+  [[nodiscard]] std::uint64_t consume(const std::string& key, int expected) {
+    std::lock_guard lock(mu_);
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return 0;
+    }
+    const std::uint64_t v = it->second.value;
+    if (++it->second.consumed >= expected) {
+      values_.erase(it);
+    }
+    return v;
+  }
+  void erase(const std::string& key) {
+    std::lock_guard lock(mu_);
+    values_.erase(key);
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return values_.size();
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t value = 0;
+    int consumed = 0;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> values_;
+};
+
+class PmixRuntime {
+ public:
+  PmixRuntime(base::Topology topo, base::CostModel cost);
+  ~PmixRuntime();
+
+  PmixRuntime(const PmixRuntime&) = delete;
+  PmixRuntime& operator=(const PmixRuntime&) = delete;
+
+  [[nodiscard]] const base::Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const base::CostModel& cost() const noexcept { return cost_; }
+
+  [[nodiscard]] Datastore& datastore() noexcept { return datastore_; }
+  [[nodiscard]] CollectiveEngine& collectives() noexcept { return *collectives_; }
+  [[nodiscard]] PsetRegistry& psets() noexcept { return psets_; }
+  [[nodiscard]] GroupRegistry& groups() noexcept { return groups_; }
+  [[nodiscard]] EventBus& events() noexcept { return events_; }
+  [[nodiscard]] ValueBoard& board() noexcept { return board_; }
+  [[nodiscard]] InviteBoard& invites() noexcept { return invites_; }
+
+  [[nodiscard]] PmixServer& server(int node);
+  [[nodiscard]] PmixServer& server_of(ProcId proc);
+
+  /// Allocate a Process Group Context Identifier: unique within the
+  /// allocation, guaranteed non-zero (paper §III-B3).
+  std::uint64_t alloc_pgcid() noexcept {
+    return next_pgcid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Next PGCID that would be handed out (tests).
+  [[nodiscard]] std::uint64_t peek_pgcid() const noexcept {
+    return next_pgcid_.load(std::memory_order_relaxed);
+  }
+
+  /// Failure injection: mark a process dead, purge its modex data, and raise
+  /// proc_failed events to co-members of any group that asked for
+  /// termination notification.
+  void notify_proc_failed(ProcId proc);
+  [[nodiscard]] bool is_failed(ProcId proc) const;
+  [[nodiscard]] std::vector<ProcId> failed_procs() const;
+
+ private:
+  base::Topology topo_;
+  base::CostModel cost_;
+  Datastore datastore_;
+  std::unique_ptr<CollectiveEngine> collectives_;
+  PsetRegistry psets_;
+  GroupRegistry groups_;
+  EventBus events_;
+  ValueBoard board_;
+  InviteBoard invites_;
+  std::vector<std::unique_ptr<PmixServer>> servers_;
+  std::atomic<std::uint64_t> next_pgcid_{1};
+  mutable std::mutex failed_mu_;
+  std::vector<ProcId> failed_;
+};
+
+/// Per-node PMIx server. Local client RPCs serialize through the server,
+/// which is what makes fully-subscribed nodes (28 procs per node in the
+/// paper) pay more for runtime operations than sparsely populated ones.
+class PmixServer {
+ public:
+  PmixServer(PmixRuntime& runtime, int node) : runtime_(runtime), node_(node) {}
+
+  /// Model one client<->server RPC: serialized through the server thread.
+  void rpc_delay();
+
+  [[nodiscard]] int node() const noexcept { return node_; }
+  [[nodiscard]] std::uint64_t rpcs_served() const noexcept {
+    return rpcs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  PmixRuntime& runtime_;
+  int node_;
+  std::mutex rpc_mu_;
+  std::atomic<std::uint64_t> rpcs_{0};
+};
+
+}  // namespace sessmpi::pmix

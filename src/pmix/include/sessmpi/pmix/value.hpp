@@ -1,0 +1,28 @@
+#pragma once
+
+// PMIx-style typed values exchanged through the modex datastore and returned
+// by queries.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sessmpi/base/topology.hpp"
+
+namespace sessmpi::pmix {
+
+/// Identifier of a process within the allocation (global rank).
+using ProcId = base::Rank;
+
+using Value = std::variant<std::string, std::int64_t, std::uint64_t,
+                           std::vector<ProcId>, std::vector<std::byte>>;
+
+/// Well-known query keys (paper §III-A).
+inline constexpr const char* kQueryNumPsets = "PMIX_QUERY_NUM_PSETS";
+inline constexpr const char* kQueryPsetNames = "PMIX_QUERY_PSET_NAMES";
+inline constexpr const char* kQueryPsetMembership = "PMIX_QUERY_PSET_MEMBERSHIP";
+inline constexpr const char* kQueryNumGroups = "PMIX_QUERY_NUM_GROUPS";
+inline constexpr const char* kQueryGroupNames = "PMIX_QUERY_GROUP_NAMES";
+
+}  // namespace sessmpi::pmix

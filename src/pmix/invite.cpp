@@ -1,0 +1,108 @@
+#include "sessmpi/pmix/invite.hpp"
+
+#include <algorithm>
+
+namespace sessmpi::pmix {
+
+base::RtStatus InviteBoard::open(const std::string& name, ProcId initiator,
+                                 const std::vector<ProcId>& invited) {
+  std::lock_guard lock(mu_);
+  if (entries_.contains(name)) {
+    return base::RtStatus::fail(base::ErrClass::rte_exists);
+  }
+  Entry e;
+  e.st.name = name;
+  e.st.initiator = initiator;
+  e.st.invited = invited;
+  for (ProcId p : invited) {
+    e.responses[p] = InviteResponse::pending;
+  }
+  // The initiator implicitly joins its own group.
+  if (e.responses.contains(initiator)) {
+    e.responses[initiator] = InviteResponse::joined;
+    e.st.joined.push_back(initiator);
+  }
+  entries_.emplace(name, std::move(e));
+  return base::RtStatus::success();
+}
+
+base::RtStatus InviteBoard::respond(const std::string& name, ProcId who,
+                                    bool join) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return base::RtStatus::fail(base::ErrClass::rte_not_found);
+    }
+    auto rit = it->second.responses.find(who);
+    if (rit == it->second.responses.end() ||
+        rit->second != InviteResponse::pending) {
+      return base::RtStatus::fail(base::ErrClass::rte_bad_param);
+    }
+    rit->second = join ? InviteResponse::joined : InviteResponse::declined;
+    (join ? it->second.st.joined : it->second.st.declined).push_back(who);
+  }
+  cv_.notify_all();
+  return base::RtStatus::success();
+}
+
+bool InviteBoard::all_answered(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return false;
+  }
+  return std::all_of(it->second.responses.begin(), it->second.responses.end(),
+                     [](const auto& kv) {
+                       return kv.second != InviteResponse::pending;
+                     });
+}
+
+std::optional<InviteStatus> InviteBoard::status(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second.st;
+}
+
+base::Result<InviteStatus> InviteBoard::finalize(
+    const std::string& name, std::optional<base::Nanos> timeout) {
+  std::unique_lock lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return base::ErrClass::rte_not_found;
+  }
+  const auto answered = [&] {
+    return std::all_of(
+        it->second.responses.begin(), it->second.responses.end(),
+        [](const auto& kv) { return kv.second != InviteResponse::pending; });
+  };
+  if (timeout) {
+    cv_.wait_for(lock, *timeout, answered);
+  } else {
+    cv_.wait(lock, answered);
+  }
+  // Close regardless: pending invitees are dropped (the paper's "replace
+  // processes that ... fail to respond within a specified time").
+  it->second.st.completed = true;
+  InviteStatus out = it->second.st;
+  entries_.erase(it);
+  return out;
+}
+
+void InviteBoard::set_pgcid(const std::string& name, std::uint64_t pgcid) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    it->second.st.pgcid = pgcid;
+  }
+}
+
+std::size_t InviteBoard::open_invitations() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace sessmpi::pmix

@@ -1,0 +1,46 @@
+#include "sessmpi/pmix/pset.hpp"
+
+#include <algorithm>
+
+namespace sessmpi::pmix {
+
+void PsetRegistry::define(const std::string& name,
+                          std::vector<ProcId> members) {
+  std::lock_guard lock(mu_);
+  psets_[name] = std::move(members);
+}
+
+std::optional<std::vector<ProcId>> PsetRegistry::lookup(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = psets_.find(name);
+  if (it == psets_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::size_t PsetRegistry::count() const {
+  std::lock_guard lock(mu_);
+  return psets_.size();
+}
+
+std::vector<std::string> PsetRegistry::names(
+    std::optional<ProcId> member) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, members] : psets_) {
+    if (!member ||
+        std::find(members.begin(), members.end(), *member) != members.end()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+bool PsetRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return psets_.contains(name);
+}
+
+}  // namespace sessmpi::pmix

@@ -1,0 +1,79 @@
+#include "sessmpi/pmix/runtime.hpp"
+
+#include <algorithm>
+
+#include "sessmpi/base/clock.hpp"
+#include "sessmpi/base/error.hpp"
+
+namespace sessmpi::pmix {
+
+PmixRuntime::PmixRuntime(base::Topology topo, base::CostModel cost)
+    : topo_(topo), cost_(cost) {
+  collectives_ = std::make_unique<CollectiveEngine>(
+      [this](ProcId p) { return is_failed(p); });
+  servers_.reserve(static_cast<std::size_t>(topo_.num_nodes));
+  for (int n = 0; n < topo_.num_nodes; ++n) {
+    servers_.push_back(std::make_unique<PmixServer>(*this, n));
+  }
+}
+
+PmixRuntime::~PmixRuntime() = default;
+
+PmixServer& PmixRuntime::server(int node) {
+  if (node < 0 || node >= topo_.num_nodes) {
+    throw base::Error(base::ErrClass::rte_bad_param, "invalid node id");
+  }
+  return *servers_[static_cast<std::size_t>(node)];
+}
+
+PmixServer& PmixRuntime::server_of(ProcId proc) {
+  return server(topo_.node_of(proc));
+}
+
+void PmixRuntime::notify_proc_failed(ProcId proc) {
+  {
+    std::lock_guard lock(failed_mu_);
+    if (std::find(failed_.begin(), failed_.end(), proc) != failed_.end()) {
+      return;
+    }
+    failed_.push_back(proc);
+  }
+  datastore_.purge(proc);
+  // Raise proc_failed events to co-members of groups that requested
+  // termination notification (paper §III-A).
+  for (const GroupRecord& rec : groups_.groups_of(proc)) {
+    if (!rec.notify_on_termination) {
+      continue;
+    }
+    std::vector<ProcId> targets;
+    for (ProcId m : rec.members) {
+      if (m != proc) {
+        targets.push_back(m);
+      }
+    }
+    Event e;
+    e.kind = EventKind::proc_failed;
+    e.about = proc;
+    e.group = rec.name;
+    e.pgcid = rec.pgcid;
+    events_.notify(e, targets);
+  }
+}
+
+bool PmixRuntime::is_failed(ProcId proc) const {
+  std::lock_guard lock(failed_mu_);
+  return std::find(failed_.begin(), failed_.end(), proc) != failed_.end();
+}
+
+std::vector<ProcId> PmixRuntime::failed_procs() const {
+  std::lock_guard lock(failed_mu_);
+  return failed_;
+}
+
+void PmixServer::rpc_delay() {
+  rpcs_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(rpc_mu_);
+  base::precise_delay(runtime_.cost().srv_rpc_ns);
+}
+
+}  // namespace sessmpi::pmix

@@ -1,0 +1,65 @@
+#include "sessmpi/prte/dvm.hpp"
+
+#include "sessmpi/base/clock.hpp"
+#include "sessmpi/base/error.hpp"
+
+namespace sessmpi::prte {
+
+Dvm::Dvm(JobSpec spec) : spec_(std::move(spec)), pmix_(spec_.topo, spec_.cost) {
+  if (spec_.topo.num_nodes < 1 || spec_.topo.procs_per_node < 1) {
+    throw base::Error(base::ErrClass::rte_bad_param, "empty allocation");
+  }
+  node_loads_.reserve(static_cast<std::size_t>(spec_.topo.num_nodes));
+  for (int n = 0; n < spec_.topo.num_nodes; ++n) {
+    node_loads_.push_back(std::make_unique<NodeLoad>());
+  }
+  // The runtime always provides mpi://world; mpi://self and mpi://shared are
+  // resolved per-asker by the PMIx client.
+  std::vector<pmix::ProcId> world(static_cast<std::size_t>(spec_.topo.size()));
+  for (int i = 0; i < spec_.topo.size(); ++i) {
+    world[static_cast<std::size_t>(i)] = i;
+  }
+  pmix_.psets().define(pmix::kPsetWorld, std::move(world));
+  for (auto& [name, members] : spec_.extra_psets) {
+    pmix_.psets().define(name, members);
+  }
+}
+
+bool Dvm::load_components(int node) {
+  if (node < 0 || node >= spec_.topo.num_nodes) {
+    throw base::Error(base::ErrClass::rte_bad_param, "invalid node");
+  }
+  NodeLoad& nl = *node_loads_[static_cast<std::size_t>(node)];
+  std::lock_guard lock(nl.mu);
+  if (nl.loaded) {
+    return false;
+  }
+  // First process on the node pulls the component stack over NFS; the cost
+  // grows with allocation size because every node hits the filer at once.
+  base::precise_delay(spec_.cost.nfs_load_cost(spec_.topo.num_nodes));
+  nl.loaded = true;
+  return true;
+}
+
+bool Dvm::components_loaded(int node) const {
+  if (node < 0 || node >= spec_.topo.num_nodes) {
+    return false;
+  }
+  NodeLoad& nl = *node_loads_[static_cast<std::size_t>(node)];
+  std::lock_guard lock(nl.mu);
+  return nl.loaded;
+}
+
+void Dvm::attach_process(pmix::ProcId proc) {
+  if (!spec_.topo.valid_rank(proc)) {
+    throw base::Error(base::ErrClass::rte_bad_param, "invalid proc");
+  }
+  base::precise_delay(spec_.cost.proc_attach_ns);
+}
+
+void Dvm::define_pset(const std::string& name,
+                      std::vector<pmix::ProcId> members) {
+  pmix_.psets().define(name, std::move(members));
+}
+
+}  // namespace sessmpi::prte

@@ -1,0 +1,43 @@
+#pragma once
+
+// Simulated parallel filesystem backing MPI_File operations: one byte store
+// per path, shared across the allocation (the moral equivalent of the NFS /
+// Lustre mount the runtime nodes share). Thread-safe; costs are charged by
+// the MPI layer, not here.
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sessmpi::prte {
+
+class SimFs {
+ public:
+  /// Create the file if absent; returns false if it already existed.
+  bool create(const std::string& path);
+  [[nodiscard]] bool exists(const std::string& path) const;
+  /// Remove a file; returns false if absent.
+  bool remove(const std::string& path);
+  /// Truncate/extend to `size` (zero-filled). Creates if absent.
+  void set_size(const std::string& path, std::size_t size);
+  [[nodiscard]] std::optional<std::size_t> size(const std::string& path) const;
+
+  /// Write `n` bytes at `offset`, extending the file as needed.
+  void write(const std::string& path, std::size_t offset, const void* data,
+             std::size_t n);
+  /// Read up to `n` bytes at `offset`; returns bytes actually read
+  /// (0 at/after EOF). Throws nothing; unknown paths read 0 bytes.
+  std::size_t read(const std::string& path, std::size_t offset, void* data,
+                   std::size_t n) const;
+
+  [[nodiscard]] std::size_t file_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::byte>> files_;
+};
+
+}  // namespace sessmpi::prte

@@ -1,0 +1,84 @@
+#pragma once
+
+// QUO-like runtime (paper §IV-E): dynamic reconfiguration support for
+// coupled MPI + threads applications. The piece the paper evaluates is
+// process quiescence — QUO_barrier() — in two flavours:
+//
+//  * baseline: the low-overhead node-local mechanism of QUO 1.3, modeled as
+//    a shared-memory sense-reversing barrier among the node's processes;
+//  * sessions: the prototype's replacement, a sessions-aware MPI barrier
+//    emulated by alternating MPI_Ibarrier()/nanosleep() until completion —
+//    low-perturbation because quiesced processes sleep instead of spinning.
+//
+// A QuoContext also keeps the QUO affinity(bind)-stack bookkeeping so the
+// 2MESH-style driver can push/pop thread layouts between phases.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sessmpi/comm.hpp"
+#include "sessmpi/session.hpp"
+
+namespace sessmpi::quo {
+
+enum class BarrierKind {
+  baseline,  ///< QUO 1.3 low-overhead shared-memory barrier
+  sessions,  ///< MPI Sessions Ibarrier + nanosleep loop
+};
+
+/// Affinity policy for bind_push (QUO_BIND_PUSH_*).
+enum class BindPolicy { process, socket, node };
+
+class QuoContext {
+ public:
+  struct Options {
+    BarrierKind barrier = BarrierKind::baseline;
+    /// Sleep used between Ibarrier completion probes (sessions barrier).
+    /// The paper's prototype used nanosleep; the default here is sized so
+    /// quiesced ranks stay genuinely quiet on oversubscribed hosts.
+    std::int64_t quiesce_sleep_ns = 100'000;
+  };
+
+  /// QUO_create: called by the threaded library (L1). The sessions flavour
+  /// initializes its own MPI session internally — the application needs no
+  /// modification (the paper integrated the prototype this way, ~20 SLOC).
+  static QuoContext create(const Communicator& app_comm, Options opts);
+  static QuoContext create(const Communicator& app_comm) {
+    return create(app_comm, Options{});
+  }
+
+  QuoContext() = default;
+
+  [[nodiscard]] int rank() const;             ///< rank among node-local procs
+  [[nodiscard]] int nqids() const;            ///< node-local process count
+  [[nodiscard]] bool is_node_leader() const;  ///< lowest rank on the node
+
+  /// QUO_barrier: quiesce the node-local processes.
+  void barrier();
+
+  /// QUO_bind_push / QUO_bind_pop: affinity-stack bookkeeping.
+  void bind_push(BindPolicy policy);
+  void bind_pop();
+  [[nodiscard]] std::size_t bind_depth() const;
+  [[nodiscard]] BindPolicy current_policy() const;
+
+  [[nodiscard]] std::uint64_t barriers_done() const;
+  [[nodiscard]] BarrierKind kind() const;
+
+  /// QUO_free: releases the context (and its internal session, if any).
+  void free();
+
+  [[nodiscard]] bool is_null() const noexcept { return impl_ == nullptr; }
+
+  /// Internal representation (public declaration for the implementation
+  /// file; not part of the stable API).
+  struct Impl;
+
+ private:
+  explicit QuoContext(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace sessmpi::quo

@@ -1,0 +1,113 @@
+#include "sessmpi/sim/cluster.hpp"
+
+#include <thread>
+
+#include "sessmpi/base/error.hpp"
+#include "sessmpi/base/log.hpp"
+
+namespace sessmpi::sim {
+
+namespace {
+thread_local Process* tls_current = nullptr;
+}
+
+Process::Process(Cluster& cluster, Rank rank)
+    : cluster_(cluster),
+      rank_(rank),
+      node_(cluster.topology().node_of(rank)),
+      local_rank_(cluster.topology().local_rank_of(rank)),
+      endpoint_(cluster.fabric().endpoint(rank)) {}
+
+void Process::fail() {
+  cluster_.fabric().mark_failed(rank_);
+  cluster_.dvm().pmix().notify_proc_failed(rank_);
+}
+
+bool Process::failed() const {
+  return cluster_.fabric().is_failed(rank_);
+}
+
+Cluster::Cluster(Options opts)
+    : dvm_(prte::JobSpec{opts.topo, opts.cost, std::move(opts.extra_psets)}),
+      fabric_(opts.topo, opts.cost) {
+  procs_.reserve(static_cast<std::size_t>(opts.topo.size()));
+  for (Rank r = 0; r < opts.topo.size(); ++r) {
+    procs_.push_back(std::make_unique<Process>(*this, r));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Process& Cluster::process(Rank r) {
+  if (!topology().valid_rank(r)) {
+    throw base::Error(base::ErrClass::rte_bad_param, "invalid rank");
+  }
+  return *procs_[static_cast<std::size_t>(r)];
+}
+
+void Cluster::fail_rank(Rank r) { process(r).fail(); }
+
+void Cluster::run(const std::function<void(Process&)>& rank_main) {
+  std::vector<Rank> all(static_cast<std::size_t>(size()));
+  for (int i = 0; i < size(); ++i) {
+    all[static_cast<std::size_t>(i)] = i;
+  }
+  run_on(all, rank_main);
+}
+
+void Cluster::run_on(const std::vector<Rank>& ranks,
+                     const std::function<void(Process&)>& rank_main) {
+  struct Outcome {
+    std::exception_ptr error;
+  };
+  std::vector<Outcome> outcomes(ranks.size());
+  std::vector<std::thread> threads;
+  threads.reserve(ranks.size());
+
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const Rank r = ranks[i];
+    process(r);  // validate before spawning
+    threads.emplace_back([this, r, i, &outcomes, &rank_main] {
+      Process& proc = *procs_[static_cast<std::size_t>(r)];
+      tls_current = &proc;
+      try {
+        dvm_.attach_process(r);
+        rank_main(proc);
+      } catch (...) {
+        outcomes[i].error = std::current_exception();
+        // Mark the rank dead so peers blocked in runtime collectives abort
+        // (rte_proc_failed) instead of deadlocking the whole run, and flip
+        // the cluster-wide abort flag so message-progress loops bail too.
+        aborted_.store(true, std::memory_order_release);
+        proc.fail();
+      }
+      tls_current = nullptr;
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (auto& o : outcomes) {
+    if (o.error) {
+      std::rethrow_exception(o.error);
+    }
+  }
+}
+
+Process& Cluster::current() {
+  if (tls_current == nullptr) {
+    throw base::Error(base::ErrClass::intern,
+                      "not called from a simulated rank thread");
+  }
+  return *tls_current;
+}
+
+Process* Cluster::current_ptr() noexcept { return tls_current; }
+
+ProcessAdopter::ProcessAdopter(Process& proc) : previous_(tls_current) {
+  tls_current = &proc;
+}
+
+ProcessAdopter::~ProcessAdopter() { tls_current = previous_; }
+
+}  // namespace sessmpi::sim

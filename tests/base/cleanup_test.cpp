@@ -1,0 +1,76 @@
+#include "sessmpi/base/cleanup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sessmpi::base {
+namespace {
+
+TEST(CleanupRegistry, RunsInReverseRegistrationOrder) {
+  CleanupRegistry reg;
+  std::vector<int> order;
+  reg.register_cleanup("first", [&] { order.push_back(1); });
+  reg.register_cleanup("second", [&] { order.push_back(2); });
+  reg.register_cleanup("third", [&] { order.push_back(3); });
+  EXPECT_EQ(reg.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(CleanupRegistry, ClearsAfterRun) {
+  CleanupRegistry reg;
+  int calls = 0;
+  reg.register_cleanup("cb", [&] { ++calls; });
+  EXPECT_EQ(reg.size(), 1u);
+  reg.run_all();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.run_all(), 0u);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CleanupRegistry, SupportsReRegistrationAfterRun) {
+  CleanupRegistry reg;
+  int calls = 0;
+  reg.register_cleanup("cb", [&] { ++calls; });
+  reg.run_all();
+  reg.register_cleanup("cb", [&] { ++calls; });
+  reg.run_all();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(CleanupRegistry, NamesPreserveRegistrationOrder) {
+  CleanupRegistry reg;
+  reg.register_cleanup("a", [] {});
+  reg.register_cleanup("b", [] {});
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CleanupRegistry, NullCallbackIsTolerated) {
+  CleanupRegistry reg;
+  reg.register_cleanup("null", nullptr);
+  EXPECT_EQ(reg.run_all(), 1u);
+}
+
+TEST(CleanupRegistry, ConcurrentRegistrationIsSafe) {
+  CleanupRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPer = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPer; ++i) {
+        reg.register_cleanup("cb", [] {});
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(reg.size(), static_cast<std::size_t>(kThreads * kPer));
+  EXPECT_EQ(reg.run_all(), static_cast<std::size_t>(kThreads * kPer));
+}
+
+}  // namespace
+}  // namespace sessmpi::base

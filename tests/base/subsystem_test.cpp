@@ -1,0 +1,133 @@
+#include "sessmpi/base/subsystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sessmpi::base {
+namespace {
+
+TEST(SubsystemRegistry, InitRunsOnceOnFirstAcquire) {
+  SubsystemRegistry reg;
+  int inits = 0;
+  reg.define("a", [&] { ++inits; }, nullptr);
+  reg.acquire("a");
+  reg.acquire("a");
+  EXPECT_EQ(inits, 1);
+  EXPECT_TRUE(reg.is_initialized("a"));
+  EXPECT_EQ(reg.ref_count("a"), 2);
+}
+
+TEST(SubsystemRegistry, TeardownDeferredUntilLastRelease) {
+  SubsystemRegistry reg;
+  int cleanups = 0;
+  reg.define("a", nullptr, [&] { ++cleanups; });
+  reg.acquire("a");
+  reg.acquire("a");
+  EXPECT_FALSE(reg.release("a"));
+  EXPECT_EQ(cleanups, 0);
+  EXPECT_TRUE(reg.is_initialized("a"));
+  EXPECT_TRUE(reg.release("a"));
+  EXPECT_EQ(cleanups, 1);
+  EXPECT_FALSE(reg.is_initialized("a"));
+}
+
+TEST(SubsystemRegistry, ReinitializationAfterFullTeardown) {
+  // Paper §III-B5: sessions can be initialized and finalized repeatedly
+  // within a single application execution.
+  SubsystemRegistry reg;
+  int inits = 0;
+  int cleanups = 0;
+  reg.define("mpi", [&] { ++inits; }, [&] { ++cleanups; });
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    reg.acquire("mpi");
+    reg.release("mpi");
+  }
+  EXPECT_EQ(inits, 3);
+  EXPECT_EQ(cleanups, 3);
+  EXPECT_EQ(reg.completed_cycles(), 3);
+}
+
+TEST(SubsystemRegistry, DependenciesInitializeFirstAndCleanupLast) {
+  SubsystemRegistry reg;
+  std::vector<std::string> order;
+  reg.define("base", [&] { order.push_back("init:base"); },
+             [&] { order.push_back("clean:base"); });
+  reg.define("pml", [&] { order.push_back("init:pml"); },
+             [&] { order.push_back("clean:pml"); }, {"base"});
+  reg.acquire("pml");
+  reg.release("pml");
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "init:base");
+  EXPECT_EQ(order[1], "init:pml");
+  EXPECT_EQ(order[2], "clean:pml");
+  EXPECT_EQ(order[3], "clean:base");
+}
+
+TEST(SubsystemRegistry, DependencyKeptAliveByDependent) {
+  SubsystemRegistry reg;
+  int base_cleanups = 0;
+  reg.define("base", nullptr, [&] { ++base_cleanups; });
+  reg.define("pml", nullptr, nullptr, {"base"});
+  reg.acquire("base");
+  reg.acquire("pml");
+  reg.release("base");
+  EXPECT_EQ(base_cleanups, 0);  // pml still holds base
+  reg.release("pml");
+  EXPECT_EQ(base_cleanups, 1);
+}
+
+TEST(SubsystemRegistry, DuplicateDefineThrows) {
+  SubsystemRegistry reg;
+  reg.define("a", nullptr, nullptr);
+  EXPECT_THROW(reg.define("a", nullptr, nullptr), Error);
+}
+
+TEST(SubsystemRegistry, UnknownNamesThrow) {
+  SubsystemRegistry reg;
+  EXPECT_THROW(reg.acquire("missing"), Error);
+  EXPECT_THROW(reg.release("missing"), Error);
+  EXPECT_THROW(reg.define("x", nullptr, nullptr, {"missing"}), Error);
+}
+
+TEST(SubsystemRegistry, OverReleaseThrows) {
+  SubsystemRegistry reg;
+  reg.define("a", nullptr, nullptr);
+  reg.acquire("a");
+  reg.release("a");
+  EXPECT_THROW(reg.release("a"), Error);
+}
+
+TEST(SubsystemRegistry, ConcurrentAcquireIsThreadSafe) {
+  // MPI_Session_init must be thread-safe; the registry is what backs it.
+  SubsystemRegistry reg;
+  std::atomic<int> inits{0};
+  reg.define("mpi", [&] { ++inits; }, nullptr);
+  constexpr int kThreads = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] { reg.acquire("mpi"); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(inits.load(), 1);
+  EXPECT_EQ(reg.ref_count("mpi"), kThreads);
+}
+
+TEST(SubsystemRegistry, DiamondDependencyInitializesOnce) {
+  SubsystemRegistry reg;
+  int inits = 0;
+  reg.define("opal", [&] { ++inits; }, nullptr);
+  reg.define("pml", nullptr, nullptr, {"opal"});
+  reg.define("coll", nullptr, nullptr, {"opal"});
+  reg.acquire("pml");
+  reg.acquire("coll");
+  EXPECT_EQ(inits, 1);
+  EXPECT_EQ(reg.ref_count("opal"), 2);
+}
+
+}  // namespace
+}  // namespace sessmpi::base

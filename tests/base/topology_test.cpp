@@ -1,0 +1,59 @@
+#include "sessmpi/base/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sessmpi::base {
+namespace {
+
+TEST(Topology, SizeIsNodesTimesPpn) {
+  const Topology t{4, 28};
+  EXPECT_EQ(t.size(), 112);
+}
+
+TEST(Topology, NodeMajorLayout) {
+  const Topology t{2, 4};
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(3), 0);
+  EXPECT_EQ(t.node_of(4), 1);
+  EXPECT_EQ(t.node_of(7), 1);
+  EXPECT_EQ(t.local_rank_of(5), 1);
+}
+
+TEST(Topology, SameNode) {
+  const Topology t{2, 4};
+  EXPECT_TRUE(t.same_node(0, 3));
+  EXPECT_FALSE(t.same_node(3, 4));
+  EXPECT_TRUE(t.same_node(4, 7));
+}
+
+TEST(Topology, ValidRankBounds) {
+  const Topology t{2, 4};
+  EXPECT_FALSE(t.valid_rank(-1));
+  EXPECT_TRUE(t.valid_rank(0));
+  EXPECT_TRUE(t.valid_rank(7));
+  EXPECT_FALSE(t.valid_rank(8));
+}
+
+struct TopoParam {
+  int nodes;
+  int ppn;
+};
+
+class TopologySweep : public ::testing::TestWithParam<TopoParam> {};
+
+TEST_P(TopologySweep, EveryRankRoundTrips) {
+  const Topology t{GetParam().nodes, GetParam().ppn};
+  for (int r = 0; r < t.size(); ++r) {
+    EXPECT_EQ(t.node_of(r) * t.procs_per_node + t.local_rank_of(r), r);
+    EXPECT_LT(t.node_of(r), t.num_nodes);
+    EXPECT_LT(t.local_rank_of(r), t.procs_per_node);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TopologySweep,
+                         ::testing::Values(TopoParam{1, 1}, TopoParam{1, 28},
+                                           TopoParam{8, 1}, TopoParam{4, 7},
+                                           TopoParam{16, 28}));
+
+}  // namespace
+}  // namespace sessmpi::base

@@ -1,0 +1,95 @@
+#include "sessmpi/attributes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sessmpi {
+namespace {
+
+TEST(Attributes, SetGetErase) {
+  AttributeStore store;
+  Keyval kv = Keyval::create();
+  EXPECT_FALSE(store.get(kv).has_value());
+  store.set(kv, 42);
+  EXPECT_EQ(store.get(kv), 42);
+  store.set(kv, 43);  // overwrite
+  EXPECT_EQ(store.get(kv), 43);
+  EXPECT_TRUE(store.erase(kv));
+  EXPECT_FALSE(store.erase(kv));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(Attributes, KeyvalsAreDistinct) {
+  AttributeStore store;
+  Keyval a = Keyval::create();
+  Keyval b = Keyval::create();
+  EXPECT_NE(a.id(), b.id());
+  store.set(a, 1);
+  store.set(b, 2);
+  EXPECT_EQ(store.get(a), 1);
+  EXPECT_EQ(store.get(b), 2);
+}
+
+TEST(Attributes, DeleteCallbackRunsOnErase) {
+  std::vector<AttrValue> deleted;
+  Keyval kv = Keyval::create(nullptr, [&](AttrValue v) { deleted.push_back(v); });
+  AttributeStore store;
+  store.set(kv, 77);
+  store.erase(kv);
+  EXPECT_EQ(deleted, std::vector<AttrValue>{77});
+}
+
+TEST(Attributes, DeleteCallbackRunsOnClearAndDestruction) {
+  int deletions = 0;
+  Keyval kv = Keyval::create(nullptr, [&](AttrValue) { ++deletions; });
+  {
+    AttributeStore store;
+    store.set(kv, 1);
+    store.clear();
+    EXPECT_EQ(deletions, 1);
+    store.set(kv, 2);
+  }  // destructor clears
+  EXPECT_EQ(deletions, 2);
+}
+
+TEST(Attributes, DefaultCopySemanticsCopiesVerbatim) {
+  Keyval kv = Keyval::create();
+  AttributeStore src, dst;
+  src.set(kv, 5);
+  src.copy_to(dst);
+  EXPECT_EQ(dst.get(kv), 5);
+}
+
+TEST(Attributes, CopyCallbackControlsPropagation) {
+  Keyval doubled = Keyval::create([](AttrValue v) { return v * 2; });
+  Keyval blocked = Keyval::create([](AttrValue) { return std::nullopt; });
+  AttributeStore src, dst;
+  src.set(doubled, 10);
+  src.set(blocked, 11);
+  src.copy_to(dst);
+  EXPECT_EQ(dst.get(doubled), 20);
+  EXPECT_FALSE(dst.get(blocked).has_value());
+}
+
+TEST(Attributes, ThreadSafeConcurrentAccess) {
+  // Session attribute functions must be thread-safe pre-init (§III-B5).
+  AttributeStore store;
+  Keyval kv = Keyval::create();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, &kv, t] {
+      for (int i = 0; i < 500; ++i) {
+        store.set(kv, t * 1000 + i);
+        (void)store.get(kv);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_TRUE(store.get(kv).has_value());
+}
+
+}  // namespace
+}  // namespace sessmpi

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness.hpp"
+
+namespace sessmpi {
+namespace {
+
+using testing::mpi_run;
+using testing::world_run;
+
+TEST(ExCidWire, FirstMessageUsesExtendedHeaderThenSwitches) {
+  // Paper §III-B4: the first message on a sessions-derived comm carries the
+  // exCID extended header; after the receiver's ACK the sender switches to
+  // the 14-byte fast path.
+  mpi_run(1, 2, [](sim::Process& p) {
+    Session s = Session::init();
+    Communicator c = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "wire");
+    EXPECT_TRUE(c.uses_excid());
+    EXPECT_EQ(c.handshaked_peers(), 0);
+
+    const int other = 1 - p.rank();
+    // Ping-pong a few times; the first exchange performs the handshake.
+    for (int i = 0; i < 5; ++i) {
+      std::int32_t v = i;
+      if (p.rank() == 0) {
+        c.send(&v, 1, Datatype::int32(), other, 1);
+        c.recv(&v, 1, Datatype::int32(), other, 2);
+      } else {
+        c.recv(&v, 1, Datatype::int32(), other, 1);
+        c.send(&v, 1, Datatype::int32(), other, 2);
+      }
+    }
+    // Both processes learned the peer's local CID.
+    EXPECT_GE(c.handshaked_peers(), 1);
+    c.free();
+    s.finalize();
+  });
+}
+
+TEST(ExCidWire, LocalCidsMayDifferAcrossProcesses) {
+  // One process burns extra CID slots before the collective creation, so
+  // the local array indices diverge — exactly the constraint the exCID
+  // design removes (paper §III-B3). Communication must still work.
+  mpi_run(1, 2, [](sim::Process& p) {
+    Session s = Session::init();
+    std::vector<Communicator> burners;
+    if (p.rank() == 0) {
+      // Self-only comms to shift rank 0's CID allocator.
+      for (int i = 0; i < 3; ++i) {
+        burners.push_back(Communicator::create_from_group(
+            s.group_from_pset("mpi://self"), "burn" + std::to_string(i)));
+      }
+    }
+    Communicator c = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "diverged");
+
+    // exCID identical everywhere; local CIDs exchanged out-of-band to check
+    // they differ.
+    std::uint64_t ex_hi = c.excid().hi;
+    std::uint64_t max_hi = 0, min_hi = 0;
+    c.allreduce(&ex_hi, &max_hi, 1, Datatype::uint64(), Op::max());
+    c.allreduce(&ex_hi, &min_hi, 1, Datatype::uint64(), Op::min());
+    EXPECT_EQ(max_hi, min_hi);
+
+    std::int64_t cid = c.cid();
+    std::int64_t cid_max = 0, cid_min = 0;
+    c.allreduce(&cid, &cid_max, 1, Datatype::int64(), Op::max());
+    c.allreduce(&cid, &cid_min, 1, Datatype::int64(), Op::min());
+    EXPECT_NE(cid_max, cid_min) << "local CIDs should have diverged";
+
+    for (auto& b : burners) {
+      b.free();
+    }
+    c.free();
+    s.finalize();
+  });
+}
+
+TEST(ConsensusCid, DupAgreesOnCommonIndex) {
+  world_run(1, 4, [](sim::Process&) {
+    set_cid_method(CidMethod::consensus);
+    Communicator world = comm_world();
+    Communicator dup = world.dup();
+    EXPECT_FALSE(dup.uses_excid());
+    // Same array index on every process.
+    std::int64_t cid = dup.cid();
+    std::int64_t mx = 0, mn = 0;
+    world.allreduce(&cid, &mx, 1, Datatype::int64(), Op::max());
+    world.allreduce(&cid, &mn, 1, Datatype::int64(), Op::min());
+    EXPECT_EQ(mx, mn);
+    // And it works for traffic.
+    std::int64_t me = dup.rank(), sum = 0;
+    dup.allreduce(&me, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 6);
+    dup.free();
+  });
+}
+
+TEST(ConsensusCid, FragmentationForcesExtraRounds) {
+  // Different processes free different slots; the next consensus has to
+  // iterate past locally-free-but-globally-taken indices (§IV-C2).
+  world_run(1, 2, [](sim::Process& p) {
+    set_cid_method(CidMethod::consensus);
+    Communicator world = comm_world();
+    std::vector<Communicator> held;
+    for (int i = 0; i < 4; ++i) {
+      held.push_back(world.dup());
+    }
+    // Rank 0 frees an early comm, rank 1 a late one -> divergent holes.
+    if (p.rank() == 0) {
+      held[0].free();
+    } else {
+      held[3].free();
+    }
+    Communicator fresh = world.dup();  // must converge despite fragmentation
+    std::int64_t me = fresh.rank(), sum = 0;
+    fresh.allreduce(&me, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 1);
+    fresh.free();
+    for (int i = 0; i < 4; ++i) {
+      if ((p.rank() == 0 && i != 0) || (p.rank() == 1 && i != 3)) {
+        held[static_cast<std::size_t>(i)].free();
+      }
+    }
+  });
+}
+
+TEST(ExCidDup, DerivationAvoidsPgcidAcquisition) {
+  mpi_run(1, 2, [](sim::Process&) {
+    Session s = Session::init();
+    set_excid_derivation(true);
+    Communicator parent = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "parent");
+    const auto pgcids_before = pgcids_acquired();
+    Communicator child = parent.dup();
+    EXPECT_EQ(pgcids_acquired(), pgcids_before)
+        << "derived dup must not acquire a PGCID";
+    // Child shares the PGCID half, differs in the subfields.
+    EXPECT_EQ(child.excid().hi, parent.excid().hi);
+    EXPECT_NE(child.excid().lo, parent.excid().lo);
+    std::int64_t one = 1, sum = 0;
+    child.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 2);
+    child.free();
+    parent.free();
+    s.finalize();
+  });
+}
+
+TEST(ExCidDup, PrototypeModeAcquiresPgcidPerDup) {
+  // Fig. 4 measured behaviour: each dup pays a PGCID acquisition.
+  mpi_run(1, 2, [](sim::Process&) {
+    Session s = Session::init();
+    set_excid_derivation(false);
+    Communicator parent = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "parent");
+    const auto before = pgcids_acquired();
+    Communicator child = parent.dup();
+    EXPECT_EQ(pgcids_acquired(), before + 1);
+    EXPECT_NE(child.excid().hi, parent.excid().hi);
+    child.free();
+    parent.free();
+    set_excid_derivation(true);
+    s.finalize();
+  });
+}
+
+TEST(ExCidDup, ChainedDerivationsStayUnique) {
+  mpi_run(1, 2, [](sim::Process&) {
+    Session s = Session::init();
+    set_excid_derivation(true);
+    Communicator root = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "chain");
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    seen.insert({root.excid().hi, root.excid().lo});
+
+    // Children of one parent and a chain of grandchildren.
+    std::vector<Communicator> comms{root};
+    Communicator cursor = root;
+    for (int depth = 0; depth < 6; ++depth) {
+      Communicator child = cursor.dup();
+      EXPECT_TRUE(seen.insert({child.excid().hi, child.excid().lo}).second)
+          << "exCID collision at depth " << depth;
+      comms.push_back(child);
+      cursor = child;
+    }
+    for (int i = 0; i < 4; ++i) {
+      Communicator sibling = root.dup();
+      EXPECT_TRUE(seen.insert({sibling.excid().hi, sibling.excid().lo}).second);
+      comms.push_back(sibling);
+    }
+    for (auto& c : comms) {
+      c.free();
+    }
+    s.finalize();
+  });
+}
+
+TEST(ExCidDup, DeepChainFallsBackToFreshPgcid) {
+  // Depth > 7 exhausts the subfields (fresh space starts at subfield 7 and
+  // each child moves one lower); the 8th derivation needs a new PGCID.
+  mpi_run(1, 1, [](sim::Process&) {
+    Session s = Session::init();
+    set_excid_derivation(true);
+    Communicator cursor = Communicator::create_from_group(
+        s.group_from_pset("mpi://self"), "deep");
+    const std::uint64_t root_hi = cursor.excid().hi;
+    std::vector<Communicator> chain{cursor};
+    bool saw_fresh_pgcid = false;
+    for (int depth = 0; depth < 9; ++depth) {
+      Communicator child = cursor.dup();
+      if (child.excid().hi != root_hi) {
+        saw_fresh_pgcid = true;
+      }
+      chain.push_back(child);
+      cursor = child;
+    }
+    EXPECT_TRUE(saw_fresh_pgcid);
+    for (auto& c : chain) {
+      c.free();
+    }
+    s.finalize();
+  });
+}
+
+TEST(CommSplit, SplitsByColorAndOrdersByKey) {
+  mpi_run(1, 4, [](sim::Process& p) {
+    Session s = Session::init();
+    Communicator c = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "split");
+    // Even/odd split with reversed key ordering.
+    Communicator half = c.split(p.rank() % 2, -p.rank());
+    EXPECT_EQ(half.size(), 2);
+    // Key is -rank, so the higher parent rank comes first.
+    const int expect_rank = p.rank() < 2 ? 1 : 0;
+    EXPECT_EQ(half.rank(), expect_rank);
+    std::int64_t me = p.rank(), sum = 0;
+    half.allreduce(&me, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, p.rank() % 2 == 0 ? 2 : 4);
+    half.free();
+    c.free();
+    s.finalize();
+  });
+}
+
+TEST(CommSplit, UndefinedColorGetsNullComm) {
+  world_run(1, 3, [](sim::Process& p) {
+    Communicator world = comm_world();
+    Communicator part = world.split(p.rank() == 0 ? -1 : 0, 0);
+    if (p.rank() == 0) {
+      EXPECT_TRUE(part.is_null());
+    } else {
+      EXPECT_EQ(part.size(), 2);
+      part.free();
+    }
+  });
+}
+
+TEST(CommCreateGroup, SubsetOnlyCollective) {
+  world_run(1, 4, [](sim::Process& p) {
+    Communicator world = comm_world();
+    Group sub = world.group().incl({1, 2});
+    if (p.rank() == 1 || p.rank() == 2) {
+      Communicator c = world.create_group(sub, 17);
+      EXPECT_EQ(c.size(), 2);
+      EXPECT_TRUE(c.uses_excid());
+      std::int64_t one = 1, n = 0;
+      c.allreduce(&one, &n, 1, Datatype::int64(), Op::sum());
+      EXPECT_EQ(n, 2);
+      c.free();
+    }
+    world.barrier();
+  });
+}
+
+TEST(CommDup, AttributesFollowKeyvalCopySemantics) {
+  world_run(1, 2, [](sim::Process&) {
+    Communicator world = comm_world();
+    Keyval copied = Keyval::create();
+    Keyval dropped = Keyval::create(
+        [](AttrValue) { return std::nullopt; });  // never copied
+    world.attributes().set(copied, 7);
+    world.attributes().set(dropped, 8);
+    Communicator dup = world.dup();
+    EXPECT_EQ(dup.attributes().get(copied), 7);
+    EXPECT_FALSE(dup.attributes().get(dropped).has_value());
+    dup.free();
+    world.attributes().erase(copied);
+    world.attributes().erase(dropped);
+  });
+}
+
+TEST(CommFree, FreedCidIsReused) {
+  mpi_run(1, 1, [](sim::Process&) {
+    Session s = Session::init();
+    Communicator a = Communicator::create_from_group(
+        s.group_from_pset("mpi://self"), "a");
+    const auto cid_a = a.cid();
+    a.free();
+    Communicator b = Communicator::create_from_group(
+        s.group_from_pset("mpi://self"), "b");
+    EXPECT_EQ(b.cid(), cid_a) << "lowest-free allocation should reuse slot";
+    b.free();
+    s.finalize();
+  });
+}
+
+TEST(CommFree, UseAfterFreeRaises) {
+  world_run(1, 1, [](sim::Process&) {
+    Communicator dup = comm_world().dup();
+    Communicator alias = dup;
+    dup.free();
+    EXPECT_THROW((void)alias.rank(), Error);
+    EXPECT_THROW(alias.barrier(), Error);
+  });
+}
+
+}  // namespace
+}  // namespace sessmpi

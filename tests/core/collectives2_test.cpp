@@ -1,0 +1,154 @@
+// Tests for the extended collectives (exscan, reduce_scatter_block,
+// gatherv/allgatherv) and request-set operations (wait_any).
+
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace sessmpi {
+namespace {
+
+using testing::world_run;
+
+struct ShapeParam {
+  int nodes;
+  int ppn;
+};
+
+class Coll2Shapes : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(Coll2Shapes, ExscanFoldsStrictPrefix) {
+  world_run(GetParam().nodes, GetParam().ppn, [](sim::Process&) {
+    Communicator world = comm_world();
+    const std::int64_t mine = world.rank() + 1;
+    std::int64_t prefix = -777;  // sentinel: rank 0 must stay untouched
+    world.exscan(&mine, &prefix, 1, Datatype::int64(), Op::sum());
+    if (world.rank() == 0) {
+      EXPECT_EQ(prefix, -777);
+    } else {
+      const std::int64_t r = world.rank();
+      EXPECT_EQ(prefix, r * (r + 1) / 2);
+    }
+  });
+}
+
+TEST_P(Coll2Shapes, ReduceScatterBlock) {
+  world_run(GetParam().nodes, GetParam().ppn, [](sim::Process&) {
+    Communicator world = comm_world();
+    const int n = world.size();
+    constexpr int kPerBlock = 3;
+    // Everyone contributes v[i] = i; the reduced vector element i is n*i;
+    // rank r receives block r.
+    std::vector<std::int64_t> contrib(static_cast<std::size_t>(n * kPerBlock));
+    for (std::size_t i = 0; i < contrib.size(); ++i) {
+      contrib[i] = static_cast<std::int64_t>(i);
+    }
+    std::vector<std::int64_t> mine(kPerBlock, -1);
+    world.reduce_scatter_block(contrib.data(), mine.data(), kPerBlock,
+                               Datatype::int64(), Op::sum());
+    for (int i = 0; i < kPerBlock; ++i) {
+      const std::int64_t global_ix = world.rank() * kPerBlock + i;
+      EXPECT_EQ(mine[static_cast<std::size_t>(i)], global_ix * n);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Coll2Shapes,
+                         ::testing::Values(ShapeParam{1, 1}, ShapeParam{1, 4},
+                                           ShapeParam{2, 3}, ShapeParam{2, 2}));
+
+TEST(Gatherv, VariableCountsWithDisplacements) {
+  world_run(1, 3, [](sim::Process&) {
+    Communicator world = comm_world();
+    // Rank r contributes r+1 values of (r*10 + k).
+    const int mine_count = world.rank() + 1;
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(mine_count));
+    for (int k = 0; k < mine_count; ++k) {
+      mine[static_cast<std::size_t>(k)] = world.rank() * 10 + k;
+    }
+    const std::vector<int> counts{1, 2, 3};
+    const std::vector<int> displs{0, 2, 5};  // with a hole at index 1
+    std::vector<std::int32_t> out(8, -1);
+    world.gatherv(mine.data(), mine_count, Datatype::int32(), out.data(),
+                  counts, displs, Datatype::int32(), 0);
+    if (world.rank() == 0) {
+      EXPECT_EQ(out[0], 0);
+      EXPECT_EQ(out[1], -1);  // hole untouched
+      EXPECT_EQ(out[2], 10);
+      EXPECT_EQ(out[3], 11);
+      EXPECT_EQ(out[5], 20);
+      EXPECT_EQ(out[7], 22);
+    }
+  });
+}
+
+TEST(Allgatherv, EveryoneAssemblesTheVector) {
+  world_run(2, 2, [](sim::Process&) {
+    Communicator world = comm_world();
+    const int mine_count = world.rank() % 2 + 1;  // 1,2,1,2
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(mine_count),
+                                   world.rank());
+    const std::vector<int> counts{1, 2, 1, 2};
+    const std::vector<int> displs{0, 1, 3, 4};
+    std::vector<std::int32_t> out(6, -1);
+    world.allgatherv(mine.data(), mine_count, Datatype::int32(), out.data(),
+                     counts, displs, Datatype::int32());
+    EXPECT_EQ(out, (std::vector<std::int32_t>{0, 1, 1, 2, 3, 3}));
+  });
+}
+
+TEST(WaitAny, ReturnsFirstCompletion) {
+  world_run(1, 2, [](sim::Process& p) {
+    Communicator world = comm_world();
+    if (p.rank() == 0) {
+      // Post two receives; the peer satisfies the second tag first.
+      std::int32_t a = 0, b = 0;
+      std::vector<Request> reqs;
+      reqs.push_back(world.irecv(&a, 1, Datatype::int32(), 1, 1));
+      reqs.push_back(world.irecv(&b, 1, Datatype::int32(), 1, 2));
+      Status st;
+      const int first = Request::wait_any(reqs, &st);
+      EXPECT_EQ(first, 1);
+      EXPECT_EQ(st.tag, 2);
+      EXPECT_EQ(b, 22);
+      EXPECT_TRUE(reqs[1].is_null());
+      const int second = Request::wait_any(reqs, &st);
+      EXPECT_EQ(second, 0);
+      EXPECT_EQ(a, 11);
+      EXPECT_EQ(Request::wait_any(reqs, &st), -1);  // all null now
+    } else {
+      const std::int32_t b = 22, a = 11;
+      world.send(&b, 1, Datatype::int32(), 0, 2);
+      // Give tag-2 time to complete first.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      world.send(&a, 1, Datatype::int32(), 0, 1);
+    }
+  });
+}
+
+TEST(Exscan, NonCommutativeOrderPreserved) {
+  world_run(1, 3, [](sim::Process&) {
+    Communicator world = comm_world();
+    Op chain = Op::create(
+        [](const void* in, void* inout, int count, const Datatype&) {
+          const auto* a = static_cast<const std::int64_t*>(in);
+          auto* b = static_cast<std::int64_t*>(inout);
+          for (int i = 0; i < count; ++i) {
+            b[i] = b[i] * 10 + a[i];
+          }
+        },
+        /*commute=*/false, "chain");
+    const std::int64_t mine = world.rank() + 1;
+    std::int64_t prefix = 0;
+    world.exscan(&mine, &prefix, 1, Datatype::int64(), chain);
+    if (world.rank() == 1) {
+      EXPECT_EQ(prefix, 1);
+    }
+    if (world.rank() == 2) {
+      EXPECT_EQ(prefix, 12);  // 1 chained with 2
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sessmpi

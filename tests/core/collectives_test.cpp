@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "harness.hpp"
+#include "sessmpi/base/clock.hpp"
+
+namespace sessmpi {
+namespace {
+
+using testing::world_run;
+
+struct ShapeParam {
+  int nodes;
+  int ppn;
+};
+
+class CollectiveShapes : public ::testing::TestWithParam<ShapeParam> {
+ protected:
+  [[nodiscard]] int nodes() const { return GetParam().nodes; }
+  [[nodiscard]] int ppn() const { return GetParam().ppn; }
+};
+
+TEST_P(CollectiveShapes, BarrierSynchronizes) {
+  world_run(nodes(), ppn(), [](sim::Process&) {
+    Communicator world = comm_world();
+    for (int i = 0; i < 3; ++i) {
+      world.barrier();
+    }
+  });
+}
+
+TEST_P(CollectiveShapes, BcastFromEveryRoot) {
+  world_run(nodes(), ppn(), [](sim::Process&) {
+    Communicator world = comm_world();
+    for (int root = 0; root < world.size(); ++root) {
+      std::int64_t v = world.rank() == root ? 1000 + root : -1;
+      world.bcast(&v, 1, Datatype::int64(), root);
+      EXPECT_EQ(v, 1000 + root);
+    }
+  });
+}
+
+TEST_P(CollectiveShapes, AllreduceSumAndMax) {
+  world_run(nodes(), ppn(), [](sim::Process&) {
+    Communicator world = comm_world();
+    const int n = world.size();
+    const std::int64_t me = world.rank();
+    std::int64_t sum = 0;
+    world.allreduce(&me, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, static_cast<std::int64_t>(n) * (n - 1) / 2);
+    std::int64_t mx = 0;
+    world.allreduce(&me, &mx, 1, Datatype::int64(), Op::max());
+    EXPECT_EQ(mx, n - 1);
+  });
+}
+
+TEST_P(CollectiveShapes, ReduceToEveryRoot) {
+  world_run(nodes(), ppn(), [](sim::Process&) {
+    Communicator world = comm_world();
+    const int n = world.size();
+    for (int root = 0; root < n; ++root) {
+      const double mine = 1.5;
+      double total = 0;
+      world.reduce(&mine, &total, 1, Datatype::float64(), Op::sum(), root);
+      if (world.rank() == root) {
+        EXPECT_DOUBLE_EQ(total, 1.5 * n);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveShapes, GatherCollectsInRankOrder) {
+  world_run(nodes(), ppn(), [](sim::Process&) {
+    Communicator world = comm_world();
+    const int n = world.size();
+    const std::int32_t mine = world.rank() * 3;
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n), -1);
+    world.gather(&mine, 1, Datatype::int32(), all.data(), 1, Datatype::int32(),
+                 0);
+    if (world.rank() == 0) {
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(i)], i * 3);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveShapes, ScatterDistributesInRankOrder) {
+  world_run(nodes(), ppn(), [](sim::Process&) {
+    Communicator world = comm_world();
+    const int n = world.size();
+    std::vector<std::int32_t> all;
+    if (world.rank() == 0) {
+      all.resize(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        all[static_cast<std::size_t>(i)] = 7 * i;
+      }
+    }
+    std::int32_t mine = -1;
+    world.scatter(all.data(), 1, Datatype::int32(), &mine, 1,
+                  Datatype::int32(), 0);
+    EXPECT_EQ(mine, 7 * world.rank());
+  });
+}
+
+TEST_P(CollectiveShapes, AllgatherEveryoneSeesEverything) {
+  world_run(nodes(), ppn(), [](sim::Process&) {
+    Communicator world = comm_world();
+    const int n = world.size();
+    const std::int32_t mine = 100 + world.rank();
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n), -1);
+    world.allgather(&mine, 1, Datatype::int32(), all.data(), 1,
+                    Datatype::int32());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(i)], 100 + i);
+    }
+  });
+}
+
+TEST_P(CollectiveShapes, AlltoallTransposes) {
+  world_run(nodes(), ppn(), [](sim::Process&) {
+    Communicator world = comm_world();
+    const int n = world.size();
+    std::vector<std::int32_t> out(static_cast<std::size_t>(n));
+    std::vector<std::int32_t> in(static_cast<std::size_t>(n), -1);
+    for (int i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)] = world.rank() * 1000 + i;
+    }
+    world.alltoall(out.data(), 1, Datatype::int32(), in.data(), 1,
+                   Datatype::int32());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(in[static_cast<std::size_t>(i)], i * 1000 + world.rank());
+    }
+  });
+}
+
+TEST_P(CollectiveShapes, InclusiveScan) {
+  world_run(nodes(), ppn(), [](sim::Process&) {
+    Communicator world = comm_world();
+    const std::int64_t mine = world.rank() + 1;
+    std::int64_t prefix = 0;
+    world.scan(&mine, &prefix, 1, Datatype::int64(), Op::sum());
+    const std::int64_t r = world.rank() + 1;
+    EXPECT_EQ(prefix, r * (r + 1) / 2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CollectiveShapes,
+                         ::testing::Values(ShapeParam{1, 1}, ShapeParam{1, 2},
+                                           ShapeParam{1, 5}, ShapeParam{2, 2},
+                                           ShapeParam{2, 4}, ShapeParam{3, 3},
+                                           ShapeParam{4, 2}));
+
+TEST(Collectives, AllreduceVectorPayload) {
+  world_run(2, 2, [](sim::Process&) {
+    Communicator world = comm_world();
+    constexpr int kN = 1000;
+    std::vector<double> mine(kN), total(kN);
+    for (int i = 0; i < kN; ++i) {
+      mine[static_cast<std::size_t>(i)] = world.rank() + i * 0.001;
+    }
+    world.allreduce(mine.data(), total.data(), kN, Datatype::float64(),
+                    Op::sum());
+    const int n = world.size();
+    EXPECT_NEAR(total[0], n * (n - 1) / 2.0, 1e-9);
+    EXPECT_NEAR(total[kN - 1], n * (n - 1) / 2.0 + n * (kN - 1) * 0.001, 1e-9);
+  });
+}
+
+TEST(Collectives, NonCommutativeOpFoldsInRankOrder) {
+  world_run(1, 4, [](sim::Process&) {
+    Communicator world = comm_world();
+    // f(a,b) = 10*a + b is non-commutative; rank-ordered fold of 1,2,3,4
+    // gives ((1*10+2)*10+3)*10+4 = 1234.
+    Op chained = Op::create(
+        [](const void* in, void* inout, int count, const Datatype&) {
+          const auto* a = static_cast<const std::int64_t*>(in);
+          auto* b = static_cast<std::int64_t*>(inout);
+          for (int i = 0; i < count; ++i) {
+            b[i] = b[i] * 10 + a[i];
+          }
+        },
+        /*commute=*/false, "chain");
+    const std::int64_t mine = world.rank() + 1;
+    std::int64_t result = 0;
+    world.reduce(&mine, &result, 1, Datatype::int64(), chained, 0);
+    if (world.rank() == 0) {
+      EXPECT_EQ(result, 1234);
+    }
+  });
+}
+
+TEST(Collectives, IbarrierOverlapsComputation) {
+  world_run(1, 4, [](sim::Process& p) {
+    Communicator world = comm_world();
+    Request req = world.ibarrier();
+    if (p.rank() == 0) {
+      // Rank 0 delays; others' test() must not complete the barrier early.
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    req.wait();
+  });
+}
+
+TEST(Collectives, IbarrierTestLoopEventuallyCompletes) {
+  world_run(1, 3, [](sim::Process&) {
+    Communicator world = comm_world();
+    Request req = world.ibarrier();
+    int polls = 0;
+    while (!req.test()) {
+      ++polls;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ASSERT_LT(polls, 1000000) << "ibarrier never completed";
+    }
+  });
+}
+
+TEST(Collectives, ConsecutiveIbarriersDoNotCrossTalk) {
+  world_run(1, 4, [](sim::Process&) {
+    Communicator world = comm_world();
+    for (int i = 0; i < 10; ++i) {
+      world.ibarrier().wait();
+    }
+  });
+}
+
+TEST(Collectives, BarrierActuallyWaitsForSlowest) {
+  world_run(1, 3, [](sim::Process& p) {
+    Communicator world = comm_world();
+    base::Stopwatch sw;
+    if (p.rank() == 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    world.barrier();
+    if (p.rank() != 2) {
+      EXPECT_GT(sw.elapsed_ms(), 30.0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sessmpi

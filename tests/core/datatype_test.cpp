@@ -1,0 +1,126 @@
+#include "sessmpi/datatype.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace sessmpi {
+namespace {
+
+TEST(Datatype, PrimitiveSizes) {
+  EXPECT_EQ(Datatype::byte().size(), 1u);
+  EXPECT_EQ(Datatype::char8().size(), 1u);
+  EXPECT_EQ(Datatype::int32().size(), 4u);
+  EXPECT_EQ(Datatype::int64().size(), 8u);
+  EXPECT_EQ(Datatype::uint64().size(), 8u);
+  EXPECT_EQ(Datatype::float32().size(), 4u);
+  EXPECT_EQ(Datatype::float64().size(), 8u);
+  EXPECT_TRUE(Datatype::int32().is_primitive());
+  EXPECT_EQ(Datatype::int32().extent(), Datatype::int32().size());
+}
+
+TEST(Datatype, PredefinedAreSingletons) {
+  EXPECT_TRUE(Datatype::int32().same_as(Datatype::int32()));
+  EXPECT_FALSE(Datatype::int32().same_as(Datatype::int64()));
+  EXPECT_TRUE(datatype_of<double>().same_as(Datatype::float64()));
+  EXPECT_TRUE(datatype_of<std::int32_t>().same_as(Datatype::int32()));
+}
+
+TEST(Datatype, ContiguousSizeAndExtent) {
+  Datatype c = Datatype::contiguous(5, Datatype::int32());
+  EXPECT_EQ(c.size(), 20u);
+  EXPECT_EQ(c.extent(), 20u);
+  EXPECT_FALSE(c.is_primitive());
+  EXPECT_EQ(c.kind(), Datatype::Kind::derived_k);
+}
+
+TEST(Datatype, ContiguousPackUnpackRoundTrip) {
+  Datatype c = Datatype::contiguous(4, Datatype::int32());
+  std::vector<std::int32_t> src{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<std::byte> wire(c.size() * 2);
+  c.pack(src.data(), 2, wire.data());
+  std::vector<std::int32_t> dst(8, 0);
+  c.unpack(wire.data(), 2, dst.data());
+  EXPECT_EQ(src, dst);
+}
+
+TEST(Datatype, VectorSizeAndExtent) {
+  // 3 blocks of 2 int32s, stride 4 elements: packed 24B, memory span
+  // ((3-1)*4+2)*4 = 40B.
+  Datatype v = Datatype::vector(3, 2, 4, Datatype::int32());
+  EXPECT_EQ(v.size(), 24u);
+  EXPECT_EQ(v.extent(), 40u);
+}
+
+TEST(Datatype, VectorPacksStridedColumns) {
+  // A 4x4 row-major matrix; vector(4,1,4) picks one column.
+  Datatype col = Datatype::vector(4, 1, 4, Datatype::int32());
+  std::int32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = i;
+  }
+  std::vector<std::byte> wire(col.size());
+  col.pack(m, 1, wire.data());
+  std::int32_t unpacked[4];
+  Datatype::contiguous(4, Datatype::int32()).unpack(wire.data(), 1, unpacked);
+  EXPECT_EQ(unpacked[0], 0);
+  EXPECT_EQ(unpacked[1], 4);
+  EXPECT_EQ(unpacked[2], 8);
+  EXPECT_EQ(unpacked[3], 12);
+}
+
+TEST(Datatype, VectorUnpackScattersBack) {
+  Datatype col = Datatype::vector(4, 1, 4, Datatype::int32());
+  std::int32_t m[16] = {0};
+  std::int32_t colvals[4] = {100, 101, 102, 103};
+  std::vector<std::byte> wire(col.size());
+  Datatype::contiguous(4, Datatype::int32()).pack(colvals, 1, wire.data());
+  col.unpack(wire.data(), 1, m);
+  EXPECT_EQ(m[0], 100);
+  EXPECT_EQ(m[4], 101);
+  EXPECT_EQ(m[8], 102);
+  EXPECT_EQ(m[12], 103);
+  EXPECT_EQ(m[1], 0);  // gaps untouched
+}
+
+TEST(Datatype, NestedDerivedTypes) {
+  Datatype inner = Datatype::contiguous(2, Datatype::int32());
+  Datatype outer = Datatype::vector(2, 1, 2, inner);
+  EXPECT_EQ(outer.size(), 16u);
+  std::int32_t data[8];
+  for (int i = 0; i < 8; ++i) {
+    data[i] = i;
+  }
+  std::vector<std::byte> wire(outer.size());
+  outer.pack(data, 1, wire.data());
+  std::int32_t out[4];
+  Datatype::contiguous(4, Datatype::int32()).unpack(wire.data(), 1, out);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(out[2], 4);
+  EXPECT_EQ(out[3], 5);
+}
+
+TEST(Datatype, InvalidConstructionThrows) {
+  EXPECT_THROW(Datatype::contiguous(-1, Datatype::int32()), Error);
+  EXPECT_THROW(Datatype::vector(-1, 1, 1, Datatype::int32()), Error);
+  EXPECT_THROW(Datatype::vector(2, 3, 2, Datatype::int32()), Error);
+}
+
+TEST(Datatype, ZeroCountTypesAreEmpty) {
+  Datatype z = Datatype::contiguous(0, Datatype::float64());
+  EXPECT_EQ(z.size(), 0u);
+  Datatype zv = Datatype::vector(0, 1, 1, Datatype::int32());
+  EXPECT_EQ(zv.size(), 0u);
+  EXPECT_EQ(zv.extent(), 0u);
+}
+
+TEST(Datatype, NamesAreDescriptive) {
+  EXPECT_EQ(Datatype::int32().name(), "int32");
+  Datatype c = Datatype::contiguous(3, Datatype::int64());
+  EXPECT_EQ(c.name(), "contiguous(3,int64)");
+}
+
+}  // namespace
+}  // namespace sessmpi

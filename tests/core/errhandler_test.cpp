@@ -1,0 +1,64 @@
+#include "sessmpi/errhandler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sessmpi {
+namespace {
+
+TEST(Errhandler, ErrorsReturnThrowsToCaller) {
+  const Errhandler& h = Errhandler::errors_return();
+  EXPECT_THROW(h.raise(ErrClass::comm, "bad comm"), Error);
+  try {
+    h.raise(ErrClass::tag, "bad tag");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrClass::tag);
+    EXPECT_NE(std::string(e.what()).find("SESSMPI_ERR_TAG"),
+              std::string::npos);
+  }
+}
+
+TEST(Errhandler, CustomHandlerRunsBeforeThrow) {
+  // Creatable before any initialization (paper §III-B5).
+  ErrClass seen = ErrClass::success;
+  std::string msg;
+  Errhandler h = Errhandler::create([&](ErrClass c, const std::string& m) {
+    seen = c;
+    msg = m;
+  });
+  EXPECT_THROW(h.raise(ErrClass::group, "group trouble"), Error);
+  EXPECT_EQ(seen, ErrClass::group);
+  EXPECT_EQ(msg, "group trouble");
+  EXPECT_EQ(h.invocations(), 1);
+}
+
+TEST(Errhandler, InvocationCountAccumulates) {
+  Errhandler h = Errhandler::create([](ErrClass, const std::string&) {});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(h.raise(ErrClass::other, "x"), Error);
+  }
+  EXPECT_EQ(h.invocations(), 3);
+}
+
+TEST(Errhandler, FatalnessIsIntrospectable) {
+  EXPECT_TRUE(Errhandler::errors_are_fatal().is_fatal());
+  EXPECT_FALSE(Errhandler::errors_return().is_fatal());
+  EXPECT_FALSE(
+      Errhandler::create([](ErrClass, const std::string&) {}).is_fatal());
+}
+
+TEST(ErrhandlerDeath, FatalAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(Errhandler::errors_are_fatal().raise(ErrClass::intern, "boom"),
+               "fatal error");
+}
+
+TEST(ErrClassNames, AllStable) {
+  EXPECT_EQ(err_class_name(ErrClass::success), "SESSMPI_SUCCESS");
+  EXPECT_EQ(err_class_name(ErrClass::session), "SESSMPI_ERR_SESSION");
+  EXPECT_EQ(err_class_name(ErrClass::rte_timeout), "SESSMPI_RTE_ERR_TIMEOUT");
+  EXPECT_EQ(err_class_name(static_cast<ErrClass>(9999)),
+            "SESSMPI_ERR_INVALID_CLASS");
+}
+
+}  // namespace
+}  // namespace sessmpi

@@ -1,0 +1,133 @@
+#include "sessmpi/excid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sessmpi {
+namespace {
+
+TEST(ExCid, SubfieldAccessors) {
+  ExCid c{42, 0};
+  c = c.with_subfield(0, 0xAA);
+  c = c.with_subfield(7, 0xBB);
+  EXPECT_EQ(c.subfield(0), 0xAA);
+  EXPECT_EQ(c.subfield(7), 0xBB);
+  EXPECT_EQ(c.subfield(3), 0);
+  EXPECT_EQ(c.hi, 42u);
+  // Overwrite replaces, not ORs.
+  c = c.with_subfield(0, 0x01);
+  EXPECT_EQ(c.subfield(0), 0x01);
+}
+
+TEST(ExCid, EqualityAndHash) {
+  ExCid a{1, 2};
+  ExCid b{1, 2};
+  ExCid c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(ExCidHash{}(a), ExCidHash{}(b));
+}
+
+TEST(ExCid, StrFormatsHex) {
+  ExCid c{0xABC, 0x1};
+  EXPECT_EQ(c.str(), "0000000000000abc:0000000000000001");
+}
+
+TEST(ExCidSpace, FreshStartsAtSubfield7) {
+  ExCidSpace s = ExCidSpace::fresh(99);
+  EXPECT_EQ(s.id().hi, 99u);
+  EXPECT_EQ(s.id().lo, 0u);
+  EXPECT_EQ(s.active_subfield(), 7);
+  EXPECT_EQ(s.remaining(), 255);
+}
+
+TEST(ExCidSpace, DeriveIncrementsParentSubfieldAndDecrementsChildActive) {
+  ExCidSpace parent = ExCidSpace::fresh(7);
+  auto child1 = parent.derive();
+  ASSERT_TRUE(child1.has_value());
+  EXPECT_EQ(child1->id().hi, 7u);
+  EXPECT_EQ(child1->id().subfield(7), 1);
+  EXPECT_EQ(child1->active_subfield(), 6);
+
+  auto child2 = parent.derive();
+  ASSERT_TRUE(child2.has_value());
+  EXPECT_EQ(child2->id().subfield(7), 2);
+  EXPECT_NE(child1->id(), child2->id());
+}
+
+TEST(ExCidSpace, BuiltinCannotDerive) {
+  ExCidSpace world = ExCidSpace::builtin(0);
+  EXPECT_EQ(world.id().hi, 0u);
+  EXPECT_EQ(world.remaining(), 0);
+  EXPECT_FALSE(world.derive().has_value());
+}
+
+TEST(ExCidSpace, Exhausts255DerivationsThenRequiresPgcid) {
+  ExCidSpace parent = ExCidSpace::fresh(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 255; ++i) {
+    auto child = parent.derive();
+    ASSERT_TRUE(child.has_value()) << "derivation " << i;
+    EXPECT_TRUE(seen.insert(child->id().lo).second) << "collision at " << i;
+  }
+  EXPECT_EQ(parent.remaining(), 0);
+  EXPECT_FALSE(parent.derive().has_value());
+}
+
+TEST(ExCidSpace, ActiveSubfieldZeroRequiresPgcid) {
+  // Chain of derivations walks the active subfield down from 7; a parent at
+  // subfield 0 must acquire a new PGCID (paper §III-B3).
+  ExCidSpace cursor = ExCidSpace::fresh(1);
+  for (int depth = 0; depth < 7; ++depth) {
+    auto child = cursor.derive();
+    ASSERT_TRUE(child.has_value()) << "depth " << depth;
+    cursor = *child;
+  }
+  EXPECT_EQ(cursor.active_subfield(), 0);
+  EXPECT_FALSE(cursor.derive().has_value());
+}
+
+TEST(ExCidSpace, FullTreeOfDerivationsIsCollisionFree) {
+  // Property sweep: derive a branching tree (breadth 4, depth 4) and check
+  // global uniqueness of every exCID.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  std::vector<ExCidSpace> frontier{ExCidSpace::fresh(123)};
+  seen.insert({frontier[0].id().hi, frontier[0].id().lo});
+  for (int depth = 0; depth < 4; ++depth) {
+    std::vector<ExCidSpace> next;
+    for (auto& node : frontier) {
+      for (int b = 0; b < 4; ++b) {
+        auto child = node.derive();
+        if (!child) {
+          break;
+        }
+        EXPECT_TRUE(seen.insert({child->id().hi, child->id().lo}).second)
+            << "collision at depth " << depth;
+        next.push_back(*child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  // 1 + 4 + 16 + 64 + 256 nodes — all unique.
+  EXPECT_EQ(seen.size(), 341u);
+}
+
+class ExCidPgcidSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExCidPgcidSweep, DistinctPgcidsNeverCollide) {
+  ExCidSpace a = ExCidSpace::fresh(GetParam());
+  ExCidSpace b = ExCidSpace::fresh(GetParam() + 1);
+  auto ca = a.derive();
+  auto cb = b.derive();
+  ASSERT_TRUE(ca && cb);
+  EXPECT_NE(ca->id(), cb->id());
+  EXPECT_EQ(ca->id().lo, cb->id().lo);  // same derivation pattern
+  EXPECT_NE(ca->id().hi, cb->id().hi);  // separated by the PGCID half
+}
+
+INSTANTIATE_TEST_SUITE_P(Pgcids, ExCidPgcidSweep,
+                         ::testing::Values(1, 2, 1000, 1u << 20, 1ull << 40));
+
+}  // namespace
+}  // namespace sessmpi

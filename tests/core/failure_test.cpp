@@ -1,0 +1,139 @@
+// Failure-containment tests (§II-C): operations pinned on a dead peer must
+// complete with rte_proc_failed instead of hanging survivors.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "harness.hpp"
+
+namespace sessmpi {
+namespace {
+
+using testing::world_run;
+
+TEST(Failure, BlockingRecvFromDeadRankAborts) {
+  world_run(1, 2, [](sim::Process& p) {
+    Communicator world = comm_world();
+    world.set_errhandler(Errhandler::errors_return());
+    if (p.rank() == 1) {
+      p.fail();
+      return;
+    }
+    std::int32_t v = 0;
+    EXPECT_THROW(world.recv(&v, 1, Datatype::int32(), 1, 0), Error);
+  });
+}
+
+TEST(Failure, PendingIrecvCompletesWithError) {
+  world_run(1, 2, [](sim::Process& p) {
+    Communicator world = comm_world();
+    if (p.rank() == 0) {
+      std::int32_t v = 0;
+      Request r = world.irecv(&v, 1, Datatype::int32(), 1, 0);
+      Status st = r.wait();
+      EXPECT_EQ(st.error, ErrClass::rte_proc_failed);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      p.fail();
+    }
+  });
+}
+
+TEST(Failure, BarrierWithDeadRankAborts) {
+  world_run(1, 3, [](sim::Process& p) {
+    Communicator world = comm_world();
+    world.set_errhandler(Errhandler::errors_return());
+    if (p.rank() == 2) {
+      p.fail();
+      return;
+    }
+    EXPECT_THROW(world.barrier(), Error);
+  });
+}
+
+TEST(Failure, SsendToDeadRankAborts) {
+  world_run(1, 2, [](sim::Process& p) {
+    Communicator world = comm_world();
+    world.set_errhandler(Errhandler::errors_return());
+    if (p.rank() == 1) {
+      p.fail();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const std::int32_t v = 5;
+    EXPECT_THROW(world.ssend(&v, 1, Datatype::int32(), 1, 0), Error);
+  });
+}
+
+TEST(Failure, RendezvousSendToDeadRankAborts) {
+  world_run(1, 2, [](sim::Process& p) {
+    Communicator world = comm_world();
+    world.set_errhandler(Errhandler::errors_return());
+    if (p.rank() == 1) {
+      p.fail();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::vector<std::byte> big(kEagerLimit * 2, std::byte{1});
+    EXPECT_THROW(world.send(big.data(), static_cast<int>(big.size()),
+                            Datatype::byte(), 1, 0),
+                 Error);
+  });
+}
+
+TEST(Failure, AnySourceRecvKeepsWaitingForLiveSenders) {
+  // A wildcard receive must not abort just because *some* rank died — a
+  // live sender can still match it.
+  world_run(1, 3, [](sim::Process& p) {
+    Communicator world = comm_world();
+    if (p.rank() == 2) {
+      p.fail();
+      return;
+    }
+    if (p.rank() == 0) {
+      std::int32_t v = 0;
+      Status st = world.recv(&v, 1, Datatype::int32(), any_source, 7);
+      EXPECT_EQ(st.source, 1);
+      EXPECT_EQ(v, 99);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      const std::int32_t v = 99;
+      world.send(&v, 1, Datatype::int32(), 0, 7);
+    }
+  });
+}
+
+TEST(Failure, SurvivorsReinitializeAndContinue) {
+  // The checkpoint_restart example pattern as a test: survivors tear down
+  // and rebuild over a reduced pset.
+  sim::Cluster::Options opts = testing::zero_opts(1, 3);
+  opts.extra_psets.emplace_back("app://rest", std::vector<pmix::ProcId>{0, 1});
+  sim::Cluster cluster{opts};
+  cluster.run([](sim::Process& p) {
+    Session s1 = Session::init(Info::null(), Errhandler::errors_return());
+    Communicator c1 = Communicator::create_from_group(
+        s1.group_from_pset("mpi://world"), "before", Info::null(),
+        Errhandler::errors_return());
+    if (p.rank() == 2) {
+      p.fail();
+      return;
+    }
+    // The dead rank breaks the full-world barrier.
+    EXPECT_THROW(c1.barrier(), Error);
+    c1.free();
+    s1.finalize();
+
+    Session s2 = Session::init(Info::null(), Errhandler::errors_return());
+    Communicator c2 = Communicator::create_from_group(
+        s2.group_from_pset("app://rest"), "after");
+    std::int64_t one = 1, sum = 0;
+    c2.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 2);
+    c2.free();
+    s2.finalize();
+  });
+}
+
+}  // namespace
+}  // namespace sessmpi

@@ -1,0 +1,77 @@
+#include "sessmpi/group.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sessmpi {
+namespace {
+
+TEST(Group, EmptyGroup) {
+  const Group& e = Group::empty();
+  EXPECT_EQ(e.size(), 0);
+  EXPECT_EQ(e.rank_of(0), -1);
+  EXPECT_FALSE(e.contains(0));
+}
+
+TEST(Group, OfPreservesOrder) {
+  Group g = Group::of({5, 2, 9});
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.global_of(0), 5);
+  EXPECT_EQ(g.global_of(1), 2);
+  EXPECT_EQ(g.global_of(2), 9);
+  EXPECT_EQ(g.rank_of(9), 2);
+  EXPECT_EQ(g.rank_of(7), -1);
+  EXPECT_THROW((void)g.global_of(3), Error);
+  EXPECT_THROW((void)g.global_of(-1), Error);
+}
+
+TEST(Group, DuplicateMembersRejected) {
+  EXPECT_THROW(Group::of({1, 2, 1}), Error);
+}
+
+TEST(Group, UnionKeepsLeftOrderThenNew) {
+  Group a = Group::of({1, 3});
+  Group b = Group::of({3, 2});
+  Group u = a.set_union(b);
+  EXPECT_EQ(u.members(), (std::vector<base::Rank>{1, 3, 2}));
+}
+
+TEST(Group, IntersectionOrderedByLeft) {
+  Group a = Group::of({4, 1, 3});
+  Group b = Group::of({3, 4});
+  EXPECT_EQ(a.set_intersection(b).members(), (std::vector<base::Rank>{4, 3}));
+}
+
+TEST(Group, Difference) {
+  Group a = Group::of({1, 2, 3, 4});
+  Group b = Group::of({2, 4});
+  EXPECT_EQ(a.set_difference(b).members(), (std::vector<base::Rank>{1, 3}));
+}
+
+TEST(Group, InclExclBySubsetRanks) {
+  Group g = Group::of({10, 20, 30, 40});
+  EXPECT_EQ(g.incl({3, 0}).members(), (std::vector<base::Rank>{40, 10}));
+  EXPECT_EQ(g.excl({1, 2}).members(), (std::vector<base::Rank>{10, 40}));
+  EXPECT_THROW((void)g.incl({4}), Error);
+  EXPECT_THROW((void)g.incl({0, 0}), Error);
+  EXPECT_THROW((void)g.excl({1, 1}), Error);
+}
+
+TEST(Group, TranslateRanks) {
+  Group a = Group::of({10, 20, 30});
+  Group b = Group::of({30, 10});
+  auto t = a.translate({0, 1, 2}, b);
+  EXPECT_EQ(t, (std::vector<int>{1, -1, 0}));
+}
+
+TEST(Group, CompareSemantics) {
+  Group a = Group::of({1, 2, 3});
+  Group ident = Group::of({1, 2, 3});
+  Group similar = Group::of({3, 1, 2});
+  Group unequal = Group::of({1, 2});
+  EXPECT_EQ(a.compare(ident), Group::Compare::ident);
+  EXPECT_EQ(a.compare(similar), Group::Compare::similar);
+  EXPECT_EQ(a.compare(unequal), Group::Compare::unequal);
+}
+
+}  // namespace
+}  // namespace sessmpi

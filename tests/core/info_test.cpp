@@ -1,0 +1,89 @@
+#include "sessmpi/info.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sessmpi {
+namespace {
+
+TEST(Info, WorksBeforeAnyInitialization) {
+  // Paper §III-B5: Info objects must be fully usable pre-init. This test
+  // runs with no cluster and no init of any kind.
+  Info info;
+  info.set("mpi_thread_support_level", "multiple");
+  EXPECT_EQ(info.get("mpi_thread_support_level"), "multiple");
+}
+
+TEST(Info, SetGetEraseRoundTrip) {
+  Info info;
+  EXPECT_FALSE(info.get("k").has_value());
+  info.set("k", "v1");
+  info.set("k", "v2");  // overwrite
+  EXPECT_EQ(info.get("k"), "v2");
+  EXPECT_TRUE(info.erase("k"));
+  EXPECT_FALSE(info.erase("k"));
+  EXPECT_FALSE(info.get("k").has_value());
+}
+
+TEST(Info, NkeysAndNthKeySorted) {
+  Info info;
+  info.set("zeta", "1");
+  info.set("alpha", "2");
+  info.set("mid", "3");
+  EXPECT_EQ(info.nkeys(), 3u);
+  EXPECT_EQ(info.nthkey(0), "alpha");
+  EXPECT_EQ(info.nthkey(1), "mid");
+  EXPECT_EQ(info.nthkey(2), "zeta");
+  EXPECT_FALSE(info.nthkey(3).has_value());
+  EXPECT_EQ(info.keys(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(Info, DupIsDeepCopy) {
+  Info a;
+  a.set("k", "original");
+  Info b = a.dup();
+  b.set("k", "changed");
+  b.set("extra", "1");
+  EXPECT_EQ(a.get("k"), "original");
+  EXPECT_EQ(a.nkeys(), 1u);
+  EXPECT_EQ(b.nkeys(), 2u);
+}
+
+TEST(Info, HandleCopySharesState) {
+  Info a;
+  Info b = a;  // MPI handles: copies refer to the same object
+  a.set("k", "v");
+  EXPECT_EQ(b.get("k"), "v");
+}
+
+TEST(Info, NullInfoIsInertAndEmpty) {
+  const Info& null = Info::null();
+  EXPECT_TRUE(null.is_null());
+  EXPECT_EQ(null.nkeys(), 0u);
+  EXPECT_FALSE(null.get("k").has_value());
+  EXPECT_FALSE(null.dup().is_null());  // dup of null yields a real object
+}
+
+TEST(Info, ConcurrentMutationIsSafe) {
+  // Locks are always enabled (thread safety required pre-init).
+  Info info;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&info, t] {
+      for (int i = 0; i < 200; ++i) {
+        info.set("key" + std::to_string(t), std::to_string(i));
+        (void)info.get("key" + std::to_string((t + 1) % 8));
+        (void)info.nkeys();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(info.nkeys(), 8u);
+}
+
+}  // namespace
+}  // namespace sessmpi

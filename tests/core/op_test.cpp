@@ -1,0 +1,114 @@
+#include "sessmpi/op.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace sessmpi {
+namespace {
+
+TEST(Op, SumOnInt64) {
+  std::int64_t in[3] = {1, 2, 3};
+  std::int64_t acc[3] = {10, 20, 30};
+  Op::sum().apply(in, acc, 3, Datatype::int64());
+  EXPECT_EQ(acc[0], 11);
+  EXPECT_EQ(acc[1], 22);
+  EXPECT_EQ(acc[2], 33);
+}
+
+TEST(Op, ProdMaxMinOnDouble) {
+  double in[2] = {3.0, -1.0};
+  double acc[2] = {2.0, 5.0};
+  Op::prod().apply(in, acc, 2, Datatype::float64());
+  EXPECT_DOUBLE_EQ(acc[0], 6.0);
+  EXPECT_DOUBLE_EQ(acc[1], -5.0);
+  double mx[2] = {1.0, 9.0};
+  Op::max().apply(in, mx, 2, Datatype::float64());
+  EXPECT_DOUBLE_EQ(mx[0], 3.0);
+  EXPECT_DOUBLE_EQ(mx[1], 9.0);
+  double mn[2] = {1.0, 9.0};
+  Op::min().apply(in, mn, 2, Datatype::float64());
+  EXPECT_DOUBLE_EQ(mn[0], 1.0);
+  EXPECT_DOUBLE_EQ(mn[1], -1.0);
+}
+
+TEST(Op, LogicalOpsOnInt32) {
+  std::int32_t in[4] = {0, 1, 0, 5};
+  std::int32_t acc[4] = {1, 1, 0, 0};
+  Op::land().apply(in, acc, 4, Datatype::int32());
+  EXPECT_EQ(acc[0], 0);
+  EXPECT_EQ(acc[1], 1);
+  EXPECT_EQ(acc[2], 0);
+  EXPECT_EQ(acc[3], 0);
+  std::int32_t acc2[4] = {1, 0, 0, 0};
+  Op::lor().apply(in, acc2, 4, Datatype::int32());
+  EXPECT_EQ(acc2[0], 1);
+  EXPECT_EQ(acc2[1], 1);
+  EXPECT_EQ(acc2[2], 0);
+  EXPECT_EQ(acc2[3], 1);
+}
+
+TEST(Op, BitwiseOpsOnUint64) {
+  std::uint64_t in[1] = {0b1100};
+  std::uint64_t band[1] = {0b1010};
+  Op::band().apply(in, band, 1, Datatype::uint64());
+  EXPECT_EQ(band[0], 0b1000u);
+  std::uint64_t bor[1] = {0b1010};
+  Op::bor().apply(in, bor, 1, Datatype::uint64());
+  EXPECT_EQ(bor[0], 0b1110u);
+}
+
+TEST(Op, LogicalOpsRejectFloat) {
+  double in[1] = {1.0};
+  double acc[1] = {1.0};
+  EXPECT_THROW(Op::land().apply(in, acc, 1, Datatype::float64()), Error);
+  EXPECT_THROW(Op::band().apply(in, acc, 1, Datatype::float64()), Error);
+}
+
+TEST(Op, BuiltinsRejectDerivedTypes) {
+  Datatype derived = Datatype::contiguous(2, Datatype::int32());
+  std::int32_t in[2] = {1, 2};
+  std::int32_t acc[2] = {3, 4};
+  EXPECT_THROW(Op::sum().apply(in, acc, 1, derived), Error);
+}
+
+TEST(Op, UserDefinedFunctionReceivesCountAndType) {
+  int seen_count = 0;
+  Op user = Op::create(
+      [&](const void* in, void* inout, int count, const Datatype& dt) {
+        seen_count = count;
+        EXPECT_TRUE(dt.same_as(Datatype::int32()));
+        const auto* a = static_cast<const std::int32_t*>(in);
+        auto* b = static_cast<std::int32_t*>(inout);
+        for (int i = 0; i < count; ++i) {
+          b[i] = a[i] - b[i];
+        }
+      },
+      true, "diff");
+  std::int32_t in[2] = {10, 20};
+  std::int32_t acc[2] = {1, 2};
+  user.apply(in, acc, 2, Datatype::int32());
+  EXPECT_EQ(seen_count, 2);
+  EXPECT_EQ(acc[0], 9);
+  EXPECT_EQ(acc[1], 18);
+}
+
+TEST(Op, MetadataAccessors) {
+  EXPECT_EQ(Op::sum().name(), "sum");
+  EXPECT_TRUE(Op::sum().commutative());
+  Op nc = Op::create([](const void*, void*, int, const Datatype&) {}, false,
+                     "custom");
+  EXPECT_FALSE(nc.commutative());
+  EXPECT_EQ(nc.name(), "custom");
+}
+
+TEST(Op, ByteTypeSupported) {
+  std::uint8_t raw_in[2] = {200, 1};
+  std::uint8_t raw_acc[2] = {100, 2};
+  Op::max().apply(raw_in, raw_acc, 2, Datatype::byte());
+  EXPECT_EQ(raw_acc[0], 200);
+  EXPECT_EQ(raw_acc[1], 2);
+}
+
+}  // namespace
+}  // namespace sessmpi

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "harness.hpp"
+
+namespace sessmpi {
+namespace {
+
+using testing::mpi_run;
+
+TEST(Session, Figure1Flow) {
+  // The full sequence from the paper's Figure 1: session handle -> pset
+  // query -> group -> communicator -> use it.
+  mpi_run(2, 2, [](sim::Process& p) {
+    Session s = Session::init();
+    auto psets = s.pset_names();
+    EXPECT_NE(std::find(psets.begin(), psets.end(), "mpi://world"),
+              psets.end());
+    Group g = s.group_from_pset("mpi://world");
+    EXPECT_EQ(g.size(), 4);
+    Communicator comm = Communicator::create_from_group(g, "fig1");
+    EXPECT_EQ(comm.size(), 4);
+    EXPECT_EQ(comm.rank(), p.rank());
+    std::int64_t me = comm.rank(), sum = 0;
+    comm.allreduce(&me, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 6);
+    comm.free();
+    s.finalize();
+  });
+}
+
+TEST(Session, PredefinedPsetsPresent) {
+  mpi_run(2, 2, [](sim::Process& p) {
+    Session s = Session::init();
+    auto names = s.pset_names();
+    for (const char* required : {"mpi://world", "mpi://self", "mpi://shared"}) {
+      EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+          << required;
+    }
+    EXPECT_EQ(s.num_psets(), static_cast<int>(names.size()));
+    EXPECT_EQ(s.nth_pset(0), names[0]);
+
+    EXPECT_EQ(s.group_from_pset("mpi://self").size(), 1);
+    EXPECT_TRUE(s.group_from_pset("mpi://self").contains(p.rank()));
+    Group shared = s.group_from_pset("mpi://shared");
+    EXPECT_EQ(shared.size(), 2);  // 2 procs per node
+    s.finalize();
+  });
+}
+
+TEST(Session, PsetInfoReportsSize) {
+  mpi_run(1, 3, [](sim::Process&) {
+    Session s = Session::init();
+    Info info = s.pset_info("mpi://world");
+    EXPECT_EQ(info.get("mpi_size"), "3");
+    EXPECT_EQ(info.get("pset_name"), "mpi://world");
+    s.finalize();
+  });
+}
+
+TEST(Session, SiteSpecificPsets) {
+  sim::Cluster::Options opts = testing::zero_opts(1, 4);
+  opts.extra_psets.emplace_back("app://ocean", std::vector<pmix::ProcId>{0, 1});
+  opts.extra_psets.emplace_back("app://ice", std::vector<pmix::ProcId>{2, 3});
+  sim::Cluster cluster{opts};
+  cluster.run([](sim::Process& p) {
+    Session s = Session::init();
+    const char* mine = p.rank() < 2 ? "app://ocean" : "app://ice";
+    Group g = s.group_from_pset(mine);
+    EXPECT_EQ(g.size(), 2);
+    Communicator comm = Communicator::create_from_group(g, mine);
+    std::int64_t one = 1, n = 0;
+    comm.allreduce(&one, &n, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(n, 2);
+    comm.free();
+    s.finalize();
+  });
+}
+
+TEST(Session, UnknownPsetRaises) {
+  mpi_run(1, 1, [](sim::Process&) {
+    Session s = Session::init();
+    EXPECT_THROW((void)s.group_from_pset("mpi://nonexistent"), Error);
+    s.finalize();
+  });
+}
+
+TEST(Session, RepeatedInitFinalizeCycles) {
+  // §II-A: init and re-init MPI multiple times within one execution.
+  mpi_run(1, 2, [](sim::Process& p) {
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      Session s = Session::init();
+      Group g = s.group_from_pset("mpi://world");
+      Communicator c =
+          Communicator::create_from_group(g, "cycle" + std::to_string(cycle));
+      std::int64_t v = p.rank(), sum = 0;
+      c.allreduce(&v, &sum, 1, Datatype::int64(), Op::sum());
+      EXPECT_EQ(sum, 1);
+      c.free();
+      s.finalize();
+      // After the last finalize, MPI resources are fully torn down.
+      EXPECT_FALSE(p.subsystems().is_initialized("instance"));
+    }
+    EXPECT_EQ(p.subsystems().completed_cycles(), 3);
+  });
+}
+
+TEST(Session, OverlappingSessionsShareSubsystems) {
+  mpi_run(1, 1, [](sim::Process& p) {
+    Session a = Session::init();
+    Session b = Session::init();
+    EXPECT_NE(a.id(), b.id());
+    EXPECT_TRUE(p.subsystems().is_initialized("instance"));
+    a.finalize();
+    // b still holds the instance: no teardown yet.
+    EXPECT_TRUE(p.subsystems().is_initialized("instance"));
+    b.finalize();
+    EXPECT_FALSE(p.subsystems().is_initialized("instance"));
+  });
+}
+
+TEST(Session, DoubleFinalizeRaises) {
+  mpi_run(1, 1, [](sim::Process&) {
+    Session s = Session::init();
+    s.finalize();
+    EXPECT_THROW(s.finalize(), Error);
+    EXPECT_TRUE(s.finalized());
+  });
+}
+
+TEST(Session, OperationsOnFinalizedSessionRaise) {
+  mpi_run(1, 1, [](sim::Process&) {
+    Session s = Session::init();
+    s.finalize();
+    EXPECT_THROW((void)s.pset_names(), Error);
+    EXPECT_THROW((void)s.group_from_pset("mpi://world"), Error);
+  });
+}
+
+TEST(Session, ThreadLevelFromInfo) {
+  mpi_run(1, 1, [](sim::Process&) {
+    Info info;
+    info.set("thread_level", "funneled");
+    Session s = Session::init(info);
+    EXPECT_EQ(s.thread_level(), ThreadLevel::funneled);
+    EXPECT_EQ(s.info().get("thread_level"), "funneled");
+    s.finalize();
+
+    Session d = Session::init();
+    EXPECT_EQ(d.thread_level(), ThreadLevel::multiple);
+    d.finalize();
+
+    Info bad;
+    bad.set("thread_level", "bogus");
+    EXPECT_THROW(Session::init(bad), Error);
+  });
+}
+
+TEST(Session, ConcurrentInitFromMultipleThreadsOfOneRank) {
+  // MPI_Session_init must be thread-safe (paper §I): several application
+  // threads of the same rank initialize and finalize sessions concurrently.
+  mpi_run(1, 1, [](sim::Process& p) {
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    std::atomic<int> ok{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&p, &ok] {
+        sim::ProcessAdopter adopt{p};
+        Session s = Session::init();
+        EXPECT_FALSE(s.finalized());
+        s.finalize();
+        ++ok;
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    EXPECT_EQ(ok.load(), kThreads);
+    EXPECT_FALSE(p.subsystems().is_initialized("instance"));
+  });
+}
+
+TEST(Session, SessionAttributesWork) {
+  mpi_run(1, 1, [](sim::Process&) {
+    Session s = Session::init();
+    Keyval kv = Keyval::create();
+    s.attributes().set(kv, 1234);
+    EXPECT_EQ(s.attributes().get(kv), 1234);
+    EXPECT_TRUE(s.attributes().erase(kv));
+    EXPECT_FALSE(s.attributes().get(kv).has_value());
+    s.finalize();
+  });
+}
+
+TEST(Session, IsolatedSessionsGetDistinctCommunicators) {
+  // §II-B: concurrent sessions produce isolated comms; messages do not leak
+  // between them even with identical groups and tags.
+  mpi_run(1, 2, [](sim::Process& p) {
+    Session s1 = Session::init();
+    Session s2 = Session::init();
+    Communicator c1 = Communicator::create_from_group(
+        s1.group_from_pset("mpi://world"), "iso1");
+    Communicator c2 = Communicator::create_from_group(
+        s2.group_from_pset("mpi://world"), "iso2");
+    EXPECT_NE(c1.excid().hi, c2.excid().hi);
+
+    // Same (dst, tag) on both comms; payloads must stay separated.
+    const int other = 1 - p.rank();
+    std::int32_t out1 = 10 + p.rank(), out2 = 20 + p.rank();
+    std::int32_t in1 = -1, in2 = -1;
+    Request r2 = c2.irecv(&in2, 1, Datatype::int32(), other, 5);
+    Request r1 = c1.irecv(&in1, 1, Datatype::int32(), other, 5);
+    c2.send(&out2, 1, Datatype::int32(), other, 5);
+    c1.send(&out1, 1, Datatype::int32(), other, 5);
+    r1.wait();
+    r2.wait();
+    EXPECT_EQ(in1, 10 + other);
+    EXPECT_EQ(in2, 20 + other);
+
+    c1.free();
+    c2.free();
+    s1.finalize();
+    s2.finalize();
+  });
+}
+
+}  // namespace
+}  // namespace sessmpi

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace sessmpi {
+namespace {
+
+using testing::mpi_run;
+
+TEST(World, InitProvidesWorldAndSelf) {
+  mpi_run(2, 2, [](sim::Process& p) {
+    EXPECT_FALSE(initialized());
+    init();
+    EXPECT_TRUE(initialized());
+    Communicator world = comm_world();
+    EXPECT_EQ(world.size(), 4);
+    EXPECT_EQ(world.rank(), p.rank());
+    EXPECT_EQ(world.cid(), 0);
+    EXPECT_FALSE(world.uses_excid());
+    EXPECT_EQ(world.name(), "MPI_COMM_WORLD");
+    Communicator self = comm_self();
+    EXPECT_EQ(self.size(), 1);
+    EXPECT_EQ(self.cid(), 1);
+    finalize();
+    EXPECT_FALSE(initialized());
+  });
+}
+
+TEST(World, CommWorldBeforeInitThrows) {
+  mpi_run(1, 1, [](sim::Process&) {
+    EXPECT_THROW((void)comm_world(), Error);
+    EXPECT_THROW(finalize(), Error);
+  });
+}
+
+TEST(World, DoubleInitThrows) {
+  mpi_run(1, 1, [](sim::Process&) {
+    init();
+    EXPECT_THROW(init(), Error);
+    finalize();
+  });
+}
+
+TEST(World, ReInitAfterFinalize) {
+  // The restructured prototype supports init() -> finalize() -> init()
+  // (§III-B5) — impossible in classic MPI.
+  mpi_run(1, 2, [](sim::Process&) {
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      init();
+      Communicator world = comm_world();
+      std::int64_t one = 1, sum = 0;
+      world.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+      EXPECT_EQ(sum, 2);
+      finalize();
+    }
+  });
+}
+
+TEST(World, WorldModelAndSessionsCoexist) {
+  // §III-B5: the World Process Model runs alongside the Sessions model; the
+  // world objects are backed by an internal session.
+  mpi_run(1, 2, [](sim::Process& p) {
+    init();
+    Session s = Session::init();
+    Communicator sess_comm = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "coexist");
+    Communicator world = comm_world();
+
+    // Traffic on both, interleaved.
+    const int other = 1 - p.rank();
+    std::int32_t w_in = -1, s_in = -1;
+    Request rw = world.irecv(&w_in, 1, Datatype::int32(), other, 1);
+    Request rs = sess_comm.irecv(&s_in, 1, Datatype::int32(), other, 1);
+    const std::int32_t w_out = 10 + p.rank(), s_out = 20 + p.rank();
+    world.send(&w_out, 1, Datatype::int32(), other, 1);
+    sess_comm.send(&s_out, 1, Datatype::int32(), other, 1);
+    rw.wait();
+    rs.wait();
+    EXPECT_EQ(w_in, 10 + other);
+    EXPECT_EQ(s_in, 20 + other);
+
+    sess_comm.free();
+    // Finalize world first: the session must keep MPI alive.
+    finalize();
+    EXPECT_TRUE(p.subsystems().is_initialized("instance"));
+    std::int64_t one = 1, sum = 0;
+    Communicator again = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "after-world");
+    again.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 2);
+    again.free();
+    s.finalize();
+    EXPECT_FALSE(p.subsystems().is_initialized("instance"));
+  });
+}
+
+TEST(World, SessionInitAvoidsWorldObjects) {
+  // Sessions-only processes never build COMM_WORLD — the global-state
+  // single-point-of-failure the proposal removes (§II-C).
+  mpi_run(1, 2, [](sim::Process& p) {
+    Session s = Session::init();
+    EXPECT_THROW((void)comm_world(), Error);
+    EXPECT_FALSE(p.subsystems().is_initialized("world"));
+    s.finalize();
+  });
+}
+
+TEST(World, GroupFromWorldMatchesSessionPsetGroup) {
+  // §III-B6: the group for mpi://world equals MPI_Comm_group(COMM_WORLD).
+  mpi_run(2, 2, [](sim::Process&) {
+    init();
+    Session s = Session::init();
+    Group from_world = comm_world().group();
+    Group from_pset = s.group_from_pset("mpi://world");
+    EXPECT_EQ(from_world.compare(from_pset), Group::Compare::ident);
+    s.finalize();
+    finalize();
+  });
+}
+
+}  // namespace
+}  // namespace sessmpi

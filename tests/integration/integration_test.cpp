@@ -1,0 +1,212 @@
+// Cross-module integration tests: the paper's end-to-end scenarios —
+// library compartmentalization (HPCC style, §IV-D), fault isolation between
+// sessions (§II-C), re-initialization after failure, and mixed-model
+// workloads under the calibrated (non-zero) cost model.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "../core/harness.hpp"
+#include "sessmpi/base/clock.hpp"
+#include "sessmpi/quo/quo.hpp"
+
+namespace sessmpi {
+namespace {
+
+using testing::mpi_run;
+
+TEST(Integration, LibraryComponentCreatesOwnSession) {
+  // §IV-D: the application uses the World model; an internal component
+  // (like HPCC's main_bench_lat_bw) creates its own session + comm and runs
+  // its traffic in isolation.
+  mpi_run(2, 2, [](sim::Process& p) {
+    init();
+    Communicator world = comm_world();
+
+    // "Component" scope:
+    {
+      Session s = Session::init();
+      Communicator comp = Communicator::create_from_group(
+          s.group_from_pset("mpi://world"), "component");
+      // Ring over the component comm while the app also uses world.
+      const int n = comp.size();
+      const int next = (comp.rank() + 1) % n;
+      const int prev = (comp.rank() - 1 + n) % n;
+      std::int64_t in = -1;
+      const std::int64_t out = comp.rank();
+      Request r = comp.irecv(&in, 1, Datatype::int64(), prev, 0);
+      comp.send(&out, 1, Datatype::int64(), next, 0);
+      r.wait();
+      EXPECT_EQ(in, prev);
+      world.barrier();  // app-level traffic interleaved
+      comp.free();
+      s.finalize();
+    }
+
+    // App continues unaffected.
+    std::int64_t one = 1, sum = 0;
+    world.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 4);
+    finalize();
+    (void)p;
+  });
+}
+
+TEST(Integration, FaultIsolationBetweenSessions) {
+  // §II-C: a failure in one group is contained; a disjoint session keeps
+  // working. Ranks 0,1 form "clients", ranks 2,3 form "servers"; client 1
+  // dies, servers keep communicating.
+  sim::Cluster cluster{testing::zero_opts(1, 4)};
+  std::atomic<int> server_rounds{0};
+  cluster.run([&](sim::Process& p) {
+    Session s = Session::init(Info::null(), Errhandler::errors_return());
+    const bool is_server = p.rank() >= 2;
+    pmix::PmixClient& client = *p.pmix_client;
+
+    pmix::GroupDirectives dirs;
+    dirs.notify_on_termination = true;
+    auto grp = client.group_construct(is_server ? "servers" : "clients",
+                                      is_server ? std::vector<pmix::ProcId>{2, 3}
+                                                : std::vector<pmix::ProcId>{0, 1},
+                                      dirs);
+    ASSERT_TRUE(grp.ok());
+
+    Group g = Group::of(is_server ? std::vector<base::Rank>{2, 3}
+                                  : std::vector<base::Rank>{0, 1});
+    Communicator comm = Communicator::create_from_group(
+        g, is_server ? "srv" : "cli", Info::null(),
+        Errhandler::errors_return());
+
+    if (p.rank() == 1) {
+      // Client 1 fails hard.
+      p.fail();
+      return;
+    }
+    if (p.rank() == 0) {
+      // Client 0 observes the failure through PMIx events (polled via
+      // fences) rather than hanging forever: a fence with the dead member
+      // aborts.
+      auto st = client.fence({0, 1}, false, base::Nanos(std::chrono::seconds(2)));
+      EXPECT_FALSE(st.ok());
+      return;
+    }
+    // Servers: unaffected, keep exchanging.
+    for (int i = 0; i < 5; ++i) {
+      std::int64_t one = 1, sum = 0;
+      comm.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+      EXPECT_EQ(sum, 2);
+      ++server_rounds;
+    }
+    comm.free();
+    s.finalize();
+  });
+  EXPECT_EQ(server_rounds.load(), 10);  // 5 rounds x 2 servers
+}
+
+TEST(Integration, ReinitAfterFailureWithFewerProcesses) {
+  // §II-C(a): roll-forward — after a peer dies, survivors finalize and
+  // re-initialize MPI over a site-defined pset that excludes the casualty.
+  sim::Cluster::Options opts = testing::zero_opts(1, 3);
+  opts.extra_psets.emplace_back("app://survivors",
+                                std::vector<pmix::ProcId>{0, 1});
+  sim::Cluster cluster{opts};
+  cluster.run([](sim::Process& p) {
+    Session s1 = Session::init(Info::null(), Errhandler::errors_return());
+    if (p.rank() == 2) {
+      p.fail();  // dies before ever joining the workload
+      return;
+    }
+    // Survivors: first attempt involves the dead rank and fails.
+    auto st = p.pmix_client->fence({0, 1, 2}, false,
+                                   base::Nanos(std::chrono::seconds(2)));
+    EXPECT_FALSE(st.ok());
+    s1.finalize();
+
+    // Re-initialize with the reduced pset and carry on.
+    Session s2 = Session::init(Info::null(), Errhandler::errors_return());
+    Communicator c = Communicator::create_from_group(
+        s2.group_from_pset("app://survivors"), "retry");
+    std::int64_t one = 1, sum = 0;
+    c.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 2);
+    c.free();
+    s2.finalize();
+  });
+}
+
+TEST(Integration, CalibratedCostModelEndToEnd) {
+  // Smoke-run the full stack with real injected costs (the bench
+  // configuration) to make sure nothing depends on the zero model.
+  sim::Cluster::Options opts;
+  opts.topo = {2, 2};
+  opts.cost = base::CostModel::calibrated();
+  sim::Cluster cluster{opts};
+  cluster.run([](sim::Process& p) {
+    base::Stopwatch sw;
+    init();
+    const double init_ms = sw.elapsed_ms();
+    EXPECT_GT(init_ms, 1.0) << "calibrated init cost should be visible";
+    Communicator world = comm_world();
+    std::int64_t one = 1, sum = 0;
+    world.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 4);
+
+    Session s = Session::init();
+    Communicator c = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "cal");
+    c.barrier();
+    c.free();
+    s.finalize();
+    finalize();
+    (void)p;
+  });
+}
+
+TEST(Integration, ManyCommunicatorsAcrossSessions) {
+  // Stress: several sessions, several comms each, interleaved traffic.
+  mpi_run(1, 4, [](sim::Process& p) {
+    std::vector<Session> sessions;
+    std::vector<Communicator> comms;
+    for (int i = 0; i < 3; ++i) {
+      sessions.push_back(Session::init());
+      comms.push_back(Communicator::create_from_group(
+          sessions.back().group_from_pset("mpi://world"),
+          "many" + std::to_string(i)));
+    }
+    for (int round = 0; round < 3; ++round) {
+      for (auto& c : comms) {
+        std::int64_t v = p.rank(), sum = 0;
+        c.allreduce(&v, &sum, 1, Datatype::int64(), Op::sum());
+        EXPECT_EQ(sum, 6);
+      }
+    }
+    for (auto& c : comms) {
+      c.free();
+    }
+    for (auto& s : sessions) {
+      s.finalize();
+    }
+  });
+}
+
+TEST(Integration, QuoOverSessionsUnderCalibratedCosts) {
+  sim::Cluster::Options opts;
+  opts.topo = {1, 4};
+  opts.cost = base::CostModel::calibrated();
+  sim::Cluster cluster{opts};
+  cluster.run([](sim::Process&) {
+    init();
+    quo::QuoContext::Options qopts;
+    qopts.barrier = quo::BarrierKind::sessions;
+    quo::QuoContext q = quo::QuoContext::create(comm_world(), qopts);
+    for (int i = 0; i < 3; ++i) {
+      q.barrier();
+    }
+    q.free();
+    finalize();
+  });
+}
+
+}  // namespace
+}  // namespace sessmpi

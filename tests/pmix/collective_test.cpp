@@ -1,0 +1,160 @@
+#include "sessmpi/pmix/collective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+namespace sessmpi::pmix {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Run `arrive` for every participant on its own thread; collect outcomes.
+std::vector<CollectiveEngine::Outcome> run_all(
+    CollectiveEngine& engine, const std::string& key,
+    const std::vector<ProcId>& procs,
+    std::optional<base::Nanos> timeout = std::nullopt,
+    const std::function<std::uint64_t()>& on_complete = nullptr) {
+  std::vector<CollectiveEngine::Outcome> outs(procs.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    threads.emplace_back([&, i] {
+      outs[i] = engine.arrive(key, procs, procs[i], timeout, on_complete, 0);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  return outs;
+}
+
+TEST(CollectiveEngine, AllParticipantsComplete) {
+  CollectiveEngine engine{nullptr};
+  auto outs = run_all(engine, "op#1", {0, 1, 2, 3});
+  for (const auto& o : outs) {
+    EXPECT_TRUE(o.status.ok());
+  }
+  EXPECT_EQ(engine.active_ops(), 0u);
+}
+
+TEST(CollectiveEngine, OnCompleteRunsExactlyOnceAndDistributesValue) {
+  CollectiveEngine engine{nullptr};
+  std::atomic<int> calls{0};
+  auto outs = run_all(engine, "op#1", {0, 1, 2, 3, 4}, std::nullopt, [&] {
+    ++calls;
+    return std::uint64_t{777};
+  });
+  EXPECT_EQ(calls.load(), 1);
+  for (const auto& o : outs) {
+    EXPECT_EQ(o.value, 777u);
+  }
+}
+
+TEST(CollectiveEngine, SingleParticipantCompletesImmediately) {
+  CollectiveEngine engine{nullptr};
+  auto out = engine.arrive("solo#1", {5}, 5, std::nullopt,
+                           [] { return std::uint64_t{9}; }, 0);
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.value, 9u);
+}
+
+TEST(CollectiveEngine, TimeoutAbortsWaiters) {
+  CollectiveEngine engine{nullptr};
+  // Participant 1 never arrives.
+  auto out = engine.arrive("op#1", {0, 1}, 0,
+                           std::optional<base::Nanos>(10ms), nullptr, 0);
+  EXPECT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.cls, base::ErrClass::rte_timeout);
+}
+
+TEST(CollectiveEngine, LateArrivalObservesAbort) {
+  CollectiveEngine engine{nullptr};
+  auto out0 = engine.arrive("op#1", {0, 1}, 0,
+                            std::optional<base::Nanos>(10ms), nullptr, 0);
+  EXPECT_EQ(out0.status.cls, base::ErrClass::rte_timeout);
+  // Proc 1 arrives after the abort: must see the same failure, not hang.
+  auto out1 = engine.arrive("op#1", {0, 1}, 1,
+                            std::optional<base::Nanos>(10ms), nullptr, 0);
+  EXPECT_EQ(out1.status.cls, base::ErrClass::rte_timeout);
+}
+
+TEST(CollectiveEngine, ParticipantFailureAbortsOperation) {
+  std::atomic<bool> failed{false};
+  CollectiveEngine engine{[&](ProcId p) { return p == 1 && failed.load(); }};
+  std::thread killer([&] {
+    std::this_thread::sleep_for(20ms);
+    failed.store(true);
+  });
+  auto out = engine.arrive("op#1", {0, 1}, 0, std::nullopt, nullptr, 0);
+  killer.join();
+  EXPECT_EQ(out.status.cls, base::ErrClass::rte_proc_failed);
+}
+
+TEST(CollectiveEngine, MismatchedParticipantListsRejected) {
+  CollectiveEngine engine{nullptr};
+  std::thread first([&] {
+    engine.arrive("op#1", {0, 1}, 0, std::optional<base::Nanos>(50ms), nullptr,
+                  0);
+  });
+  std::this_thread::sleep_for(10ms);
+  auto out = engine.arrive("op#1", {0, 2}, 2,
+                           std::optional<base::Nanos>(10ms), nullptr, 0);
+  first.join();
+  EXPECT_EQ(out.status.cls, base::ErrClass::rte_bad_param);
+}
+
+TEST(CollectiveEngine, IndependentKeysDoNotInterfere) {
+  CollectiveEngine engine{nullptr};
+  std::vector<std::thread> threads;
+  std::atomic<int> done{0};
+  for (int op = 0; op < 4; ++op) {
+    for (ProcId p : {0, 1}) {
+      threads.emplace_back([&engine, &done, op, p] {
+        auto out = engine.arrive("op#" + std::to_string(op), {0, 1}, p,
+                                 std::nullopt, nullptr, 0);
+        if (out.status.ok()) {
+          ++done;
+        }
+      });
+    }
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(CollectiveEngine, ReleaseDelayIsInjectedOnSuccess) {
+  CollectiveEngine engine{nullptr};
+  base::Stopwatch sw;
+  engine.arrive("solo#1", {0}, 0, std::nullopt, nullptr, 300'000);
+  EXPECT_GE(sw.elapsed_ns(), 300'000);
+}
+
+class CollectiveFanIn : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveFanIn, ScalesAcrossParticipantCounts) {
+  const int n = GetParam();
+  CollectiveEngine engine{nullptr};
+  std::vector<ProcId> procs;
+  procs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    procs.push_back(i);
+  }
+  auto outs = run_all(engine, "fan#1", procs, std::nullopt,
+                      [] { return std::uint64_t{1}; });
+  std::set<std::uint64_t> values;
+  for (const auto& o : outs) {
+    EXPECT_TRUE(o.status.ok());
+    values.insert(o.value);
+  }
+  EXPECT_EQ(values, std::set<std::uint64_t>{1});
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, CollectiveFanIn,
+                         ::testing::Values(2, 3, 8, 32, 100));
+
+}  // namespace
+}  // namespace sessmpi::pmix

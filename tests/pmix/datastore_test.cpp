@@ -1,0 +1,94 @@
+#include "sessmpi/pmix/datastore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sessmpi::pmix {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Datastore, PutIsInvisibleUntilCommit) {
+  Datastore ds;
+  ds.put(0, "k", std::string("v"));
+  EXPECT_FALSE(ds.get_immediate(0, "k").has_value());
+  EXPECT_EQ(ds.commit(0), 1u);
+  auto v = ds.get_immediate(0, "k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(std::get<std::string>(*v), "v");
+}
+
+TEST(Datastore, CommitReturnsPublishedCount) {
+  Datastore ds;
+  ds.put(3, "a", std::int64_t{1});
+  ds.put(3, "b", std::int64_t{2});
+  EXPECT_EQ(ds.commit(3), 2u);
+  EXPECT_EQ(ds.commit(3), 0u);  // staging drained
+  EXPECT_EQ(ds.published_count(), 2u);
+}
+
+TEST(Datastore, LaterPutOverwritesAfterCommit) {
+  Datastore ds;
+  ds.put(0, "k", std::string("v1"));
+  ds.commit(0);
+  ds.put(0, "k", std::string("v2"));
+  ds.commit(0);
+  EXPECT_EQ(std::get<std::string>(*ds.get_immediate(0, "k")), "v2");
+}
+
+TEST(Datastore, KeysAreScopedPerProcess) {
+  Datastore ds;
+  ds.put(0, "k", std::string("zero"));
+  ds.put(1, "k", std::string("one"));
+  ds.commit(0);
+  ds.commit(1);
+  EXPECT_EQ(std::get<std::string>(*ds.get_immediate(0, "k")), "zero");
+  EXPECT_EQ(std::get<std::string>(*ds.get_immediate(1, "k")), "one");
+}
+
+TEST(Datastore, BlockingGetTimesOut) {
+  Datastore ds;
+  EXPECT_FALSE(ds.get(0, "never", std::chrono::milliseconds(20)).has_value());
+}
+
+TEST(Datastore, BlockingGetWakesOnCommit) {
+  // Direct-modex semantics: a get for a peer's key parks until published.
+  Datastore ds;
+  std::thread publisher([&ds] {
+    std::this_thread::sleep_for(20ms);
+    ds.put(7, "addr", std::uint64_t{0xabcd});
+    ds.commit(7);
+  });
+  auto v = ds.get(7, "addr", std::chrono::seconds(5));
+  publisher.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(std::get<std::uint64_t>(*v), 0xabcdu);
+}
+
+TEST(Datastore, PurgeRemovesAllProcessData) {
+  Datastore ds;
+  ds.put(0, "staged", std::string("s"));
+  ds.put(0, "pub", std::string("p"));
+  ds.commit(0);
+  ds.put(0, "staged2", std::string("s2"));
+  ds.purge(0);
+  EXPECT_FALSE(ds.get_immediate(0, "pub").has_value());
+  EXPECT_EQ(ds.commit(0), 0u);
+  EXPECT_EQ(ds.published_count(), 0u);
+}
+
+TEST(Datastore, StoresProcListsAndBlobs) {
+  Datastore ds;
+  ds.put(0, "procs", std::vector<ProcId>{1, 2, 3});
+  ds.put(0, "blob", std::vector<std::byte>{std::byte{1}, std::byte{2}});
+  ds.commit(0);
+  EXPECT_EQ(std::get<std::vector<ProcId>>(*ds.get_immediate(0, "procs")).size(),
+            3u);
+  EXPECT_EQ(
+      std::get<std::vector<std::byte>>(*ds.get_immediate(0, "blob")).size(),
+      2u);
+}
+
+}  // namespace
+}  // namespace sessmpi::pmix

@@ -1,0 +1,95 @@
+#include "sessmpi/pmix/events.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sessmpi::pmix {
+namespace {
+
+TEST(EventBus, NotifyQueuesForTargetsOnly) {
+  EventBus bus;
+  Event e;
+  e.kind = EventKind::proc_failed;
+  e.about = 3;
+  bus.notify(e, {0, 2});
+  EXPECT_EQ(bus.pending(0), 1u);
+  EXPECT_EQ(bus.pending(1), 0u);
+  EXPECT_EQ(bus.pending(2), 1u);
+}
+
+TEST(EventBus, PollDrainsQueueAndReturnsEvents) {
+  EventBus bus;
+  Event e;
+  e.kind = EventKind::group_member_left;
+  e.about = 5;
+  e.group = "g";
+  bus.notify(e, {0});
+  auto events = bus.poll(0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::group_member_left);
+  EXPECT_EQ(events[0].about, 5);
+  EXPECT_EQ(events[0].group, "g");
+  EXPECT_EQ(bus.pending(0), 0u);
+  EXPECT_TRUE(bus.poll(0).empty());
+}
+
+TEST(EventBus, HandlersInvokedOnPoll) {
+  EventBus bus;
+  int calls = 0;
+  bus.register_handler(0, [&](const Event&) { ++calls; });
+  Event e;
+  bus.notify(e, {0});
+  bus.notify(e, {0});
+  bus.poll(0);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventBus, MultipleHandlersAllFire) {
+  EventBus bus;
+  int a = 0, b = 0;
+  bus.register_handler(0, [&](const Event&) { ++a; });
+  bus.register_handler(0, [&](const Event&) { ++b; });
+  bus.notify(Event{}, {0});
+  bus.poll(0);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(EventBus, DeregisteredHandlerDoesNotFire) {
+  EventBus bus;
+  int calls = 0;
+  const int id = bus.register_handler(0, [&](const Event&) { ++calls; });
+  bus.deregister_handler(0, id);
+  bus.notify(Event{}, {0});
+  bus.poll(0);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(EventBus, HandlersAreScopedPerProcess) {
+  EventBus bus;
+  int p0 = 0, p1 = 0;
+  bus.register_handler(0, [&](const Event&) { ++p0; });
+  bus.register_handler(1, [&](const Event&) { ++p1; });
+  bus.notify(Event{}, {1});
+  bus.poll(0);
+  bus.poll(1);
+  EXPECT_EQ(p0, 0);
+  EXPECT_EQ(p1, 1);
+}
+
+TEST(EventBus, HandlerMayDeregisterItselfDuringPoll) {
+  EventBus bus;
+  int calls = 0;
+  int id = 0;
+  id = bus.register_handler(0, [&](const Event&) {
+    ++calls;
+    bus.deregister_handler(0, id);
+  });
+  bus.notify(Event{}, {0});
+  bus.poll(0);
+  bus.notify(Event{}, {0});
+  bus.poll(0);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace sessmpi::pmix

@@ -1,0 +1,82 @@
+#include "sessmpi/pmix/group.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sessmpi::pmix {
+namespace {
+
+GroupRecord make_rec(const std::string& name, std::uint64_t pgcid,
+                     std::vector<ProcId> members) {
+  GroupRecord r;
+  r.name = name;
+  r.pgcid = pgcid;
+  r.leader = members.empty() ? -1 : members.front();
+  r.members = std::move(members);
+  return r;
+}
+
+TEST(GroupRegistry, AddAndLookup) {
+  GroupRegistry reg;
+  EXPECT_TRUE(reg.add(make_rec("g", 42, {0, 1, 2})));
+  auto rec = reg.lookup("g");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->pgcid, 42u);
+  EXPECT_EQ(rec->members.size(), 3u);
+  EXPECT_EQ(reg.count(), 1u);
+}
+
+TEST(GroupRegistry, DuplicateNameRejected) {
+  GroupRegistry reg;
+  EXPECT_TRUE(reg.add(make_rec("g", 1, {0})));
+  EXPECT_FALSE(reg.add(make_rec("g", 2, {1})));
+  EXPECT_EQ(reg.lookup("g")->pgcid, 1u);
+}
+
+TEST(GroupRegistry, RemoveReturnsRecordAndInvalidatesName) {
+  GroupRegistry reg;
+  reg.add(make_rec("g", 7, {0, 1}));
+  auto removed = reg.remove("g");
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->pgcid, 7u);
+  EXPECT_FALSE(reg.lookup("g").has_value());
+  EXPECT_FALSE(reg.remove("g").has_value());
+}
+
+TEST(GroupRegistry, LookupByPgcid) {
+  GroupRegistry reg;
+  reg.add(make_rec("a", 10, {0}));
+  reg.add(make_rec("b", 20, {1}));
+  auto rec = reg.lookup_by_pgcid(20);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->name, "b");
+  EXPECT_FALSE(reg.lookup_by_pgcid(99).has_value());
+}
+
+TEST(GroupRegistry, LeaveRemovesMemberAndReportsRemaining) {
+  GroupRegistry reg;
+  reg.add(make_rec("g", 1, {0, 1, 2}));
+  auto remaining = reg.leave("g", 1);
+  ASSERT_TRUE(remaining.has_value());
+  EXPECT_EQ(*remaining, (std::vector<ProcId>{0, 2}));
+  EXPECT_FALSE(reg.leave("missing", 0).has_value());
+}
+
+TEST(GroupRegistry, GroupsOfFindsAllMemberships) {
+  GroupRegistry reg;
+  reg.add(make_rec("a", 1, {0, 1}));
+  reg.add(make_rec("b", 2, {1, 2}));
+  reg.add(make_rec("c", 3, {2, 3}));
+  auto groups = reg.groups_of(1);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(reg.groups_of(9).size(), 0u);
+}
+
+TEST(GroupRegistry, NamesSorted) {
+  GroupRegistry reg;
+  reg.add(make_rec("zeta", 1, {0}));
+  reg.add(make_rec("alpha", 2, {0}));
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace sessmpi::pmix

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "sessmpi/pmix/client.hpp"
+
+namespace sessmpi::pmix {
+namespace {
+
+using namespace std::chrono_literals;
+
+class InviteHarness {
+ public:
+  explicit InviteHarness(int nodes, int ppn)
+      : runtime_({nodes, ppn}, base::CostModel::zero()) {
+    for (int r = 0; r < runtime_.topology().size(); ++r) {
+      clients_.push_back(std::make_unique<PmixClient>(runtime_, r));
+    }
+  }
+  PmixRuntime& runtime() { return runtime_; }
+  PmixClient& client(ProcId p) { return *clients_[static_cast<std::size_t>(p)]; }
+
+ private:
+  PmixRuntime runtime_;
+  std::vector<std::unique_ptr<PmixClient>> clients_;
+};
+
+TEST(InviteJoin, AllJoinFormsGroupWithPgcid) {
+  InviteHarness h{1, 4};
+  ASSERT_TRUE(h.client(0).group_invite("async", {0, 1, 2, 3}).ok());
+  // Invitees see the invitation event.
+  for (ProcId p : {1, 2, 3}) {
+    auto ev = h.client(p).poll_events();
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].kind, EventKind::group_invited);
+    EXPECT_EQ(ev[0].group, "async");
+    ASSERT_TRUE(h.client(p).group_join("async").ok());
+  }
+  auto res = h.client(0).group_invite_finalize("async");
+  ASSERT_TRUE(res.ok());
+  EXPECT_NE(res.value().pgcid, 0u);
+  EXPECT_EQ(res.value().members, (std::vector<ProcId>{0, 1, 2, 3}));
+  EXPECT_EQ(res.value().leader, 0);
+  auto rec = h.runtime().groups().lookup("async");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->pgcid, res.value().pgcid);
+  // Joined members are told the group is ready.
+  auto ev1 = h.client(1).poll_events();
+  ASSERT_EQ(ev1.size(), 1u);
+  EXPECT_EQ(ev1[0].kind, EventKind::group_ready);
+  EXPECT_EQ(ev1[0].pgcid, res.value().pgcid);
+}
+
+TEST(InviteJoin, DeclinersAreExcluded) {
+  InviteHarness h{1, 3};
+  ASSERT_TRUE(h.client(0).group_invite("pick", {0, 1, 2}).ok());
+  ASSERT_TRUE(h.client(1).group_decline("pick").ok());
+  ASSERT_TRUE(h.client(2).group_join("pick").ok());
+  auto res = h.client(0).group_invite_finalize("pick");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().members, (std::vector<ProcId>{0, 2}));
+  // The decliner gets no group_ready event.
+  for (const auto& e : h.client(1).poll_events()) {
+    EXPECT_NE(e.kind, EventKind::group_ready);
+  }
+}
+
+TEST(InviteJoin, TimeoutDropsNonResponders) {
+  // The paper's replacement semantics: processes that fail to respond
+  // within the specified time are simply left out.
+  InviteHarness h{1, 3};
+  ASSERT_TRUE(h.client(0).group_invite("slow", {0, 1, 2}).ok());
+  ASSERT_TRUE(h.client(1).group_join("slow").ok());
+  // Rank 2 never answers.
+  auto res = h.client(0).group_invite_finalize("slow", {},
+                                               base::Nanos(30ms));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().members, (std::vector<ProcId>{0, 1}));
+}
+
+TEST(InviteJoin, FinalizeBlocksUntilLastJoin) {
+  InviteHarness h{1, 2};
+  ASSERT_TRUE(h.client(0).group_invite("waity", {0, 1}).ok());
+  std::atomic<bool> finalized{false};
+  std::thread initiator([&] {
+    auto res = h.client(0).group_invite_finalize("waity");
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.value().members.size(), 2u);
+    finalized.store(true);
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(finalized.load());
+  ASSERT_TRUE(h.client(1).group_join("waity").ok());
+  initiator.join();
+  EXPECT_TRUE(finalized.load());
+}
+
+TEST(InviteJoin, ErrorsOnBadUsage) {
+  InviteHarness h{1, 3};
+  // Respond to unknown invitation.
+  EXPECT_EQ(h.client(1).group_join("nope").cls, base::ErrClass::rte_not_found);
+  // Initiator not in member list.
+  EXPECT_EQ(h.client(0).group_invite("bad", {1, 2}).cls,
+            base::ErrClass::rte_bad_param);
+  // Duplicate invitation.
+  ASSERT_TRUE(h.client(0).group_invite("dup", {0, 1}).ok());
+  EXPECT_EQ(h.client(0).group_invite("dup", {0, 1}).cls,
+            base::ErrClass::rte_exists);
+  // Double response.
+  ASSERT_TRUE(h.client(1).group_join("dup").ok());
+  EXPECT_EQ(h.client(1).group_join("dup").cls, base::ErrClass::rte_bad_param);
+  // Non-invitee response.
+  EXPECT_EQ(h.client(2).group_join("dup").cls, base::ErrClass::rte_bad_param);
+}
+
+TEST(InviteJoin, GroupUsableForCommunicationAfterwards) {
+  // End-to-end: async-constructed group drives an MPI communicator.
+  InviteHarness h{2, 2};
+  ASSERT_TRUE(h.client(0).group_invite("comm", {0, 1, 2, 3}).ok());
+  for (ProcId p : {1, 2, 3}) {
+    ASSERT_TRUE(h.client(p).group_join("comm").ok());
+  }
+  auto res = h.client(0).group_invite_finalize("comm");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(h.runtime().groups().lookup("comm")->members.size(), 4u);
+  EXPECT_EQ(h.client(0).query_num_groups(), 1u);
+}
+
+TEST(InviteBoardUnit, StatusTracksResponses) {
+  InviteBoard board;
+  ASSERT_TRUE(board.open("g", 0, {0, 1, 2}).ok());
+  EXPECT_EQ(board.open_invitations(), 1u);
+  EXPECT_FALSE(board.all_answered("g"));
+  ASSERT_TRUE(board.respond("g", 1, true).ok());
+  ASSERT_TRUE(board.respond("g", 2, false).ok());
+  EXPECT_TRUE(board.all_answered("g"));
+  auto st = board.status("g");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->joined, (std::vector<ProcId>{0, 1}));
+  EXPECT_EQ(st->declined, (std::vector<ProcId>{2}));
+  auto fin = board.finalize("g", std::nullopt);
+  ASSERT_TRUE(fin.ok());
+  EXPECT_EQ(board.open_invitations(), 0u);
+  EXPECT_FALSE(board.status("g").has_value());
+}
+
+}  // namespace
+}  // namespace sessmpi::pmix

@@ -1,0 +1,59 @@
+#include "sessmpi/pmix/pset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sessmpi::pmix {
+namespace {
+
+TEST(PsetRegistry, DefineAndLookup) {
+  PsetRegistry reg;
+  reg.define("app://solvers", {0, 1, 2, 3});
+  auto members = reg.lookup("app://solvers");
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members->size(), 4u);
+  EXPECT_TRUE(reg.contains("app://solvers"));
+  EXPECT_FALSE(reg.contains("app://missing"));
+}
+
+TEST(PsetRegistry, LookupUnknownReturnsNullopt) {
+  PsetRegistry reg;
+  EXPECT_FALSE(reg.lookup("nope").has_value());
+}
+
+TEST(PsetRegistry, RedefineReplacesMembers) {
+  PsetRegistry reg;
+  reg.define("s", {0});
+  reg.define("s", {1, 2});
+  EXPECT_EQ(reg.lookup("s")->size(), 2u);
+  EXPECT_EQ(reg.count(), 1u);
+}
+
+TEST(PsetRegistry, NamesSortedAndComplete) {
+  PsetRegistry reg;
+  reg.define("mpi://world", {0, 1, 2, 3});
+  reg.define("app://io", {0});
+  EXPECT_EQ(reg.names(),
+            (std::vector<std::string>{"app://io", "mpi://world"}));
+}
+
+TEST(PsetRegistry, NamesFilteredByMember) {
+  // PMIX_QUERY_PSET_NAMES answers per-process: only psets containing the
+  // asking process are reported.
+  PsetRegistry reg;
+  reg.define("mpi://world", {0, 1, 2, 3});
+  reg.define("app://even", {0, 2});
+  reg.define("app://odd", {1, 3});
+  EXPECT_EQ(reg.names(0),
+            (std::vector<std::string>{"app://even", "mpi://world"}));
+  EXPECT_EQ(reg.names(3),
+            (std::vector<std::string>{"app://odd", "mpi://world"}));
+}
+
+TEST(PsetRegistry, WellKnownNameConstants) {
+  EXPECT_STREQ(kPsetWorld, "mpi://world");
+  EXPECT_STREQ(kPsetSelf, "mpi://self");
+  EXPECT_STREQ(kPsetShared, "mpi://shared");
+}
+
+}  // namespace
+}  // namespace sessmpi::pmix

@@ -1,0 +1,88 @@
+#include "sessmpi/prte/dvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "sessmpi/base/clock.hpp"
+
+namespace sessmpi::prte {
+namespace {
+
+JobSpec zero_spec(int nodes, int ppn) {
+  JobSpec s;
+  s.topo = {nodes, ppn};
+  s.cost = base::CostModel::zero();
+  return s;
+}
+
+TEST(Dvm, DefinesWorldPset) {
+  Dvm dvm{zero_spec(2, 2)};
+  auto world = dvm.pmix().psets().lookup(pmix::kPsetWorld);
+  ASSERT_TRUE(world.has_value());
+  EXPECT_EQ(*world, (std::vector<pmix::ProcId>{0, 1, 2, 3}));
+}
+
+TEST(Dvm, DefinesExtraPsetsFromSpec) {
+  JobSpec s = zero_spec(1, 4);
+  s.extra_psets.emplace_back("app://io", std::vector<pmix::ProcId>{0, 1});
+  Dvm dvm{std::move(s)};
+  ASSERT_TRUE(dvm.pmix().psets().contains("app://io"));
+  EXPECT_EQ(dvm.pmix().psets().lookup("app://io")->size(), 2u);
+}
+
+TEST(Dvm, DefinePsetAtRuntime) {
+  Dvm dvm{zero_spec(1, 4)};
+  dvm.define_pset("app://late", {2, 3});
+  EXPECT_TRUE(dvm.pmix().psets().contains("app://late"));
+}
+
+TEST(Dvm, ComponentLoadIsOncePerNode) {
+  Dvm dvm{zero_spec(2, 2)};
+  EXPECT_FALSE(dvm.components_loaded(0));
+  EXPECT_TRUE(dvm.load_components(0));   // performed the load
+  EXPECT_FALSE(dvm.load_components(0));  // already loaded
+  EXPECT_TRUE(dvm.components_loaded(0));
+  EXPECT_FALSE(dvm.components_loaded(1));
+  EXPECT_TRUE(dvm.load_components(1));
+}
+
+TEST(Dvm, ConcurrentLoadersOnOneNodeLoadOnce) {
+  Dvm dvm{zero_spec(1, 8)};
+  std::atomic<int> performed{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      if (dvm.load_components(0)) {
+        ++performed;
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(performed.load(), 1);
+}
+
+TEST(Dvm, NfsLoadCostInjectedOnFirstLoadOnly) {
+  JobSpec s = zero_spec(1, 2);
+  s.cost.nfs_load_base_ns = 2'000'000;  // 2ms
+  Dvm dvm{std::move(s)};
+  base::Stopwatch sw;
+  dvm.load_components(0);
+  EXPECT_GE(sw.elapsed_ns(), 2'000'000);
+  sw.reset();
+  dvm.load_components(0);
+  EXPECT_LT(sw.elapsed_ns(), 1'000'000);
+}
+
+TEST(Dvm, InvalidArgumentsThrow) {
+  EXPECT_THROW(Dvm{zero_spec(0, 1)}, base::Error);
+  Dvm dvm{zero_spec(1, 1)};
+  EXPECT_THROW(dvm.load_components(5), base::Error);
+  EXPECT_THROW(dvm.attach_process(99), base::Error);
+}
+
+}  // namespace
+}  // namespace sessmpi::prte

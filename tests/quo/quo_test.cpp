@@ -1,0 +1,155 @@
+#include "sessmpi/quo/quo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "../core/harness.hpp"
+#include "sessmpi/base/clock.hpp"
+
+namespace sessmpi::quo {
+namespace {
+
+using sessmpi::testing::world_run;
+
+TEST(Quo, CreateGroupsByNode) {
+  world_run(2, 3, [](sim::Process& p) {
+    QuoContext q = QuoContext::create(comm_world());
+    EXPECT_EQ(q.nqids(), 3);
+    EXPECT_EQ(q.rank(), p.local_rank());
+    EXPECT_EQ(q.is_node_leader(), p.local_rank() == 0);
+    q.barrier();
+    q.free();
+  });
+}
+
+TEST(Quo, BaselineBarrierSynchronizesNodeLocals) {
+  world_run(1, 4, [](sim::Process& p) {
+    QuoContext q = QuoContext::create(comm_world());
+    base::Stopwatch sw;
+    if (p.rank() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+    q.barrier();
+    if (p.rank() != 0) {
+      EXPECT_GT(sw.elapsed_ms(), 20.0);
+    }
+    EXPECT_EQ(q.barriers_done(), 1u);
+    q.free();
+  });
+}
+
+TEST(Quo, SessionsBarrierSynchronizes) {
+  world_run(1, 4, [](sim::Process& p) {
+    QuoContext::Options opts;
+    opts.barrier = BarrierKind::sessions;
+    QuoContext q = QuoContext::create(comm_world(), opts);
+    EXPECT_EQ(q.kind(), BarrierKind::sessions);
+    base::Stopwatch sw;
+    if (p.rank() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+    q.barrier();
+    if (p.rank() != 1) {
+      EXPECT_GT(sw.elapsed_ms(), 20.0);
+    }
+    q.free();
+  });
+}
+
+TEST(Quo, RepeatedBarriersBothKinds) {
+  for (BarrierKind kind : {BarrierKind::baseline, BarrierKind::sessions}) {
+    world_run(1, 3, [kind](sim::Process&) {
+      QuoContext::Options opts;
+      opts.barrier = kind;
+      QuoContext q = QuoContext::create(comm_world(), opts);
+      for (int i = 0; i < 20; ++i) {
+        q.barrier();
+      }
+      EXPECT_EQ(q.barriers_done(), 20u);
+      q.free();
+    });
+  }
+}
+
+TEST(Quo, SessionsFlavourDoesNotDisturbHostApp) {
+  // The paper integrated the prototype through QUO so 2MESH itself needed
+  // no changes: the host's COMM_WORLD traffic must be unaffected.
+  world_run(1, 2, [](sim::Process& p) {
+    QuoContext::Options opts;
+    opts.barrier = BarrierKind::sessions;
+    QuoContext q = QuoContext::create(comm_world(), opts);
+    Communicator world = comm_world();
+    const int other = 1 - p.rank();
+    std::int32_t in = -1;
+    Request r = world.irecv(&in, 1, Datatype::int32(), other, 9);
+    const std::int32_t out = 5 + p.rank();
+    world.send(&out, 1, Datatype::int32(), other, 9);
+    q.barrier();
+    r.wait();
+    EXPECT_EQ(in, 5 + other);
+    q.free();
+  });
+}
+
+TEST(Quo, BindStackPushPop) {
+  world_run(1, 2, [](sim::Process&) {
+    QuoContext q = QuoContext::create(comm_world());
+    EXPECT_EQ(q.bind_depth(), 1u);
+    EXPECT_EQ(q.current_policy(), BindPolicy::process);
+    q.bind_push(BindPolicy::node);
+    EXPECT_EQ(q.current_policy(), BindPolicy::node);
+    q.bind_push(BindPolicy::socket);
+    EXPECT_EQ(q.bind_depth(), 3u);
+    q.bind_pop();
+    EXPECT_EQ(q.current_policy(), BindPolicy::node);
+    q.bind_pop();
+    EXPECT_THROW(q.bind_pop(), base::Error);  // base layout cannot pop
+    q.free();
+  });
+}
+
+TEST(Quo, MultipleContextsCoexist) {
+  world_run(1, 2, [](sim::Process&) {
+    QuoContext a = QuoContext::create(comm_world());
+    QuoContext b = QuoContext::create(comm_world());
+    a.barrier();
+    b.barrier();
+    a.barrier();
+    a.free();
+    b.barrier();
+    b.free();
+  });
+}
+
+TEST(Quo, PhasePatternLikeTwoMesh) {
+  // L0 (MPI everywhere) interleaved with L1 (threaded phase entered by the
+  // node leader while the other ranks quiesce) — the 2MESH structure.
+  world_run(1, 4, [](sim::Process&) {
+    QuoContext::Options opts;
+    opts.barrier = BarrierKind::sessions;
+    QuoContext q = QuoContext::create(comm_world(), opts);
+    Communicator world = comm_world();
+    std::atomic<int>* counter = nullptr;
+    static std::atomic<int> work{0};
+    counter = &work;
+    for (int phase = 0; phase < 3; ++phase) {
+      // L0: everyone computes + allreduce.
+      std::int64_t one = 1, total = 0;
+      world.allreduce(&one, &total, 1, Datatype::int64(), Op::sum());
+      EXPECT_EQ(total, 4);
+      // L1: leader runs "threads"; others quiesce in the barrier.
+      if (q.is_node_leader()) {
+        q.bind_push(BindPolicy::node);
+        counter->fetch_add(10);
+        q.bind_pop();
+      }
+      q.barrier();
+    }
+    q.free();
+  });
+}
+
+}  // namespace
+}  // namespace sessmpi::quo

@@ -1,0 +1,117 @@
+#include "sessmpi/sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace sessmpi::sim {
+namespace {
+
+Cluster::Options zero_opts(int nodes, int ppn) {
+  Cluster::Options o;
+  o.topo = {nodes, ppn};
+  o.cost = base::CostModel::zero();
+  return o;
+}
+
+TEST(Cluster, RunsEveryRankExactlyOnce) {
+  Cluster cluster{zero_opts(2, 3)};
+  std::mutex mu;
+  std::set<Rank> seen;
+  cluster.run([&](Process& p) {
+    std::lock_guard lock(mu);
+    EXPECT_TRUE(seen.insert(p.rank()).second);
+  });
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Cluster, ProcessIdentityMatchesTopology) {
+  Cluster cluster{zero_opts(2, 2)};
+  cluster.run([&](Process& p) {
+    EXPECT_EQ(p.node(), p.rank() / 2);
+    EXPECT_EQ(p.local_rank(), p.rank() % 2);
+    EXPECT_EQ(&Cluster::current(), &p);
+  });
+}
+
+TEST(Cluster, CurrentThrowsOffRankThreads) {
+  EXPECT_EQ(Cluster::current_ptr(), nullptr);
+  EXPECT_THROW(Cluster::current(), base::Error);
+}
+
+TEST(Cluster, RankExceptionPropagatesAfterJoin) {
+  Cluster cluster{zero_opts(1, 2)};
+  EXPECT_THROW(
+      cluster.run([](Process& p) {
+        if (p.rank() == 1) {
+          throw base::Error(base::ErrClass::intern, "boom");
+        }
+      }),
+      base::Error);
+  EXPECT_TRUE(cluster.aborted());
+  EXPECT_TRUE(cluster.fabric().is_failed(1));
+}
+
+TEST(Cluster, ThrowingRankDoesNotDeadlockPeersInPmixCollectives) {
+  Cluster cluster{zero_opts(1, 2)};
+  EXPECT_THROW(
+      cluster.run([](Process& p) {
+        if (p.rank() == 1) {
+          throw base::Error(base::ErrClass::intern, "early death");
+        }
+        // Rank 0 waits on a fence with the dead rank: the failure oracle
+        // must abort it rather than hang the test.
+        pmix::PmixClient client{p.cluster().dvm().pmix(), p.rank()};
+        auto st = client.fence({0, 1});
+        EXPECT_EQ(st.cls, base::ErrClass::rte_proc_failed);
+      }),
+      base::Error);
+}
+
+TEST(Cluster, RunOnSubsetLeavesOthersUntouched) {
+  Cluster cluster{zero_opts(1, 4)};
+  std::atomic<int> ran{0};
+  cluster.run_on({1, 3}, [&](Process& p) {
+    EXPECT_TRUE(p.rank() == 1 || p.rank() == 3);
+    ++ran;
+  });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(Cluster, FailRankVisibleToFabricAndPmix) {
+  Cluster cluster{zero_opts(1, 2)};
+  cluster.fail_rank(1);
+  EXPECT_TRUE(cluster.fabric().is_failed(1));
+  EXPECT_TRUE(cluster.dvm().pmix().is_failed(1));
+  EXPECT_TRUE(cluster.process(1).failed());
+  EXPECT_FALSE(cluster.process(0).failed());
+}
+
+TEST(Cluster, MessagesFlowBetweenRankThreads) {
+  Cluster cluster{zero_opts(2, 1)};
+  cluster.run([](Process& p) {
+    if (p.rank() == 0) {
+      fabric::Packet pkt;
+      pkt.src_rank = 0;
+      pkt.dst_rank = 1;
+      pkt.match.tag = 99;
+      p.cluster().fabric().send(std::move(pkt));
+    } else {
+      auto got = p.endpoint().inbox().pop_wait(std::chrono::seconds(5));
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->match.tag, 99);
+    }
+  });
+}
+
+TEST(Cluster, SecondRunOnSameClusterWorks) {
+  Cluster cluster{zero_opts(1, 2)};
+  std::atomic<int> count{0};
+  cluster.run([&](Process&) { ++count; });
+  cluster.run([&](Process&) { ++count; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+}  // namespace
+}  // namespace sessmpi::sim

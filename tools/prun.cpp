@@ -1,0 +1,295 @@
+// prun — a PRRTE-style launcher front-end for the simulated cluster (the
+// paper ran its benchmarks with the prte daemon and prun launcher, §IV-C).
+//
+//   prun --nodes N --ppn P [--pset name=lo-hi]... [--cid consensus|excid]
+//        [--world-model] <workload> [workload args]
+//
+// Workloads (built in, each a small MPI program):
+//   hello        every rank prints its identity and psets
+//   ring         token ring over a sessions communicator
+//   allreduce    vector allreduce with verification
+//   pingpong     2-rank latency kernel, prints us/one-way
+//   stencil      1-D halo-exchange iteration
+//
+// Examples:
+//   prun --nodes 2 --ppn 4 hello
+//   prun --nodes 1 --ppn 2 pingpong 4096
+//   prun --nodes 2 --ppn 4 --pset app://left=0-3 ring app://left
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sessmpi/base/clock.hpp"
+#include "sessmpi/mpi.hpp"
+#include "sessmpi/sim/cluster.hpp"
+
+using namespace sessmpi;
+
+namespace {
+
+struct Args {
+  int nodes = 1;
+  int ppn = 2;
+  bool world_model = false;
+  CidMethod cid = CidMethod::excid;
+  std::vector<std::pair<std::string, std::vector<pmix::ProcId>>> psets;
+  std::string workload;
+  std::vector<std::string> rest;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) {
+    std::fprintf(stderr, "prun: %s\n", msg);
+  }
+  std::fprintf(stderr,
+               "usage: prun --nodes N --ppn P [--pset name=lo-hi]... "
+               "[--cid consensus|excid] [--world-model] <workload> [args]\n"
+               "workloads: hello ring allreduce pingpong stencil\n");
+  std::exit(msg == nullptr ? 0 : 2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage(("missing value for " + arg).c_str());
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(nullptr);
+    } else if (arg == "--nodes" || arg == "-N") {
+      a.nodes = std::atoi(next().c_str());
+    } else if (arg == "--ppn") {
+      a.ppn = std::atoi(next().c_str());
+    } else if (arg == "--world-model") {
+      a.world_model = true;
+    } else if (arg == "--cid") {
+      const std::string v = next();
+      if (v == "consensus") {
+        a.cid = CidMethod::consensus;
+      } else if (v == "excid") {
+        a.cid = CidMethod::excid;
+      } else {
+        usage("--cid expects consensus|excid");
+      }
+    } else if (arg == "--pset") {
+      const std::string v = next();
+      const auto eq = v.find('=');
+      const auto dash = v.find('-', eq);
+      if (eq == std::string::npos || dash == std::string::npos) {
+        usage("--pset expects name=lo-hi");
+      }
+      const int lo = std::atoi(v.substr(eq + 1, dash - eq - 1).c_str());
+      const int hi = std::atoi(v.substr(dash + 1).c_str());
+      std::vector<pmix::ProcId> members;
+      for (int r = lo; r <= hi; ++r) {
+        members.push_back(r);
+      }
+      a.psets.emplace_back(v.substr(0, eq), std::move(members));
+    } else if (a.workload.empty()) {
+      a.workload = arg;
+    } else {
+      a.rest.push_back(arg);
+    }
+  }
+  if (a.workload.empty()) {
+    usage("no workload given");
+  }
+  if (a.nodes < 1 || a.ppn < 1) {
+    usage("--nodes and --ppn must be >= 1");
+  }
+  return a;
+}
+
+/// Acquire a communicator per the selected process model.
+Communicator get_comm(const Args& a, Session& session,
+                      const std::string& pset) {
+  if (a.world_model) {
+    return comm_world();
+  }
+  return Communicator::create_from_group(session.group_from_pset(pset),
+                                         "prun:" + pset);
+}
+
+int wl_hello(const Args& a, sim::Process& p, Session& s, Communicator c) {
+  (void)a;
+  std::printf("rank %d/%d (node %d, local %d) cid=%u excid=%s psets:",
+              c.rank(), c.size(), p.node(), p.local_rank(), c.cid(),
+              c.excid().str().c_str());
+  for (const auto& name : s.pset_names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int wl_ring(const Args&, sim::Process&, Session&, Communicator c) {
+  const int n = c.size();
+  const int me = c.rank();
+  std::int64_t token = me == 0 ? 1 : 0;
+  if (me == 0) {
+    c.send(&token, 1, Datatype::int64(), (me + 1) % n, 0);
+    c.recv(&token, 1, Datatype::int64(), (n - 1) % n, 0);
+    std::printf("ring complete: token visited %lld ranks\n",
+                static_cast<long long>(token));
+  } else {
+    c.recv(&token, 1, Datatype::int64(), me - 1, 0);
+    ++token;
+    c.send(&token, 1, Datatype::int64(), (me + 1) % n, 0);
+  }
+  return 0;
+}
+
+int wl_allreduce(const Args& a, sim::Process&, Session&, Communicator c) {
+  const int count = a.rest.empty() ? 1024 : std::atoi(a.rest[0].c_str());
+  std::vector<std::int64_t> mine(static_cast<std::size_t>(count));
+  std::iota(mine.begin(), mine.end(), c.rank());
+  std::vector<std::int64_t> sum(static_cast<std::size_t>(count));
+  c.allreduce(mine.data(), sum.data(), count, Datatype::int64(), Op::sum());
+  const std::int64_t n = c.size();
+  const std::int64_t want0 = n * (n - 1) / 2;
+  if (c.rank() == 0) {
+    std::printf("allreduce(count=%d) over %d ranks: element0=%lld "
+                "(expected %lld) %s\n",
+                count, c.size(), static_cast<long long>(sum[0]),
+                static_cast<long long>(want0),
+                sum[0] == want0 ? "OK" : "MISMATCH");
+  }
+  return sum[0] == want0 ? 0 : 1;
+}
+
+int wl_pingpong(const Args& a, sim::Process&, Session&, Communicator c) {
+  if (c.size() < 2) {
+    if (c.rank() == 0) {
+      std::fprintf(stderr, "pingpong needs >= 2 ranks\n");
+    }
+    return 2;
+  }
+  const int size = a.rest.empty() ? 8 : std::atoi(a.rest[0].c_str());
+  constexpr int kIters = 50;
+  std::vector<std::byte> buf(static_cast<std::size_t>(std::max(size, 1)));
+  if (c.rank() > 1) {
+    c.barrier();
+    return 0;
+  }
+  const int other = 1 - c.rank();
+  base::Stopwatch sw;
+  for (int i = 0; i < kIters; ++i) {
+    if (c.rank() == 0) {
+      c.send(buf.data(), size, Datatype::byte(), other, 1);
+      c.recv(buf.data(), size, Datatype::byte(), other, 1);
+    } else {
+      c.recv(buf.data(), size, Datatype::byte(), other, 1);
+      c.send(buf.data(), size, Datatype::byte(), other, 1);
+    }
+  }
+  if (c.rank() == 0) {
+    std::printf("pingpong %d bytes: %.2f us one-way (simulated wire)\n", size,
+                sw.elapsed_us() / (2.0 * kIters));
+  }
+  c.barrier();
+  return 0;
+}
+
+int wl_stencil(const Args& a, sim::Process&, Session&, Communicator c) {
+  const int steps = a.rest.empty() ? 10 : std::atoi(a.rest[0].c_str());
+  constexpr int kCells = 64;
+  std::vector<double> u(kCells + 2, 0.0);
+  if (c.rank() == 0) {
+    u[1] = 100.0;  // hot boundary cell
+  }
+  const int n = c.size();
+  const int left = c.rank() - 1;
+  const int right = c.rank() + 1;
+  for (int s = 0; s < steps; ++s) {
+    // Halo exchange.
+    if (right < n) {
+      c.sendrecv(&u[kCells], 1, Datatype::float64(), right, 1, &u[kCells + 1],
+                 1, Datatype::float64(), right, 2);
+    }
+    if (left >= 0) {
+      c.sendrecv(&u[1], 1, Datatype::float64(), left, 2, &u[0], 1,
+                 Datatype::float64(), left, 1);
+    }
+    std::vector<double> next(u);
+    for (int i = 1; i <= kCells; ++i) {
+      next[static_cast<std::size_t>(i)] =
+          0.25 * u[static_cast<std::size_t>(i - 1)] +
+          0.5 * u[static_cast<std::size_t>(i)] +
+          0.25 * u[static_cast<std::size_t>(i + 1)];
+    }
+    u.swap(next);
+  }
+  double local = std::accumulate(u.begin() + 1, u.end() - 1, 0.0);
+  double total = 0;
+  c.allreduce(&local, &total, 1, Datatype::float64(), Op::sum());
+  if (c.rank() == 0) {
+    std::printf("stencil: %d steps, %d ranks, conserved mass %.4f\n", steps,
+                c.size(), total);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+
+  sim::Cluster::Options opts;
+  opts.topo = {a.nodes, a.ppn};
+  opts.extra_psets = a.psets;
+  sim::Cluster cluster{opts};
+
+  const std::string pset = !a.rest.empty() && a.rest[0].rfind("app://", 0) == 0
+                               ? a.rest[0]
+                               : std::string("mpi://world");
+
+  int rc_max = 0;
+  std::mutex rc_mu;
+  cluster.run([&](sim::Process& p) {
+    set_cid_method(a.cid);
+    if (a.world_model) {
+      init();
+    }
+    Session s = Session::init();
+    Group g = s.group_from_pset(pset);
+    int rc = 0;
+    if (g.contains(p.rank())) {
+      Communicator c = get_comm(a, s, pset);
+      if (a.workload == "hello") {
+        rc = wl_hello(a, p, s, c);
+      } else if (a.workload == "ring") {
+        rc = wl_ring(a, p, s, c);
+      } else if (a.workload == "allreduce") {
+        rc = wl_allreduce(a, p, s, c);
+      } else if (a.workload == "pingpong") {
+        rc = wl_pingpong(a, p, s, c);
+      } else if (a.workload == "stencil") {
+        rc = wl_stencil(a, p, s, c);
+      } else {
+        if (p.rank() == 0) {
+          std::fprintf(stderr, "prun: unknown workload '%s'\n",
+                       a.workload.c_str());
+        }
+        rc = 2;
+      }
+      if (!a.world_model) {
+        c.free();
+      }
+    }
+    s.finalize();
+    if (a.world_model) {
+      finalize();
+    }
+    std::lock_guard lock(rc_mu);
+    rc_max = std::max(rc_max, rc);
+  });
+  return rc_max;
+}
