@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cid_ablation.dir/bench_cid_ablation.cpp.o"
+  "CMakeFiles/bench_cid_ablation.dir/bench_cid_ablation.cpp.o.d"
+  "bench_cid_ablation"
+  "bench_cid_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cid_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

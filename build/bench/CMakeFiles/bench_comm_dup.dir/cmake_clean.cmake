@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_dup.dir/bench_comm_dup.cpp.o"
+  "CMakeFiles/bench_comm_dup.dir/bench_comm_dup.cpp.o.d"
+  "bench_comm_dup"
+  "bench_comm_dup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_dup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

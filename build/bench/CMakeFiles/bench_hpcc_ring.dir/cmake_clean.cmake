@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hpcc_ring.dir/bench_hpcc_ring.cpp.o"
+  "CMakeFiles/bench_hpcc_ring.dir/bench_hpcc_ring.cpp.o.d"
+  "bench_hpcc_ring"
+  "bench_hpcc_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpcc_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

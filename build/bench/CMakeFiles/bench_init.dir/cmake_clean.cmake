@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_init.dir/bench_init.cpp.o"
+  "CMakeFiles/bench_init.dir/bench_init.cpp.o.d"
+  "bench_init"
+  "bench_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mbw_mr.dir/bench_mbw_mr.cpp.o"
+  "CMakeFiles/bench_mbw_mr.dir/bench_mbw_mr.cpp.o.d"
+  "bench_mbw_mr"
+  "bench_mbw_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mbw_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

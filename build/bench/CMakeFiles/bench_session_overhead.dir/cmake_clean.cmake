@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_session_overhead.dir/bench_session_overhead.cpp.o"
+  "CMakeFiles/bench_session_overhead.dir/bench_session_overhead.cpp.o.d"
+  "bench_session_overhead"
+  "bench_session_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_session_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_twomesh.dir/bench_twomesh.cpp.o"
+  "CMakeFiles/bench_twomesh.dir/bench_twomesh.cpp.o.d"
+  "bench_twomesh"
+  "bench_twomesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_twomesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble.dir/ensemble.cpp.o"
+  "CMakeFiles/ensemble.dir/ensemble.cpp.o.d"
+  "ensemble"
+  "ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_isolation.dir/fault_isolation.cpp.o"
+  "CMakeFiles/fault_isolation.dir/fault_isolation.cpp.o.d"
+  "fault_isolation"
+  "fault_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

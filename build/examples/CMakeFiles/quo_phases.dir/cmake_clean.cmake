@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quo_phases.dir/quo_phases.cpp.o"
+  "CMakeFiles/quo_phases.dir/quo_phases.cpp.o.d"
+  "quo_phases"
+  "quo_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quo_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/cleanup.cpp" "src/base/CMakeFiles/sessmpi_base.dir/cleanup.cpp.o" "gcc" "src/base/CMakeFiles/sessmpi_base.dir/cleanup.cpp.o.d"
+  "/root/repo/src/base/clock.cpp" "src/base/CMakeFiles/sessmpi_base.dir/clock.cpp.o" "gcc" "src/base/CMakeFiles/sessmpi_base.dir/clock.cpp.o.d"
+  "/root/repo/src/base/error.cpp" "src/base/CMakeFiles/sessmpi_base.dir/error.cpp.o" "gcc" "src/base/CMakeFiles/sessmpi_base.dir/error.cpp.o.d"
+  "/root/repo/src/base/log.cpp" "src/base/CMakeFiles/sessmpi_base.dir/log.cpp.o" "gcc" "src/base/CMakeFiles/sessmpi_base.dir/log.cpp.o.d"
+  "/root/repo/src/base/stats.cpp" "src/base/CMakeFiles/sessmpi_base.dir/stats.cpp.o" "gcc" "src/base/CMakeFiles/sessmpi_base.dir/stats.cpp.o.d"
+  "/root/repo/src/base/subsystem.cpp" "src/base/CMakeFiles/sessmpi_base.dir/subsystem.cpp.o" "gcc" "src/base/CMakeFiles/sessmpi_base.dir/subsystem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

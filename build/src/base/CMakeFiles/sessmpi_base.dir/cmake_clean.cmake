@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessmpi_base.dir/cleanup.cpp.o"
+  "CMakeFiles/sessmpi_base.dir/cleanup.cpp.o.d"
+  "CMakeFiles/sessmpi_base.dir/clock.cpp.o"
+  "CMakeFiles/sessmpi_base.dir/clock.cpp.o.d"
+  "CMakeFiles/sessmpi_base.dir/error.cpp.o"
+  "CMakeFiles/sessmpi_base.dir/error.cpp.o.d"
+  "CMakeFiles/sessmpi_base.dir/log.cpp.o"
+  "CMakeFiles/sessmpi_base.dir/log.cpp.o.d"
+  "CMakeFiles/sessmpi_base.dir/stats.cpp.o"
+  "CMakeFiles/sessmpi_base.dir/stats.cpp.o.d"
+  "CMakeFiles/sessmpi_base.dir/subsystem.cpp.o"
+  "CMakeFiles/sessmpi_base.dir/subsystem.cpp.o.d"
+  "libsessmpi_base.a"
+  "libsessmpi_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessmpi_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attributes.cpp" "src/core/CMakeFiles/sessmpi_core.dir/attributes.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/attributes.cpp.o.d"
+  "/root/repo/src/core/capi.cpp" "src/core/CMakeFiles/sessmpi_core.dir/capi.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/capi.cpp.o.d"
+  "/root/repo/src/core/coll.cpp" "src/core/CMakeFiles/sessmpi_core.dir/coll.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/coll.cpp.o.d"
+  "/root/repo/src/core/comm.cpp" "src/core/CMakeFiles/sessmpi_core.dir/comm.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/comm.cpp.o.d"
+  "/root/repo/src/core/datatype.cpp" "src/core/CMakeFiles/sessmpi_core.dir/datatype.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/datatype.cpp.o.d"
+  "/root/repo/src/core/detail/cid.cpp" "src/core/CMakeFiles/sessmpi_core.dir/detail/cid.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/detail/cid.cpp.o.d"
+  "/root/repo/src/core/detail/nbc.cpp" "src/core/CMakeFiles/sessmpi_core.dir/detail/nbc.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/detail/nbc.cpp.o.d"
+  "/root/repo/src/core/detail/pml.cpp" "src/core/CMakeFiles/sessmpi_core.dir/detail/pml.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/detail/pml.cpp.o.d"
+  "/root/repo/src/core/detail/state.cpp" "src/core/CMakeFiles/sessmpi_core.dir/detail/state.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/detail/state.cpp.o.d"
+  "/root/repo/src/core/errhandler.cpp" "src/core/CMakeFiles/sessmpi_core.dir/errhandler.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/errhandler.cpp.o.d"
+  "/root/repo/src/core/excid.cpp" "src/core/CMakeFiles/sessmpi_core.dir/excid.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/excid.cpp.o.d"
+  "/root/repo/src/core/file.cpp" "src/core/CMakeFiles/sessmpi_core.dir/file.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/file.cpp.o.d"
+  "/root/repo/src/core/group.cpp" "src/core/CMakeFiles/sessmpi_core.dir/group.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/group.cpp.o.d"
+  "/root/repo/src/core/info.cpp" "src/core/CMakeFiles/sessmpi_core.dir/info.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/info.cpp.o.d"
+  "/root/repo/src/core/op.cpp" "src/core/CMakeFiles/sessmpi_core.dir/op.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/op.cpp.o.d"
+  "/root/repo/src/core/request.cpp" "src/core/CMakeFiles/sessmpi_core.dir/request.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/request.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/sessmpi_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/win.cpp" "src/core/CMakeFiles/sessmpi_core.dir/win.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/win.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/core/CMakeFiles/sessmpi_core.dir/world.cpp.o" "gcc" "src/core/CMakeFiles/sessmpi_core.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sessmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prte/CMakeFiles/sessmpi_prte.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmix/CMakeFiles/sessmpi_pmix.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/sessmpi_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sessmpi_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

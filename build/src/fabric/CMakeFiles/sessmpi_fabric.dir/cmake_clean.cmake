@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessmpi_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/sessmpi_fabric.dir/fabric.cpp.o.d"
+  "libsessmpi_fabric.a"
+  "libsessmpi_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessmpi_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmix/client.cpp" "src/pmix/CMakeFiles/sessmpi_pmix.dir/client.cpp.o" "gcc" "src/pmix/CMakeFiles/sessmpi_pmix.dir/client.cpp.o.d"
+  "/root/repo/src/pmix/collective.cpp" "src/pmix/CMakeFiles/sessmpi_pmix.dir/collective.cpp.o" "gcc" "src/pmix/CMakeFiles/sessmpi_pmix.dir/collective.cpp.o.d"
+  "/root/repo/src/pmix/datastore.cpp" "src/pmix/CMakeFiles/sessmpi_pmix.dir/datastore.cpp.o" "gcc" "src/pmix/CMakeFiles/sessmpi_pmix.dir/datastore.cpp.o.d"
+  "/root/repo/src/pmix/events.cpp" "src/pmix/CMakeFiles/sessmpi_pmix.dir/events.cpp.o" "gcc" "src/pmix/CMakeFiles/sessmpi_pmix.dir/events.cpp.o.d"
+  "/root/repo/src/pmix/group.cpp" "src/pmix/CMakeFiles/sessmpi_pmix.dir/group.cpp.o" "gcc" "src/pmix/CMakeFiles/sessmpi_pmix.dir/group.cpp.o.d"
+  "/root/repo/src/pmix/invite.cpp" "src/pmix/CMakeFiles/sessmpi_pmix.dir/invite.cpp.o" "gcc" "src/pmix/CMakeFiles/sessmpi_pmix.dir/invite.cpp.o.d"
+  "/root/repo/src/pmix/pset.cpp" "src/pmix/CMakeFiles/sessmpi_pmix.dir/pset.cpp.o" "gcc" "src/pmix/CMakeFiles/sessmpi_pmix.dir/pset.cpp.o.d"
+  "/root/repo/src/pmix/runtime.cpp" "src/pmix/CMakeFiles/sessmpi_pmix.dir/runtime.cpp.o" "gcc" "src/pmix/CMakeFiles/sessmpi_pmix.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sessmpi_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

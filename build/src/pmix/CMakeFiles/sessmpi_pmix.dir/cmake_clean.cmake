@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessmpi_pmix.dir/client.cpp.o"
+  "CMakeFiles/sessmpi_pmix.dir/client.cpp.o.d"
+  "CMakeFiles/sessmpi_pmix.dir/collective.cpp.o"
+  "CMakeFiles/sessmpi_pmix.dir/collective.cpp.o.d"
+  "CMakeFiles/sessmpi_pmix.dir/datastore.cpp.o"
+  "CMakeFiles/sessmpi_pmix.dir/datastore.cpp.o.d"
+  "CMakeFiles/sessmpi_pmix.dir/events.cpp.o"
+  "CMakeFiles/sessmpi_pmix.dir/events.cpp.o.d"
+  "CMakeFiles/sessmpi_pmix.dir/group.cpp.o"
+  "CMakeFiles/sessmpi_pmix.dir/group.cpp.o.d"
+  "CMakeFiles/sessmpi_pmix.dir/invite.cpp.o"
+  "CMakeFiles/sessmpi_pmix.dir/invite.cpp.o.d"
+  "CMakeFiles/sessmpi_pmix.dir/pset.cpp.o"
+  "CMakeFiles/sessmpi_pmix.dir/pset.cpp.o.d"
+  "CMakeFiles/sessmpi_pmix.dir/runtime.cpp.o"
+  "CMakeFiles/sessmpi_pmix.dir/runtime.cpp.o.d"
+  "libsessmpi_pmix.a"
+  "libsessmpi_pmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessmpi_pmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

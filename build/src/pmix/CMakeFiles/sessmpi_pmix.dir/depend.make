@@ -1,0 +1,2 @@
+# Empty dependencies file for sessmpi_pmix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prte/dvm.cpp" "src/prte/CMakeFiles/sessmpi_prte.dir/dvm.cpp.o" "gcc" "src/prte/CMakeFiles/sessmpi_prte.dir/dvm.cpp.o.d"
+  "/root/repo/src/prte/simfs.cpp" "src/prte/CMakeFiles/sessmpi_prte.dir/simfs.cpp.o" "gcc" "src/prte/CMakeFiles/sessmpi_prte.dir/simfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmix/CMakeFiles/sessmpi_pmix.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sessmpi_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

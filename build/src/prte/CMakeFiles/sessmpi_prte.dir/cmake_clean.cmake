@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessmpi_prte.dir/dvm.cpp.o"
+  "CMakeFiles/sessmpi_prte.dir/dvm.cpp.o.d"
+  "CMakeFiles/sessmpi_prte.dir/simfs.cpp.o"
+  "CMakeFiles/sessmpi_prte.dir/simfs.cpp.o.d"
+  "libsessmpi_prte.a"
+  "libsessmpi_prte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessmpi_prte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

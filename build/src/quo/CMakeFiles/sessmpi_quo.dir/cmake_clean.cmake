@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessmpi_quo.dir/quo.cpp.o"
+  "CMakeFiles/sessmpi_quo.dir/quo.cpp.o.d"
+  "libsessmpi_quo.a"
+  "libsessmpi_quo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessmpi_quo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

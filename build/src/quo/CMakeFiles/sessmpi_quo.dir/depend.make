@@ -1,0 +1,2 @@
+# Empty dependencies file for sessmpi_quo.
+# This may be replaced when dependencies are built.

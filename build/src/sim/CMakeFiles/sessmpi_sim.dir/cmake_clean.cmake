@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessmpi_sim.dir/cluster.cpp.o"
+  "CMakeFiles/sessmpi_sim.dir/cluster.cpp.o.d"
+  "libsessmpi_sim.a"
+  "libsessmpi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessmpi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsessmpi_sim.a"
+)

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base.dir/base/cleanup_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/cleanup_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/clock_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/clock_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/cost_model_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/slot_allocator_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/slot_allocator_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/stats_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/stats_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/subsystem_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/subsystem_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/topology_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/topology_test.cpp.o.d"
+  "test_base"
+  "test_base.pdb"
+  "test_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

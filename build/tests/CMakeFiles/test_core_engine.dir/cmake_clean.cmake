@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_engine.dir/core/cid_test.cpp.o"
+  "CMakeFiles/test_core_engine.dir/core/cid_test.cpp.o.d"
+  "CMakeFiles/test_core_engine.dir/core/collectives2_test.cpp.o"
+  "CMakeFiles/test_core_engine.dir/core/collectives2_test.cpp.o.d"
+  "CMakeFiles/test_core_engine.dir/core/collectives_test.cpp.o"
+  "CMakeFiles/test_core_engine.dir/core/collectives_test.cpp.o.d"
+  "CMakeFiles/test_core_engine.dir/core/failure_test.cpp.o"
+  "CMakeFiles/test_core_engine.dir/core/failure_test.cpp.o.d"
+  "CMakeFiles/test_core_engine.dir/core/pt2pt_test.cpp.o"
+  "CMakeFiles/test_core_engine.dir/core/pt2pt_test.cpp.o.d"
+  "CMakeFiles/test_core_engine.dir/core/session_test.cpp.o"
+  "CMakeFiles/test_core_engine.dir/core/session_test.cpp.o.d"
+  "CMakeFiles/test_core_engine.dir/core/wire_protocol_test.cpp.o"
+  "CMakeFiles/test_core_engine.dir/core/wire_protocol_test.cpp.o.d"
+  "CMakeFiles/test_core_engine.dir/core/world_test.cpp.o"
+  "CMakeFiles/test_core_engine.dir/core/world_test.cpp.o.d"
+  "test_core_engine"
+  "test_core_engine.pdb"
+  "test_core_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_fuzz.dir/core/fuzz_test.cpp.o"
+  "CMakeFiles/test_core_fuzz.dir/core/fuzz_test.cpp.o.d"
+  "test_core_fuzz"
+  "test_core_fuzz.pdb"
+  "test_core_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_objects.dir/core/attributes_test.cpp.o"
+  "CMakeFiles/test_core_objects.dir/core/attributes_test.cpp.o.d"
+  "CMakeFiles/test_core_objects.dir/core/datatype_test.cpp.o"
+  "CMakeFiles/test_core_objects.dir/core/datatype_test.cpp.o.d"
+  "CMakeFiles/test_core_objects.dir/core/errhandler_test.cpp.o"
+  "CMakeFiles/test_core_objects.dir/core/errhandler_test.cpp.o.d"
+  "CMakeFiles/test_core_objects.dir/core/excid_test.cpp.o"
+  "CMakeFiles/test_core_objects.dir/core/excid_test.cpp.o.d"
+  "CMakeFiles/test_core_objects.dir/core/group_core_test.cpp.o"
+  "CMakeFiles/test_core_objects.dir/core/group_core_test.cpp.o.d"
+  "CMakeFiles/test_core_objects.dir/core/info_test.cpp.o"
+  "CMakeFiles/test_core_objects.dir/core/info_test.cpp.o.d"
+  "CMakeFiles/test_core_objects.dir/core/op_test.cpp.o"
+  "CMakeFiles/test_core_objects.dir/core/op_test.cpp.o.d"
+  "test_core_objects"
+  "test_core_objects.pdb"
+  "test_core_objects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_objects2.dir/core/capi_test.cpp.o"
+  "CMakeFiles/test_core_objects2.dir/core/capi_test.cpp.o.d"
+  "CMakeFiles/test_core_objects2.dir/core/file_test.cpp.o"
+  "CMakeFiles/test_core_objects2.dir/core/file_test.cpp.o.d"
+  "CMakeFiles/test_core_objects2.dir/core/win_test.cpp.o"
+  "CMakeFiles/test_core_objects2.dir/core/win_test.cpp.o.d"
+  "test_core_objects2"
+  "test_core_objects2.pdb"
+  "test_core_objects2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_objects2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

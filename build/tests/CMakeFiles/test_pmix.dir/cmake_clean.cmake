@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmix.dir/pmix/client_test.cpp.o"
+  "CMakeFiles/test_pmix.dir/pmix/client_test.cpp.o.d"
+  "CMakeFiles/test_pmix.dir/pmix/collective_test.cpp.o"
+  "CMakeFiles/test_pmix.dir/pmix/collective_test.cpp.o.d"
+  "CMakeFiles/test_pmix.dir/pmix/datastore_test.cpp.o"
+  "CMakeFiles/test_pmix.dir/pmix/datastore_test.cpp.o.d"
+  "CMakeFiles/test_pmix.dir/pmix/events_test.cpp.o"
+  "CMakeFiles/test_pmix.dir/pmix/events_test.cpp.o.d"
+  "CMakeFiles/test_pmix.dir/pmix/group_test.cpp.o"
+  "CMakeFiles/test_pmix.dir/pmix/group_test.cpp.o.d"
+  "CMakeFiles/test_pmix.dir/pmix/invite_test.cpp.o"
+  "CMakeFiles/test_pmix.dir/pmix/invite_test.cpp.o.d"
+  "CMakeFiles/test_pmix.dir/pmix/pset_test.cpp.o"
+  "CMakeFiles/test_pmix.dir/pmix/pset_test.cpp.o.d"
+  "test_pmix"
+  "test_pmix.pdb"
+  "test_pmix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

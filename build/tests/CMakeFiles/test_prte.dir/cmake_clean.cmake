@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prte.dir/prte/dvm_test.cpp.o"
+  "CMakeFiles/test_prte.dir/prte/dvm_test.cpp.o.d"
+  "test_prte"
+  "test_prte.pdb"
+  "test_prte[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quo.dir/quo/quo_test.cpp.o"
+  "CMakeFiles/test_quo.dir/quo/quo_test.cpp.o.d"
+  "test_quo"
+  "test_quo.pdb"
+  "test_quo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cluster_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/cluster_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quo/CMakeFiles/sessmpi_quo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sessmpi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sessmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prte/CMakeFiles/sessmpi_prte.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmix/CMakeFiles/sessmpi_pmix.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/sessmpi_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sessmpi_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

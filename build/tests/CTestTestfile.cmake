@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_pmix[1]_include.cmake")
+include("/root/repo/build/tests/test_prte[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_core_objects[1]_include.cmake")
+include("/root/repo/build/tests/test_core_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_core_objects2[1]_include.cmake")
+include("/root/repo/build/tests/test_quo[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_core_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_core_detail[1]_include.cmake")

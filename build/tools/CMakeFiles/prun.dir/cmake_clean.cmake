@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prun.dir/prun.cpp.o"
+  "CMakeFiles/prun.dir/prun.cpp.o.d"
+  "prun"
+  "prun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
