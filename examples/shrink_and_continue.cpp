@@ -1,0 +1,91 @@
+// Shrink-and-continue: the ULFM recovery loop on top of Sessions, driven by
+// a seeded chaos schedule. A stencil-style iteration (ring exchange + global
+// residual allreduce) keeps running while the chaos monkey kills a rank
+// every few steps; survivors acknowledge the failure, revoke the broken
+// communicator, shrink it, agree on a common resume step, and continue —
+// no job restart, no checkpoint.
+
+#include <cstdio>
+
+#include "sessmpi/ft/ft.hpp"
+#include "sessmpi/mpi.hpp"
+#include "sessmpi/sim/chaos.hpp"
+#include "sessmpi/sim/cluster.hpp"
+
+using namespace sessmpi;
+
+int main() {
+  sim::Cluster::Options opts;
+  opts.topo = {2, 4};  // 8 ranks on 2 nodes
+  sim::Cluster cluster{opts};
+
+  sim::ChaosPolicy policy;
+  policy.seed = 0xBAD5EED;
+  policy.kill_every_steps = 5;
+  policy.max_kills = 3;
+  policy.min_survivors = 2;
+  sim::ChaosMonkey monkey{cluster, policy};
+
+  constexpr int kSteps = 20;
+
+  cluster.run([&](sim::Process& proc) {
+    Session session = Session::init(Info::null(), Errhandler::errors_return());
+    Communicator comm = Communicator::create_from_group(
+        session.group_from_pset("mpi://world"), "stencil", Info::null(),
+        Errhandler::errors_return());
+
+    for (int step = 1; step <= kSteps;) {
+      if (!monkey.step(proc, step)) {
+        std::printf("rank %d: killed by chaos at step %d\n", proc.rank(),
+                    step);
+        return;  // a crashed process does not finalize
+      }
+      bool ok = true;
+      try {
+        const int n = comm.size();
+        const int me = comm.rank();
+        if (n > 1) {
+          std::int32_t halo_out = me;
+          std::int32_t halo_in = -1;
+          comm.sendrecv(&halo_out, 1, Datatype::int32(), (me + 1) % n, 0,
+                        &halo_in, 1, Datatype::int32(), (me + n - 1) % n, 0);
+        }
+        std::int64_t local = 1;
+        std::int64_t residual = 0;
+        comm.allreduce(&local, &residual, 1, Datatype::int64(), Op::sum());
+      } catch (const Error&) {
+        ok = false;  // a peer died mid-step (or revoked the communicator)
+      }
+      if (ok) {
+        ++step;
+        continue;
+      }
+
+      // --- ULFM recovery -------------------------------------------------
+      const auto dead = comm.ack_failed();
+      comm.revoke();  // pull every survivor out of the broken communicator
+      Communicator smaller = comm.shrink();
+      comm.free();
+      comm = smaller;
+      // Survivors may have noticed the failure one step apart; agree on a
+      // common resume point (bitwise-AND of ~step == ~(OR of steps)).
+      const std::uint64_t common =
+          comm.agree(~static_cast<std::uint64_t>(step));
+      step = static_cast<int>(~common) + 1;
+      if (comm.rank() == 0) {
+        std::printf("recovered: %zu failure(s) acked, %d survivors, "
+                    "resuming at step %d\n",
+                    dead.size(), comm.size(), step);
+      }
+    }
+
+    if (comm.rank() == 0) {
+      std::printf("done: %d survivors finished %d steps (%llu chaos kills)\n",
+                  comm.size(), kSteps,
+                  static_cast<unsigned long long>(monkey.kills()));
+    }
+    comm.free();
+    session.finalize();
+  });
+  return 0;
+}

@@ -30,6 +30,7 @@ std::string_view err_class_name(ErrClass c) noexcept {
     case ErrClass::info: return "SESSMPI_ERR_INFO";
     case ErrClass::session: return "SESSMPI_ERR_SESSION";
     case ErrClass::proc_aborted: return "SESSMPI_ERR_PROC_ABORTED";
+    case ErrClass::comm_revoked: return "SESSMPI_ERR_COMM_REVOKED";
     case ErrClass::rte_not_found: return "SESSMPI_RTE_ERR_NOT_FOUND";
     case ErrClass::rte_timeout: return "SESSMPI_RTE_ERR_TIMEOUT";
     case ErrClass::rte_proc_failed: return "SESSMPI_RTE_ERR_PROC_FAILED";

@@ -38,6 +38,7 @@ enum class ErrClass : int {
   info = 23,
   session = 24,
   proc_aborted = 25,
+  comm_revoked = 26,
   // Runtime (PMIx/PRRTE) classes
   rte_not_found = 40,
   rte_timeout = 41,

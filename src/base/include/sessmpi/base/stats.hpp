@@ -4,8 +4,11 @@
 // mean, min/max over timing samples, and a fixed-width table printer that
 // renders the paper-style result tables.
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,5 +36,35 @@ class Table {
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Process-wide named event counters. Layers bump counters on their hot
+/// paths (fabric drops, FT revokes, chaos kills, ...); tests and the
+/// benchmark harnesses read them back by name. Creation takes a lock once
+/// per name; bumping an obtained counter is a relaxed atomic increment.
+class Counters {
+ public:
+  /// Stable pointer to the counter named `name` (created on first use).
+  std::atomic<std::uint64_t>* get(const std::string& name);
+
+  /// One-shot bump for cold paths.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Current value (0 if the counter was never touched).
+  std::uint64_t value(const std::string& name) const;
+
+  /// Snapshot of every counter, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+  /// Reset all counters to zero (tests isolate themselves with this).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: node-based, so pointers into values stay valid on insert.
+  std::map<std::string, std::atomic<std::uint64_t>> counters_;
+};
+
+/// The process-wide counter registry.
+Counters& counters();
 
 }  // namespace sessmpi::base

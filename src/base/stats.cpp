@@ -71,4 +71,43 @@ void Table::print(std::ostream& os) const {
   }
 }
 
+std::atomic<std::uint64_t>* Counters::get(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return &counters_[name];
+}
+
+void Counters::add(const std::string& name, std::uint64_t delta) {
+  get(name)->fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counters::value(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end()
+             ? 0
+             : it->second.load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Counters::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, v] : counters_) {
+    out.emplace_back(name, v.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void Counters::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, v] : counters_) {
+    v.store(0, std::memory_order_relaxed);
+  }
+}
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
 }  // namespace sessmpi::base

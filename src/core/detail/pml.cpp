@@ -1,4 +1,5 @@
 #include "sessmpi/base/clock.hpp"
+#include "sessmpi/base/stats.hpp"
 #include "detail/state.hpp"
 
 namespace sessmpi::detail {
@@ -208,6 +209,145 @@ void ProcState::dispatch(fabric::Packet&& pkt) {
       }
       return;
     }
+    case PacketKind::comm_revoke: {
+      // token==1 marks an exCID-addressed revocation (sessions-derived
+      // communicator); otherwise the CID is global-by-construction (world
+      // builtins, consensus children) and addresses the comm directly.
+      std::shared_ptr<CommState> comm;
+      if (pkt.token != 0) {
+        const ExCid id{pkt.ext.excid_hi, pkt.ext.excid_lo};
+        auto it = comm_by_excid.find(id);
+        if (it == comm_by_excid.end()) {
+          // Revocation can outrun communicator construction: park it; the
+          // replay in register_comm delivers it once the comm exists.
+          orphans.push_back(std::move(pkt));
+          return;
+        }
+        comm = it->second;
+      } else if (pkt.match.cid < comm_by_cid.size()) {
+        comm = comm_by_cid[pkt.match.cid];
+      }
+      if (comm && !comm->freed) {
+        revoke_comm_locked(comm, /*flood=*/true);
+      }
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Revocation (ULFM)
+// ---------------------------------------------------------------------------
+
+void ProcState::revoke_comm_locked(const std::shared_ptr<CommState>& comm,
+                                   bool flood) {
+  if (comm->revoked) {
+    return;  // idempotent: also terminates the re-flood recursion
+  }
+  comm->revoked = true;
+  base::counters().add("ft.comms_revoked");
+
+  const auto poison = [](const RequestPtr& r, int source, int tag) {
+    Status st;
+    st.source = source;
+    st.tag = tag;
+    st.error = ErrClass::comm_revoked;
+    r->finish(st);
+  };
+
+  // In-flight nonblocking collectives on this comm abort first so their
+  // sub-receives leave the posted queue as part of the op, not one by one.
+  for (auto it = nbc_live.begin(); it != nbc_live.end();) {
+    RequestImpl& req = **it;
+    if (req.comm != comm.get()) {
+      ++it;
+      continue;
+    }
+    NbcOp& op = *req.nbc;
+    std::erase_if(comm->posted, [&](const RequestPtr& posted) {
+      if (posted == op.parent_recv) {
+        return true;
+      }
+      for (const RequestPtr& r : op.child_recvs) {
+        if (posted == r) {
+          return true;
+        }
+      }
+      return false;
+    });
+    Status st;
+    st.error = ErrClass::comm_revoked;
+    req.finish(st);
+    it = nbc_live.erase(it);
+  }
+
+  // Pending receives; FT-protocol operations keep working (agreement and
+  // shrink must be able to communicate over the revoked communicator).
+  for (auto it = comm->posted.begin(); it != comm->posted.end();) {
+    const RequestPtr& req = *it;
+    if (is_ft_tag(req->tag)) {
+      ++it;
+      continue;
+    }
+    poison(req, req->src, req->tag);
+    it = comm->posted.erase(it);
+  }
+  // Unmatched arrivals: any receive that could match them would be poisoned
+  // anyway, so drop them before they can satisfy a post-revoke FT wildcard.
+  std::erase_if(comm->unexpected, [](const fabric::Packet& p) {
+    return !is_ft_tag(p.match.tag);
+  });
+  // Rendezvous / synchronous sends parked on a CTS or ACK from a peer that
+  // will never answer on this comm again.
+  for (auto it = send_tokens.begin(); it != send_tokens.end();) {
+    const RequestPtr& req = it->second;
+    if (req->comm == comm.get() && !is_ft_tag(req->tag)) {
+      poison(req, req->dst, req->tag);
+      it = send_tokens.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Matched rendezvous receives whose bulk data is no longer coming.
+  for (auto it = recv_tokens.begin(); it != recv_tokens.end();) {
+    const RequestPtr& req = it->second;
+    if (req->comm == comm.get() && !is_ft_tag(req->rndv_tag)) {
+      poison(req, req->rndv_source, req->rndv_tag);
+      it = recv_tokens.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (!flood) {
+    return;
+  }
+  // Reliable broadcast: every rank that observes the revocation re-floods it
+  // to all live peers, so the wave completes even if the initiator dies
+  // mid-broadcast. Receivers are idempotent (guard above).
+  fabric::Fabric& fab = proc.cluster().fabric();
+  for (int p = 0; p < comm->size(); ++p) {
+    if (p == comm->myrank) {
+      continue;
+    }
+    const base::Rank global = comm->global_of(p);
+    if (fab.is_failed(global)) {
+      continue;
+    }
+    fabric::Packet pkt;
+    pkt.kind = fabric::PacketKind::comm_revoke;
+    pkt.src_rank = proc.rank();
+    pkt.dst_rank = global;
+    pkt.match.src = comm->myrank;
+    if (comm->uses_excid) {
+      pkt.token = 1;
+      pkt.ext.excid_hi = comm->excid_space.id().hi;
+      pkt.ext.excid_lo = comm->excid_space.id().lo;
+      pkt.ext.sender_cid = comm->cid;
+    } else {
+      pkt.match.cid = comm->cid;
+    }
+    fab.send(std::move(pkt));
   }
 }
 
@@ -335,6 +475,9 @@ RequestPtr ProcState::isend_impl(const std::shared_ptr<CommState>& comm,
   bool eager = bytes <= kEagerLimit;
   {
     std::lock_guard lock(mu);
+    if (comm->revoked && !is_ft_tag(tag)) {
+      throw Error(ErrClass::comm_revoked, "communicator has been revoked");
+    }
     auto& peer = comm->peers[static_cast<std::size_t>(dst)];
     const bool need_ext = comm->uses_excid && peer.remote_cid < 0;
     if (need_ext) {
@@ -399,6 +542,9 @@ RequestPtr ProcState::irecv_impl(const std::shared_ptr<CommState>& comm,
   req->tag = tag;
 
   std::lock_guard lock(mu);
+  if (comm->revoked && !is_ft_tag(tag)) {
+    throw Error(ErrClass::comm_revoked, "communicator has been revoked");
+  }
   if (!match_against_unexpected(*comm, req)) {
     comm->posted.push_back(req);
   }
@@ -416,6 +562,9 @@ Status ProcState::blocking_recv(const std::shared_ptr<CommState>& comm,
     throw Error(ErrClass::rte_proc_failed,
                 "peer process failed during receive");
   }
+  if (req->status.error == ErrClass::comm_revoked) {
+    throw Error(ErrClass::comm_revoked, "communicator revoked during receive");
+  }
   return req->status;
 }
 
@@ -426,6 +575,9 @@ void ProcState::blocking_send(const std::shared_ptr<CommState>& comm,
   progress_until([&] { return req->done(); });
   if (req->status.error == ErrClass::rte_proc_failed) {
     throw Error(ErrClass::rte_proc_failed, "peer process failed during send");
+  }
+  if (req->status.error == ErrClass::comm_revoked) {
+    throw Error(ErrClass::comm_revoked, "communicator revoked during send");
   }
 }
 

@@ -48,6 +48,16 @@ void ProcState::ensure_subsystems_defined() {
              [this] {
                proc.pmix_client = std::make_unique<pmix::PmixClient>(
                    proc.cluster().dvm().pmix(), proc.rank());
+               // Failure-awareness bridge: record runtime failure events so
+               // Communicator::get_failed() reports what the runtime told
+               // this process (delivered on our own thread during polls).
+               proc.pmix_client->register_event_handler(
+                   [this](const pmix::Event& ev) {
+                     if (ev.kind == pmix::EventKind::proc_failed) {
+                       std::lock_guard lock(mu);
+                       failure_notices.insert(ev.about);
+                     }
+                   });
              },
              [this] { proc.pmix_client.reset(); }, {"mca"});
   reg.define("pml",
@@ -126,6 +136,7 @@ std::shared_ptr<CommState> ProcState::register_comm(
   comm->uses_excid = uses_excid;
   comm->method = method;
   comm->peers.resize(static_cast<std::size_t>(grp.size()));
+  comm->acked.resize(static_cast<std::size_t>(grp.size()), 0);
 
   if (comm_by_cid.size() <= cid) {
     comm_by_cid.resize(cid + 1);

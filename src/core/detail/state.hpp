@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -108,6 +109,11 @@ struct CommState {
   std::uint32_t coll_seq = 0;  ///< collective ordinal (tags derive from it)
   bool freed = false;
 
+  // --- fault tolerance (ULFM-style) ---------------------------------------
+  bool revoked = false;         ///< revoke() observed: non-FT ops poisoned
+  std::uint32_t ft_seq = 0;     ///< FT collective ordinal (agree/shrink tags)
+  std::vector<std::uint8_t> acked;  ///< per comm rank: failure acknowledged
+
   struct Peer {
     int remote_cid = -1;   ///< peer's local CID once learned (ACK/ext header)
     bool ack_sent = false; ///< we already told this peer our CID
@@ -166,6 +172,12 @@ struct ProcState {
   int live_sessions = 0;
   std::uint64_t pgcids = 0;  ///< PGCIDs acquired by this process
 
+  // --- fault tolerance ------------------------------------------------------
+  /// Global ranks whose failure was announced through PMIx events (the
+  /// fabric's failed flags are the ground truth; this records that the
+  /// runtime told *us*, which is what get_failed() reports).
+  std::set<base::Rank> failure_notices;
+
   // --- access ----------------------------------------------------------------
   /// ProcState of a simulated process (created on demand).
   static ProcState& of(sim::Process& p);
@@ -219,6 +231,12 @@ struct ProcState {
   /// Advance all live nonblocking collectives (mu held by caller).
   void advance_nbc_locked();
 
+  /// Revoke `comm` (mu held): mark it, complete every pending non-FT
+  /// operation with comm_revoked, and — when `flood` — reliably broadcast
+  /// the revocation to all live peers (each receiver re-floods once, so the
+  /// wave survives the initiator dying mid-broadcast).
+  void revoke_comm_locked(const std::shared_ptr<CommState>& comm, bool flood);
+
  private:
   // Matching internals; all called with mu held.
   /// Complete requests whose specific peer has failed (mu held).
@@ -240,6 +258,22 @@ void teardown_world_objects(ProcState& ps);
 inline int internal_tag(std::uint32_t seq, int round) {
   return kInternalTagBase - static_cast<int>((seq % (1u << 20)) * 32u) - round;
 }
+
+/// FT-protocol tags live far below the internal collective tag range
+/// (internal_tag bottoms out around -33.6M; this base is -268M), so
+/// agreement/shrink traffic can never cross-match application or internal
+/// collective messages. Operations tagged at or below kFtTagBase keep
+/// working on a revoked communicator — that is how recovery talks over the
+/// wreck, exactly ULFM's carve-out for MPI_Comm_agree/shrink.
+inline constexpr int kFtTagBase = -(1 << 28);
+
+/// Tag for sub-step `sub` of FT collective number `seq` on a communicator.
+inline int ft_tag(std::uint32_t seq, int sub) {
+  return kFtTagBase - static_cast<int>((seq % (1u << 20)) * 64u) - sub;
+}
+
+/// True for tags in the FT-protocol space (exempt from revoke poisoning).
+inline bool is_ft_tag(int tag) { return tag <= kFtTagBase; }
 
 /// True when `posted_tag`/`posted_src` accept a packet with (src, tag).
 inline bool tags_match(int posted_src, int posted_tag, int src, int tag) {

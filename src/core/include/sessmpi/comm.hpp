@@ -145,6 +145,30 @@ class Communicator {
   /// MPI_Comm_create_group (collective over `subgroup` only).
   [[nodiscard]] Communicator create_group(const Group& subgroup, int tag) const;
 
+  // --- fault tolerance (ULFM-style; implemented by the src/ft library) -------
+  /// Comm ranks currently known to have failed (fabric ground truth plus
+  /// PMIx failure events delivered to this process). Monotonic.
+  [[nodiscard]] std::vector<int> get_failed() const;
+  /// Acknowledge every currently-known failed member (MPI_Comm_failure_ack):
+  /// acknowledged deaths no longer count as "new" failures for agree().
+  /// Returns the comm ranks newly acknowledged by this call.
+  std::vector<int> ack_failed() const;
+  /// MPIX_Comm_revoke: flood a revocation through the fabric. Every pending
+  /// and future non-recovery operation on this communicator — on every
+  /// member — completes with ErrClass::comm_revoked. Irreversible.
+  void revoke() const;
+  /// True once a revocation (local or remote) has been observed.
+  [[nodiscard]] bool is_revoked() const;
+  /// MPIX_Comm_agree: fault-tolerant agreement. Returns the bitwise AND of
+  /// the contributions of the participating live members; all survivors
+  /// return the same value even if ranks (including the coordinator) die
+  /// mid-agreement. Works on a revoked communicator.
+  [[nodiscard]] std::uint64_t agree(std::uint64_t contribution) const;
+  /// MPIX_Comm_shrink: collectively build a new communicator over the
+  /// surviving members (agree on the survivor set, then drive the regular
+  /// exCID construction path over it). Works on a revoked communicator.
+  [[nodiscard]] Communicator shrink() const;
+
   /// MPI_Comm_free: release local resources (attribute delete callbacks run).
   void free();
 

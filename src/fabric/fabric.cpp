@@ -1,6 +1,7 @@
 #include "sessmpi/fabric/fabric.hpp"
 
 #include "sessmpi/base/clock.hpp"
+#include "sessmpi/base/stats.hpp"
 
 namespace sessmpi::fabric {
 
@@ -32,6 +33,12 @@ void Fabric::send(Packet&& packet) {
   base::precise_delay(cost_.wire_cost(same_node, payload, header));
   if (is_failed(packet.dst_rank)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (has_drop_filter_.load(std::memory_order_acquire) &&
+      drop_filter_(packet)) {
+    chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
+    base::counters().add("fabric.chaos.dropped");
     return;
   }
   Endpoint& ep = *endpoints_[static_cast<std::size_t>(packet.dst_rank)];

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -57,8 +58,21 @@ class Fabric {
   void mark_failed(Rank r);
   [[nodiscard]] bool is_failed(Rank r) const;
 
+  /// Chaos hook: packets for which the filter returns true are silently
+  /// dropped (lossy-link injection). Install before traffic starts — the
+  /// send path reads it without synchronization.
+  void set_drop_filter(std::function<bool(const Packet&)> filter) {
+    drop_filter_ = std::move(filter);
+    has_drop_filter_.store(drop_filter_ != nullptr,
+                           std::memory_order_release);
+  }
+
   [[nodiscard]] std::uint64_t dropped_to_failed() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Packets discarded by the chaos drop filter.
+  [[nodiscard]] std::uint64_t chaos_dropped() const noexcept {
+    return chaos_dropped_.load(std::memory_order_relaxed);
   }
   /// Total bytes (headers + payload) pushed through the fabric.
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
@@ -70,7 +84,10 @@ class Fabric {
   base::CostModel cost_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<std::atomic<bool>> failed_;
+  std::function<bool(const Packet&)> drop_filter_;
+  std::atomic<bool> has_drop_filter_{false};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> chaos_dropped_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
 };
 

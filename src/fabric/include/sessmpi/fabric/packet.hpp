@@ -28,6 +28,7 @@ enum class PacketKind : std::uint8_t {
   rndv_cts,   ///< rendezvous clear-to-send (token)
   rndv_data,  ///< rendezvous bulk data (token)
   sync_ack,   ///< synchronous-send acknowledgement (token)
+  comm_revoke,  ///< control: communicator revoked (ULFM); exCID + local CID
 };
 
 /// 14-byte ob1-style match header (modeled size; see kMatchHeaderBytes).
@@ -80,6 +81,8 @@ struct Packet {
         return 8;  // token
       case PacketKind::rndv_data:
         return 8 + kMatchHeaderBytes;
+      case PacketKind::comm_revoke:
+        return kExtHeaderBytes + 2;  // exCID + sender's local CID
     }
     return kMatchHeaderBytes;
   }

@@ -1,0 +1,178 @@
+// Fault-tolerant agreement (MPIX_Comm_agree flavour).
+//
+// Coordinator protocol with result flooding, uniform across survivors:
+//
+//  - The coordinator is the lowest-ranked live member. Fabric failure flags
+//    are monotonic and globally consistent, so local views of "lowest live"
+//    only ever move forward and all survivors converge on the same rank.
+//  - Followers push their contribution to the coordinator and watch it with
+//    a specific-source receive — the failure sweep completes that watch
+//    with rte_proc_failed if the coordinator dies, triggering a re-push to
+//    the next coordinator.
+//  - The coordinator gathers one contribution per live member (dead
+//    members' receives complete via the sweep and are excluded), ANDs them,
+//    and floods the result to every live member.
+//  - Every rank that decides floods the result before returning, and a
+//    member that already decided never re-contributes: a new coordinator
+//    blocked on a decided member's contribution is instead unblocked by
+//    that member's flood and *adopts* the flooded value. This keeps the
+//    decision uniform across coordinator deaths.
+//
+// All traffic runs on FT tags (<= kFtTagBase), so agreement also works on a
+// revoked communicator — ULFM's carve-out for recovery operations.
+
+#include <algorithm>
+
+#include "detail/state.hpp"
+#include "sessmpi/base/stats.hpp"
+#include "sessmpi/ft/ft.hpp"
+
+namespace sessmpi {
+
+namespace {
+
+/// Remove any of `reqs` still sitting in the posted queue (their receive
+/// buffers live on our stack frame; a late match after return would write
+/// through a dangling pointer).
+void scrub_posted(detail::ProcState& ps,
+                  const std::shared_ptr<detail::CommState>& s,
+                  const std::vector<detail::RequestPtr>& reqs) {
+  std::lock_guard lock(ps.mu);
+  std::erase_if(s->posted, [&](const detail::RequestPtr& p) {
+    return std::find(reqs.begin(), reqs.end(), p) != reqs.end();
+  });
+}
+
+}  // namespace
+
+std::uint64_t Communicator::agree(std::uint64_t contribution) const {
+  const auto& s = detail_unwrap(*this);
+  if (!s || s->freed) {
+    throw Error(ErrClass::comm, "null or freed communicator");
+  }
+  detail::ProcState& ps = *s->ps;
+  fabric::Fabric& fab = ps.proc.cluster().fabric();
+  base::counters().add("ft.agrees");
+
+  const int n = s->size();
+  const int me = s->myrank;
+
+  std::uint32_t seq;
+  {
+    std::lock_guard lock(ps.mu);
+    seq = s->ft_seq++;
+    // Scrub leftovers of completed FT collectives (late result floods):
+    // older seq numbers map to strictly greater (less negative) tags.
+    const int newest_current = detail::ft_tag(seq, 0);
+    std::erase_if(s->unexpected, [&](const fabric::Packet& p) {
+      return detail::is_ft_tag(p.match.tag) && p.match.tag > newest_current;
+    });
+  }
+  const int tag_contrib = detail::ft_tag(seq, 1);
+  const int tag_result = detail::ft_tag(seq, 2);
+
+  const auto lowest_live = [&] {
+    for (int r = 0; r < n; ++r) {
+      if (!fab.is_failed(s->global_of(r))) {
+        return r;
+      }
+    }
+    return me;
+  };
+
+  std::vector<detail::RequestPtr> cleanup;
+
+  // Persistent watcher: any decider may flood the result at any time.
+  std::uint64_t flooded = 0;
+  detail::RequestPtr result_any = ps.irecv_impl(
+      s, &flooded, 1, datatype_of<std::uint64_t>(), any_source, tag_result);
+  cleanup.push_back(result_any);
+
+  std::uint64_t decided = contribution;
+  for (;;) {
+    if (result_any->done()) {
+      decided = flooded;
+      break;
+    }
+    const int coord = lowest_live();
+    if (coord == me) {
+      // Gather one contribution per live member. A member that dies midway
+      // completes its receive through the failure sweep (excluded); a
+      // member that already decided floods instead of contributing, which
+      // fires result_any and we adopt its value.
+      std::vector<detail::RequestPtr> recvs(static_cast<std::size_t>(n));
+      std::vector<std::uint64_t> contribs(static_cast<std::size_t>(n), 0);
+      for (int r = 0; r < n; ++r) {
+        if (r == me || fab.is_failed(s->global_of(r))) {
+          continue;
+        }
+        recvs[static_cast<std::size_t>(r)] =
+            ps.irecv_impl(s, &contribs[static_cast<std::size_t>(r)], 1,
+                          datatype_of<std::uint64_t>(), r, tag_contrib);
+        cleanup.push_back(recvs[static_cast<std::size_t>(r)]);
+      }
+      ps.progress_until([&] {
+        if (result_any->done()) {
+          return true;
+        }
+        for (const auto& r : recvs) {
+          if (r && !r->done()) {
+            return false;
+          }
+        }
+        return true;
+      });
+      if (result_any->done()) {
+        decided = flooded;
+      } else {
+        for (int r = 0; r < n; ++r) {
+          const auto& req = recvs[static_cast<std::size_t>(r)];
+          if (req && req->status.error == ErrClass::success) {
+            decided &= contribs[static_cast<std::size_t>(r)];
+          }
+        }
+      }
+      break;
+    }
+
+    // Follower: push the contribution (eager — completes locally even if
+    // the coordinator is already gone) and watch the coordinator.
+    ps.isend_impl(s, &contribution, 1, datatype_of<std::uint64_t>(), coord,
+                  tag_contrib, /*sync=*/false);
+    std::uint64_t watched = 0;
+    detail::RequestPtr watch = ps.irecv_impl(s, &watched, 1,
+                                             datatype_of<std::uint64_t>(),
+                                             coord, tag_result);
+    cleanup.push_back(watch);
+    ps.progress_until([&] { return result_any->done() || watch->done(); });
+    if (result_any->done()) {
+      decided = flooded;
+      break;
+    }
+    if (watch->status.error == ErrClass::success) {
+      // The flood from the coordinator matched the specific-source watch
+      // (possible when result_any already fired for an earlier packet...
+      // it has not here, but a direct match is equivalent).
+      decided = watched;
+      break;
+    }
+    // Coordinator died; converge on the next lowest live rank.
+    base::counters().add("ft.agree_coordinator_deaths");
+  }
+
+  scrub_posted(ps, s, cleanup);
+
+  // Flood the decision to every live member before returning, so survivors
+  // that have not decided yet can adopt it even if we (or the coordinator)
+  // die right after returning.
+  for (int r = 0; r < n; ++r) {
+    if (r == me || fab.is_failed(s->global_of(r))) {
+      continue;
+    }
+    ps.isend_impl(s, &decided, 1, datatype_of<std::uint64_t>(), r, tag_result,
+                  /*sync=*/false);
+  }
+  return decided;
+}
+
+}  // namespace sessmpi

@@ -1,0 +1,43 @@
+#pragma once
+
+// ULFM-style fault tolerance on top of the failure-containment layer.
+//
+// The core PML guarantees containment (§II-C: an operation pinned on a dead
+// peer completes with rte_proc_failed instead of hanging). This subsystem
+// adds *recovery*, following the User-Level Failure Mitigation proposal the
+// way "Fault Awareness in the MPI 4.0 Session Model" frames it for
+// Sessions: the application acknowledges failures, revokes the broken
+// communicator, agrees on the surviving group, shrinks, and continues — or
+// re-queries its session psets and rebuilds communicators the Sessions way.
+//
+// The entry points live on Communicator (comm.hpp):
+//
+//   get_failed() / ack_failed()  failure acknowledgment, backed by the
+//                                fabric's ground truth plus PMIx
+//                                proc_failed events
+//   revoke() / is_revoked()      reliable revocation flood; pending and
+//                                future operations complete with
+//                                ErrClass::comm_revoked
+//   agree(x)                     fault-tolerant agreement (bitwise AND),
+//                                uniform across survivors, usable on a
+//                                revoked communicator
+//   shrink()                     agreement on the survivor set, then the
+//                                regular exCID construction path over it
+//
+// Recovery traffic runs in the reserved FT tag space (tags <= kFtTagBase in
+// detail/state.hpp) which revocation does not poison.
+//
+// Counters (base::counters()): ft.comms_revoked, ft.agrees,
+// ft.agree_coordinator_deaths, ft.shrinks, ft.shrink_retries.
+
+#include <cstdint>
+
+#include "sessmpi/comm.hpp"
+
+namespace sessmpi::ft {
+
+/// Library presence probe (the FT methods on Communicator are defined by
+/// libsessmpi_ft; linking it is required to use them).
+constexpr bool kAvailable = true;
+
+}  // namespace sessmpi::ft

@@ -383,7 +383,7 @@ base::Result<std::vector<ProcId>> PmixClient::query_pset_membership(
     std::vector<ProcId> out;
     const int node = topo.node_of(self_);
     for (ProcId p = 0; p < topo.size(); ++p) {
-      if (topo.node_of(p) == node) {
+      if (topo.node_of(p) == node && !runtime_.is_failed(p)) {
         out.push_back(p);
       }
     }
@@ -393,7 +393,18 @@ base::Result<std::vector<ProcId>> PmixClient::query_pset_membership(
   if (!members) {
     return base::ErrClass::rte_not_found;
   }
-  return *members;
+  // Fault awareness: a membership re-query reflects process failures, so an
+  // application can rebuild its communicators the Sessions way — query the
+  // pset again, derive a group, create_from_group — instead of (or after)
+  // shrinking.
+  std::vector<ProcId> out;
+  out.reserve(members->size());
+  for (ProcId p : *members) {
+    if (!runtime_.is_failed(p)) {
+      out.push_back(p);
+    }
+  }
+  return out;
 }
 
 std::size_t PmixClient::query_num_groups() {

@@ -41,14 +41,16 @@ void PmixRuntime::notify_proc_failed(ProcId proc) {
   datastore_.purge(proc);
   // Raise proc_failed events to co-members of groups that requested
   // termination notification (paper §III-A).
+  std::vector<bool> notified(static_cast<std::size_t>(topo_.size()), false);
   for (const GroupRecord& rec : groups_.groups_of(proc)) {
     if (!rec.notify_on_termination) {
       continue;
     }
     std::vector<ProcId> targets;
     for (ProcId m : rec.members) {
-      if (m != proc) {
+      if (m != proc && topo_.valid_rank(m)) {
         targets.push_back(m);
+        notified[static_cast<std::size_t>(m)] = true;
       }
     }
     Event e;
@@ -58,6 +60,23 @@ void PmixRuntime::notify_proc_failed(ProcId proc) {
     e.pgcid = rec.pgcid;
     events_.notify(e, targets);
   }
+  // Allocation-wide announcement: the daemons see the death whether or not
+  // the proc was in a watched group, and fault-aware layers
+  // (Communicator::get_failed) depend on hearing about it. Processes
+  // already notified through a group are skipped so they see one event per
+  // failure.
+  std::vector<ProcId> rest;
+  for (ProcId p = 0; p < topo_.size(); ++p) {
+    if (p == proc || notified[static_cast<std::size_t>(p)] || is_failed(p)) {
+      continue;
+    }
+    rest.push_back(p);
+  }
+  Event e;
+  e.kind = EventKind::proc_failed;
+  e.about = proc;
+  e.info = "allocation";
+  events_.notify(e, rest);
 }
 
 bool PmixRuntime::is_failed(ProcId proc) const {

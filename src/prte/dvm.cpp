@@ -62,4 +62,15 @@ void Dvm::define_pset(const std::string& name,
   pmix_.psets().define(name, std::move(members));
 }
 
+void Dvm::notify_node_failed(int node) {
+  if (node < 0 || node >= spec_.topo.num_nodes) {
+    throw base::Error(base::ErrClass::rte_bad_param, "invalid node");
+  }
+  for (pmix::ProcId p = 0; p < spec_.topo.size(); ++p) {
+    if (spec_.topo.node_of(p) == node) {
+      pmix_.notify_proc_failed(p);
+    }
+  }
+}
+
 }  // namespace sessmpi::prte

@@ -55,6 +55,11 @@ class Dvm {
   /// Define an additional pset at runtime (resource-manager action).
   void define_pset(const std::string& name, std::vector<pmix::ProcId> members);
 
+  /// Resource-manager view of a node crash: every process hosted on `node`
+  /// is reported failed to the PMIx runtime (the daemon network notices a
+  /// dead node, not individual procs).
+  void notify_node_failed(int node);
+
   /// Shared simulated filesystem (backs MPI_File).
   [[nodiscard]] SimFs& fs() noexcept { return fs_; }
 

@@ -85,6 +85,12 @@ QuoContext QuoContext::create(const Communicator& app_comm, Options opts) {
       impl->shm_barrier = registry().at(id);
     }
     impl->shm_barrier_id = id;
+    // Rendezvous before returning: free() unmaps the segment when the last
+    // attached reference drops, so a rank that races ahead to free() must
+    // not be able to do that while a peer is still between the bcast and
+    // its attach (the peer holds no reference yet and would find the
+    // segment gone).
+    impl->node_comm.barrier();
   } else {
     // Sessions flavour: QUO_create initializes its own MPI session — the
     // host application is untouched (paper §IV-E, ~20 SLOC integration).

@@ -1,0 +1,172 @@
+#include "sessmpi/sim/chaos.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sessmpi/base/error.hpp"
+#include "sessmpi/base/stats.hpp"
+
+namespace sessmpi::sim {
+
+namespace {
+
+/// SplitMix64: tiny, seedable, and stable across platforms — exactly what a
+/// replayable schedule needs (std::mt19937 would also do, but its state is
+/// heavyweight for drawing a handful of victims).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ChaosSchedule::ChaosSchedule(const ChaosPolicy& policy,
+                             const base::Topology& topo) {
+  const int n = topo.size();
+  std::vector<char> dead(static_cast<std::size_t>(n), 0);
+  int live = n;
+
+  const auto kill_rank = [&](int step, Rank r) {
+    if (!topo.valid_rank(r) || dead[static_cast<std::size_t>(r)]) {
+      return;
+    }
+    dead[static_cast<std::size_t>(r)] = 1;
+    --live;
+    rank_kills_[step].push_back(r);
+    victims_.push_back(r);
+  };
+
+  // Merge explicit and periodic events in step order so victim selection
+  // sees the live set as it will exist at that step.
+  struct Ev {
+    int step;
+    int kind;  // 0 = explicit rank, 1 = explicit node, 2 = periodic
+    int arg;
+  };
+  std::vector<Ev> events;
+  for (const auto& [step, r] : policy.kill_rank_at) {
+    events.push_back({step, 0, r});
+  }
+  for (const auto& [step, node] : policy.kill_node_at) {
+    events.push_back({step, 1, node});
+  }
+  if (policy.kill_every_steps > 0) {
+    const int cap = policy.max_kills > 0 ? policy.max_kills : n;
+    for (int k = 1; k <= cap; ++k) {
+      events.push_back({k * policy.kill_every_steps, 2, 0});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Ev& a, const Ev& b) { return a.step < b.step; });
+
+  std::uint64_t rng = policy.seed;
+  for (const Ev& ev : events) {
+    switch (ev.kind) {
+      case 0:
+        kill_rank(ev.step, ev.arg);
+        break;
+      case 1: {
+        if (ev.arg < 0 || ev.arg >= topo.num_nodes) {
+          break;
+        }
+        node_kills_[ev.step].push_back(ev.arg);
+        for (Rank r = 0; r < n; ++r) {
+          if (topo.node_of(r) == ev.arg) {
+            kill_rank(ev.step, r);
+          }
+        }
+        break;
+      }
+      case 2: {
+        if (live <= policy.min_survivors) {
+          break;
+        }
+        std::vector<Rank> eligible;
+        eligible.reserve(static_cast<std::size_t>(live));
+        for (Rank r = 0; r < n; ++r) {
+          if (!dead[static_cast<std::size_t>(r)] &&
+              (!policy.never_kill || *policy.never_kill != r)) {
+            eligible.push_back(r);
+          }
+        }
+        if (!eligible.empty()) {
+          kill_rank(ev.step,
+                    eligible[splitmix64(rng) % eligible.size()]);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+std::vector<Rank> ChaosSchedule::rank_kills_at(int step) const {
+  auto it = rank_kills_.find(step);
+  return it == rank_kills_.end() ? std::vector<Rank>{} : it->second;
+}
+
+std::vector<int> ChaosSchedule::node_kills_at(int step) const {
+  auto it = node_kills_.find(step);
+  return it == node_kills_.end() ? std::vector<int>{} : it->second;
+}
+
+ChaosMonkey::ChaosMonkey(Cluster& cluster, ChaosPolicy policy)
+    : cluster_(cluster),
+      policy_(policy),
+      schedule_(policy, cluster.topology()) {
+  if (policy_.drop_fraction < 0.0 || policy_.drop_fraction > 1.0) {
+    throw base::Error(base::ErrClass::arg, "drop_fraction outside [0, 1]");
+  }
+  if (policy_.drop_fraction > 0.0) {
+    // Deterministic in the number of packets sent (not in which packet of a
+    // racing pair is dropped — good enough for a lossy-fabric model).
+    auto counter = std::make_shared<std::atomic<std::uint64_t>>(0);
+    const double frac = policy_.drop_fraction;
+    const std::uint64_t seed = policy_.seed;
+    cluster_.fabric().set_drop_filter(
+        [counter, frac, seed](const fabric::Packet&) {
+          std::uint64_t state =
+              seed ^ (counter->fetch_add(1, std::memory_order_relaxed) *
+                      0x9e3779b97f4a7c15ull);
+          const std::uint64_t z = splitmix64(state);
+          return static_cast<double>(z >> 11) * 0x1.0p-53 < frac;
+        });
+  }
+}
+
+bool ChaosMonkey::step(Process& proc, int step) {
+  if (proc.failed()) {
+    return false;
+  }
+  bool die = false;
+  for (Rank r : schedule_.rank_kills_at(step)) {
+    if (r == proc.rank()) {
+      die = true;
+    }
+  }
+  bool node_die = false;
+  for (int nd : schedule_.node_kills_at(step)) {
+    if (nd == proc.node()) {
+      die = node_die = true;
+    }
+  }
+  if (!die) {
+    return true;
+  }
+  if (node_die) {
+    // The whole node goes down at once, including any rank on it that is
+    // not running a thread right now (fail_node is idempotent per rank).
+    cluster_.fail_node(proc.node());
+  } else {
+    proc.fail();
+  }
+  kills_.fetch_add(1, std::memory_order_relaxed);
+  base::counters().add("sim.chaos.kills");
+  return false;
+}
+
+}  // namespace sessmpi::sim

@@ -47,6 +47,18 @@ Process& Cluster::process(Rank r) {
 
 void Cluster::fail_rank(Rank r) { process(r).fail(); }
 
+void Cluster::fail_node(int node) {
+  if (node < 0 || node >= topology().num_nodes) {
+    throw base::Error(base::ErrClass::rte_bad_param, "invalid node");
+  }
+  for (Rank r = 0; r < size(); ++r) {
+    if (topology().node_of(r) == node) {
+      fabric_.mark_failed(r);
+    }
+  }
+  dvm_.notify_node_failed(node);
+}
+
 void Cluster::run(const std::function<void(Process&)>& rank_main) {
   std::vector<Rank> all(static_cast<std::size_t>(size()));
   for (int i = 0; i < size(); ++i) {

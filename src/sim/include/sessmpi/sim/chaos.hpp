@@ -1,0 +1,94 @@
+#pragma once
+
+// Chaos injection: a deterministic fault schedule derived from a seed, so a
+// failing chaos run replays bit-identically from its (seed, policy, topo)
+// triple. Rank threads call ChaosMonkey::step(proc, n) at their step
+// boundaries; a rank scheduled to die at step n fails itself (cooperative
+// death — the sim's moral equivalent of a process crash) and is told to
+// stop issuing MPI calls.
+//
+// The schedule is precomputed at construction: victim selection for the
+// periodic kill policy draws from a SplitMix64 stream, so it depends only
+// on the policy and topology, never on thread interleaving.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sessmpi/base/topology.hpp"
+#include "sessmpi/sim/cluster.hpp"
+
+namespace sessmpi::sim {
+
+struct ChaosPolicy {
+  std::uint64_t seed = 0xC4A05;
+
+  /// Kill one seed-chosen live rank every N step boundaries (0 = off).
+  int kill_every_steps = 0;
+  /// Cap on periodic kills (0 = no cap beyond min_survivors).
+  int max_kills = 0;
+  /// Periodic killing never reduces the live count below this.
+  int min_survivors = 1;
+  /// Rank exempt from periodic killing (e.g. the rank driving the test).
+  std::optional<Rank> never_kill;
+
+  /// Explicit kills: (step, rank) / (step, node).
+  std::vector<std::pair<int, Rank>> kill_rank_at;
+  std::vector<std::pair<int, int>> kill_node_at;
+
+  /// Fraction of fabric packets silently dropped (lossy-network model;
+  /// there is no retransmission layer, so anything above 0 is for
+  /// fabric-level experiments, not full MPI runs).
+  double drop_fraction = 0.0;
+};
+
+/// The precomputed (step -> victims) map.
+class ChaosSchedule {
+ public:
+  ChaosSchedule(const ChaosPolicy& policy, const base::Topology& topo);
+
+  [[nodiscard]] std::vector<Rank> rank_kills_at(int step) const;
+  [[nodiscard]] std::vector<int> node_kills_at(int step) const;
+  /// Every rank that dies over the whole schedule, in death order.
+  [[nodiscard]] const std::vector<Rank>& victims() const noexcept {
+    return victims_;
+  }
+
+ private:
+  std::map<int, std::vector<Rank>> rank_kills_;
+  std::map<int, std::vector<int>> node_kills_;
+  std::vector<Rank> victims_;
+};
+
+/// Runtime driver: owns the schedule, executes kills, wires the packet-drop
+/// filter into the fabric. One monkey per cluster run.
+class ChaosMonkey {
+ public:
+  /// Install before any traffic flows (the drop filter must be in place
+  /// before Fabric::send races with it).
+  ChaosMonkey(Cluster& cluster, ChaosPolicy policy);
+
+  /// Rank-side step boundary. Returns true if `proc` survives step `step`;
+  /// returns false — after executing the scheduled death — when the rank is
+  /// (or already was) dead and must stop issuing MPI calls.
+  bool step(Process& proc, int step);
+
+  [[nodiscard]] const ChaosSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+  /// Deaths executed so far (counter "sim.chaos.kills" mirrors this).
+  [[nodiscard]] std::uint64_t kills() const noexcept {
+    return kills_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Cluster& cluster_;
+  ChaosPolicy policy_;
+  ChaosSchedule schedule_;
+  std::atomic<std::uint64_t> kills_{0};
+};
+
+}  // namespace sessmpi::sim

@@ -106,6 +106,11 @@ class Cluster {
   /// Failure injection from outside rank threads.
   void fail_rank(Rank r);
 
+  /// Node-failure injection: every rank hosted on `node` dies at once (the
+  /// fabric flags flip before the runtime announcement, so survivors never
+  /// see a PMIx death notice contradicting a live fabric flag).
+  void fail_node(int node);
+
   /// Set when any rank threw; progress loops poll this to avoid deadlock.
   [[nodiscard]] bool aborted() const noexcept {
     return aborted_.load(std::memory_order_acquire);

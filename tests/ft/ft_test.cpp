@@ -1,0 +1,333 @@
+// Fault-tolerance subsystem tests: failure acknowledgment, revocation,
+// agreement, shrink, and chaos-driven shrink-and-continue.
+
+#include "sessmpi/ft/ft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "../core/harness.hpp"
+#include "sessmpi/base/stats.hpp"
+#include "sessmpi/sim/chaos.hpp"
+
+namespace sessmpi {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::mpi_run;
+using testing::world_run;
+
+TEST(Ft, GetFailedAndAckFailed) {
+  world_run(1, 3, [](sim::Process& p) {
+    Communicator world = comm_world();
+    if (p.rank() == 2) {
+      p.fail();
+      return;
+    }
+    std::vector<int> failed;
+    while ((failed = world.get_failed()).empty()) {
+      std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_EQ(failed, std::vector<int>{2});
+    // First ack reports the newly acknowledged rank, the second nothing.
+    EXPECT_EQ(world.ack_failed(), std::vector<int>{2});
+    EXPECT_TRUE(world.ack_failed().empty());
+    EXPECT_EQ(world.get_failed(), std::vector<int>{2});  // still failed
+  });
+}
+
+TEST(Ft, RevokePoisonsPendingAndFutureOps) {
+  world_run(1, 3, [](sim::Process& p) {
+    Communicator comm = comm_world().dup();
+    if (p.rank() == 2) {
+      std::this_thread::sleep_for(30ms);
+      comm.revoke();
+      EXPECT_TRUE(comm.is_revoked());
+    } else {
+      // Pending receive poisoned by the remote revocation...
+      std::int32_t v = 0;
+      Request r = comm.irecv(&v, 1, Datatype::int32(), 2, 11);
+      EXPECT_EQ(r.wait().error, ErrClass::comm_revoked);
+      EXPECT_TRUE(comm.is_revoked());
+      // ...and every future operation refuses immediately.
+      const std::int32_t x = 1;
+      EXPECT_THROW(comm.send(&x, 1, Datatype::int32(), 2, 0), Error);
+      EXPECT_THROW(comm.irecv(&v, 1, Datatype::int32(), 2, 12), Error);
+    }
+    // The revocation is scoped to `comm`: its parent still works.
+    comm_world().barrier();
+    comm.free();
+  });
+}
+
+TEST(Ft, AgreeReturnsAndOfContributionsUniformly) {
+  std::array<std::uint64_t, 4> result{};
+  world_run(1, 4, [&](sim::Process& p) {
+    const std::array<std::uint64_t, 4> contrib = {0xFFu, 0xFEu, 0xFBu, 0xF7u};
+    result[static_cast<std::size_t>(p.rank())] =
+        comm_world().agree(contrib[static_cast<std::size_t>(p.rank())]);
+  });
+  for (const std::uint64_t r : result) {
+    EXPECT_EQ(r, 0xF2u);
+  }
+}
+
+TEST(Ft, AgreeSurvivesCoordinatorDeath) {
+  // Rank 0 — the initial coordinator — dies while everyone waits on it; the
+  // survivors must converge on rank 1 and still all decide the same value.
+  std::array<std::uint64_t, 4> result{};
+  const std::uint64_t deaths_before =
+      base::counters().value("ft.agree_coordinator_deaths");
+  world_run(1, 4, [&](sim::Process& p) {
+    if (p.rank() == 0) {
+      std::this_thread::sleep_for(30ms);
+      p.fail();
+      return;
+    }
+    const std::array<std::uint64_t, 4> contrib = {0, 0b111u, 0b110u, 0b011u};
+    result[static_cast<std::size_t>(p.rank())] =
+        comm_world().agree(contrib[static_cast<std::size_t>(p.rank())]);
+  });
+  EXPECT_EQ(result[1], 0b010u);
+  EXPECT_EQ(result[2], 0b010u);
+  EXPECT_EQ(result[3], 0b010u);
+  EXPECT_GT(base::counters().value("ft.agree_coordinator_deaths"),
+            deaths_before);
+}
+
+TEST(Ft, AgreeWithRankDyingBetweenRounds) {
+  std::array<std::uint64_t, 3> round1{};
+  std::array<std::uint64_t, 3> round2{};
+  std::atomic<bool> dead{false};
+  world_run(1, 3, [&](sim::Process& p) {
+    Communicator world = comm_world();
+    const auto me = static_cast<std::size_t>(p.rank());
+    const std::array<std::uint64_t, 3> a = {0xFFu, 0xFEu, 0xFDu};
+    round1[me] = world.agree(a[me]);
+    if (p.rank() == 2) {
+      p.fail();
+      dead.store(true);
+      return;
+    }
+    while (!dead.load()) {
+      std::this_thread::sleep_for(1ms);
+    }
+    const std::array<std::uint64_t, 3> b = {0x3Fu, 0x3Eu, 0};
+    round2[me] = world.agree(b[me]);
+  });
+  EXPECT_EQ(round1[0], 0xFCu);
+  EXPECT_EQ(round1[1], 0xFCu);
+  EXPECT_EQ(round1[2], 0xFCu);
+  // Round 2 excludes the dead rank: AND over the survivors only.
+  EXPECT_EQ(round2[0], 0x3Eu);
+  EXPECT_EQ(round2[1], 0x3Eu);
+}
+
+TEST(Ft, ShrinkAfterMidCollectiveFailure) {
+  mpi_run(1, 4, [](sim::Process& p) {
+    Session s = Session::init(Info::null(), Errhandler::errors_return());
+    Communicator comm = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "ft-shrink", Info::null(),
+        Errhandler::errors_return());
+    if (p.rank() == 3) {
+      std::this_thread::sleep_for(20ms);
+      p.fail();
+      return;  // crashed: no finalize
+    }
+    // The death breaks the in-flight barrier for every survivor.
+    EXPECT_THROW(comm.barrier(), Error);
+    // ULFM recipe: revoke so no survivor is left blocked in a later op on
+    // the broken communicator, then shrink.
+    if (p.rank() == 0) {
+      comm.revoke();
+    } else {
+      std::int32_t v = 0;
+      Request r = comm.irecv(&v, 1, Datatype::int32(), 0, 99);
+      EXPECT_EQ(r.wait().error, ErrClass::comm_revoked);
+    }
+    EXPECT_TRUE(comm.is_revoked());
+
+    Communicator small = comm.shrink();
+    EXPECT_EQ(small.size(), 3);
+    EXPECT_EQ(small.rank(), p.rank());  // survivors keep their order
+    EXPECT_FALSE(small.is_revoked());
+
+    std::int64_t one = 1;
+    std::int64_t sum = 0;
+    small.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 3);
+
+    small.free();
+    comm.free();
+    s.finalize();
+  });
+}
+
+TEST(Ft, SessionPsetReQueryReflectsFailures) {
+  mpi_run(1, 3, [](sim::Process& p) {
+    Session s = Session::init(Info::null(), Errhandler::errors_return());
+    if (p.rank() == 2) {
+      p.fail();
+      return;
+    }
+    EXPECT_EQ(s.group_from_pset("mpi://world").size(), 3);
+    while (!p.cluster().fabric().is_failed(2)) {
+      std::this_thread::sleep_for(1ms);
+    }
+    // The Sessions recovery path: re-query the pset, get the shrunken set,
+    // and rebuild from it.
+    Group rest = s.group_from_pset("mpi://world");
+    EXPECT_EQ(rest.size(), 2);
+    Communicator comm = Communicator::create_from_group(rest, "rebuilt");
+    std::int64_t one = 1;
+    std::int64_t sum = 0;
+    comm.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 2);
+    comm.free();
+    s.finalize();
+  });
+}
+
+TEST(Chaos, ScheduleIsDeterministicAndRespectsExemptions) {
+  sim::ChaosPolicy pol;
+  pol.seed = 42;
+  pol.kill_every_steps = 2;
+  pol.max_kills = 3;
+  pol.min_survivors = 2;
+  pol.never_kill = 0;
+  const base::Topology topo{2, 4};
+
+  const sim::ChaosSchedule a{pol, topo};
+  const sim::ChaosSchedule b{pol, topo};
+  EXPECT_EQ(a.victims(), b.victims());
+  EXPECT_EQ(a.victims().size(), 3u);
+  for (const sim::Rank v : a.victims()) {
+    EXPECT_NE(v, 0);
+  }
+
+  // Unlimited periodic killing stops at min_survivors.
+  sim::ChaosPolicy greedy = pol;
+  greedy.kill_every_steps = 1;
+  greedy.max_kills = 0;
+  const sim::ChaosSchedule c{greedy, topo};
+  EXPECT_EQ(c.victims().size(), 6u);  // 8 ranks, floor of 2 survivors
+
+  // Explicit rank and node kills land at their steps.
+  sim::ChaosPolicy manual;
+  manual.kill_rank_at = {{3, 5}};
+  manual.kill_node_at = {{7, 1}};
+  const sim::ChaosSchedule d{manual, topo};
+  EXPECT_EQ(d.rank_kills_at(3), std::vector<sim::Rank>{5});
+  EXPECT_EQ(d.node_kills_at(7), std::vector<int>{1});
+  // Node 1 hosts ranks 4..7; 5 is already dead by then.
+  EXPECT_EQ(d.rank_kills_at(7), (std::vector<sim::Rank>{4, 6, 7}));
+}
+
+TEST(Chaos, DropFilterDropsRequestedFraction) {
+  sim::Cluster cluster{testing::zero_opts(1, 2)};
+  sim::ChaosPolicy pol;
+  pol.seed = 7;
+  pol.drop_fraction = 0.5;
+  sim::ChaosMonkey monkey{cluster, pol};
+
+  fabric::Fabric& f = cluster.fabric();
+  constexpr int kPackets = 1000;
+  for (int i = 0; i < kPackets; ++i) {
+    fabric::Packet pkt;
+    pkt.src_rank = 0;
+    pkt.dst_rank = 1;
+    pkt.match.src = 0;
+    pkt.match.tag = i;
+    f.send(std::move(pkt));
+  }
+  const std::uint64_t dropped = f.chaos_dropped();
+  EXPECT_EQ(f.endpoint(1).inbox().size() + dropped,
+            static_cast<std::size_t>(kPackets));
+  // Seeded, so the exact count is stable; assert a generous band anyway.
+  EXPECT_GT(dropped, 350u);
+  EXPECT_LT(dropped, 650u);
+}
+
+TEST(Chaos, KillEveryNStepsSurvivorsShrinkAndContinue) {
+  constexpr int kRanks = 8;
+  constexpr int kSteps = 12;
+  sim::Cluster cluster{testing::zero_opts(2, 4)};
+  sim::ChaosPolicy pol;
+  pol.seed = 2026;
+  pol.kill_every_steps = 4;  // deaths at steps 4, 8, 12
+  pol.max_kills = 3;
+  pol.min_survivors = 4;
+  sim::ChaosMonkey monkey{cluster, pol};
+
+  std::array<std::int64_t, kRanks> final_sum{};
+  final_sum.fill(-1);
+  std::array<int, kRanks> final_size{};
+
+  cluster.run([&](sim::Process& p) {
+    Session s = Session::init(Info::null(), Errhandler::errors_return());
+    Communicator comm = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "chaos", Info::null(),
+        Errhandler::errors_return());
+    for (int step = 1; step <= kSteps;) {
+      if (!monkey.step(p, step)) {
+        return;  // this rank just died
+      }
+      bool ok = true;
+      try {
+        const int n = comm.size();
+        const int me = comm.rank();
+        if (n > 1) {
+          // Ring exchange, then a full allreduce — both must ride out every
+          // failure via recovery.
+          std::int32_t out = me;
+          std::int32_t in = -1;
+          comm.sendrecv(&out, 1, Datatype::int32(), (me + 1) % n, 5, &in, 1,
+                        Datatype::int32(), (me + n - 1) % n, 5);
+        }
+        std::int64_t one = 1;
+        std::int64_t sum = 0;
+        comm.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+      } catch (const Error&) {
+        ok = false;
+      }
+      if (ok) {
+        ++step;
+        continue;
+      }
+      // ULFM recovery: revoke (pull stragglers out of the wreck), shrink,
+      // then agree on a common resume step — survivors may have observed
+      // the failure one step apart.
+      comm.revoke();
+      Communicator next = comm.shrink();
+      comm.free();
+      comm = next;
+      const std::uint64_t common =
+          comm.agree(~static_cast<std::uint64_t>(step));
+      step = static_cast<int>(~common) + 1;
+    }
+    std::int64_t one = 1;
+    std::int64_t sum = 0;
+    comm.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+    final_sum[static_cast<std::size_t>(p.rank())] = sum;
+    final_size[static_cast<std::size_t>(p.rank())] = comm.size();
+    comm.free();
+    s.finalize();
+  });
+
+  EXPECT_GE(monkey.kills(), 1u);
+  const auto survivors = static_cast<std::int64_t>(kRanks - monkey.kills());
+  for (sim::Rank r = 0; r < kRanks; ++r) {
+    if (cluster.fabric().is_failed(r)) {
+      continue;
+    }
+    EXPECT_EQ(final_sum[static_cast<std::size_t>(r)], survivors);
+    EXPECT_EQ(final_size[static_cast<std::size_t>(r)], survivors);
+  }
+}
+
+}  // namespace
+}  // namespace sessmpi
