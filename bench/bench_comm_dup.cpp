@@ -105,5 +105,6 @@ int main() {
                "acquisition on top of the baseline at every scale; "
                "derivation removes most of that gap (the §IV-C2 'more "
                "complex series' remark).\n";
+  print_counters_json("bench_comm_dup");
   return 0;
 }

@@ -91,5 +91,6 @@ int main() {
   std::cout << "\nPaper checkpoints: Sessions ~= +20% over MPI_Init; at 28 "
                "ppn the session-handle (resource init) share is ~30%; at 1 "
                "ppn resource init dominates the sessions path.\n";
+  print_counters_json("bench_init");
   return 0;
 }

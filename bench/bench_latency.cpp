@@ -97,5 +97,6 @@ int main() {
   std::cout << "\nPaper checkpoint: ratio ~= 1.0 across sizes (the exCID "
                "handshake completes during warmup; steady state uses the "
                "same 14-byte fast path).\n";
+  print_counters_json("bench_latency");
   return 0;
 }

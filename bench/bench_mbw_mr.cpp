@@ -207,5 +207,6 @@ int main() {
                "the exCID handshake, so ratios ~= 1.0; with 16 processes the "
                "sessions rate dips at small sizes (ext headers in flight "
                "before the CID ACK); the Sendrecv pre-sync restores ~1.0.\n";
+  print_counters_json("bench_mbw_mr");
   return 0;
 }

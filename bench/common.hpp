@@ -74,4 +74,15 @@ inline void print_header(const std::string& title, const std::string& note) {
   std::cout << "\n";
 }
 
+/// Tagged one-line JSON dump of every process-wide counter, printed by each
+/// bench binary alongside its timing tables. The "COUNTERS_JSON " prefix is
+/// the extraction marker tools/report_merge scans for when merging several
+/// bench outputs into one EXPERIMENTS.md-ready table.
+inline void print_counters_json(const std::string& bench_name) {
+  std::cout << "\nCOUNTERS_JSON {\"bench\": \"" << bench_name
+            << "\", \"counters\": ";
+  base::counters().print_json(std::cout);
+  std::cout << "}\n";
+}
+
 }  // namespace sessmpi::bench

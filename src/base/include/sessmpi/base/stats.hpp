@@ -55,6 +55,11 @@ class Counters {
   /// Snapshot of every counter, sorted by name.
   std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
 
+  /// One-line JSON object of every counter: {"name": value, ...}. The
+  /// benchmark harnesses print this inside a tagged line that
+  /// tools/report_merge collects into an EXPERIMENTS.md-ready table.
+  void print_json(std::ostream& os) const;
+
   /// Reset all counters to zero (tests isolate themselves with this).
   void reset();
 

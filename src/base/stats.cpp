@@ -98,6 +98,20 @@ std::vector<std::pair<std::string, std::uint64_t>> Counters::snapshot() const {
   return out;
 }
 
+void Counters::print_json(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  for (const auto& [name, value] : snapshot()) {
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    // Counter names are code-controlled identifiers (no quotes/escapes).
+    os << '"' << name << "\": " << value;
+  }
+  os << '}';
+}
+
 void Counters::reset() {
   std::lock_guard lock(mu_);
   for (auto& [name, v] : counters_) {

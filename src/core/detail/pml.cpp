@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/stats.hpp"
 #include "detail/state.hpp"
@@ -44,6 +46,17 @@ bool ProcState::match_against_unexpected(CommState& comm,
 
 void ProcState::handle_incoming(const std::shared_ptr<CommState>& comm,
                                 fabric::Packet&& pkt) {
+  // Exactly-once cross-check of the fabric's reliable-delivery guarantee:
+  // sends stamp MatchHeader::seq per (comm,peer), so a duplicate or
+  // overtaking arrival would show up here as a non-+1 step.
+  if (pkt.match.seq != 0 && pkt.match.src >= 0 &&
+      static_cast<std::size_t>(pkt.match.src) < comm->peers.size()) {
+    auto& peer = comm->peers[static_cast<std::size_t>(pkt.match.src)];
+    if (pkt.match.seq != peer.recv_seq + 1) {
+      base::counters().add("pml.seq_anomalies");
+    }
+    peer.recv_seq = std::max(peer.recv_seq, pkt.match.seq);
+  }
   if (RequestPtr req = match_posted(*comm, pkt)) {
     deliver(*comm, req, std::move(pkt));
   } else {
@@ -479,6 +492,7 @@ RequestPtr ProcState::isend_impl(const std::shared_ptr<CommState>& comm,
       throw Error(ErrClass::comm_revoked, "communicator has been revoked");
     }
     auto& peer = comm->peers[static_cast<std::size_t>(dst)];
+    pkt.match.seq = ++peer.send_seq;
     const bool need_ext = comm->uses_excid && peer.remote_cid < 0;
     if (need_ext) {
       // First messages on a sessions-derived communicator: prepend the

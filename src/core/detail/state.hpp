@@ -117,6 +117,13 @@ struct CommState {
   struct Peer {
     int remote_cid = -1;   ///< peer's local CID once learned (ACK/ext header)
     bool ack_sent = false; ///< we already told this peer our CID
+    /// Per-(comm,peer) wire sequence numbers (MatchHeader::seq). The fabric's
+    /// reliability sublayer guarantees exactly-once in-order delivery per
+    /// (src,dst) flow; the matching engine cross-checks that guarantee by
+    /// asserting recv_seq advances by exactly 1 per matched-path arrival
+    /// (counter "pml.seq_anomalies" on violation).
+    std::uint32_t send_seq = 0;
+    std::uint32_t recv_seq = 0;
   };
   std::vector<Peer> peers;  ///< indexed by comm rank
 

@@ -1,16 +1,34 @@
 #include "sessmpi/fabric/fabric.hpp"
 
+#include <algorithm>
+
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/stats.hpp"
 
 namespace sessmpi::fabric {
 
-Fabric::Fabric(base::Topology topo, base::CostModel cost)
-    : topo_(topo), cost_(cost), failed_(static_cast<std::size_t>(topo.size())) {
-  endpoints_.reserve(static_cast<std::size_t>(topo_.size()));
-  for (int i = 0; i < topo_.size(); ++i) {
+Fabric::Fabric(base::Topology topo, base::CostModel cost, ReliabilityConfig rel)
+    : topo_(topo),
+      cost_(cost),
+      rel_(rel),
+      failed_(static_cast<std::size_t>(topo.size())) {
+  const auto n = static_cast<std::size_t>(topo_.size());
+  endpoints_.reserve(n);
+  flows_.reserve(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
     endpoints_.push_back(std::make_unique<Endpoint>());
-    failed_[static_cast<std::size_t>(i)].store(false, std::memory_order_relaxed);
+    failed_[i].store(false, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < n * n; ++i) {
+    flows_.push_back(std::make_unique<Flow>());
+  }
+  pump_ = std::thread([this] { pump_main(); });
+}
+
+Fabric::~Fabric() {
+  stop_.store(true, std::memory_order_release);
+  if (pump_.joinable()) {
+    pump_.join();
   }
 }
 
@@ -22,29 +40,370 @@ Endpoint& Fabric::endpoint(Rank r) {
   return *endpoints_[static_cast<std::size_t>(r)];
 }
 
+void Fabric::set_unreachable_callback(std::function<void(Rank)> cb) {
+  std::lock_guard lock(unreachable_mu_);
+  unreachable_cb_ = std::move(cb);
+}
+
+void Fabric::set_drop_filter(PacketFilter filter) {
+  drop_filter_.set(std::move(filter));
+}
+
+void Fabric::set_reorder_filter(PacketFilter filter) {
+  reorder_filter_.set(std::move(filter));
+}
+
+// ---------------------------------------------------------------------------
+// Send path (sender thread)
+// ---------------------------------------------------------------------------
+
 void Fabric::send(Packet&& packet) {
   if (!topo_.valid_rank(packet.dst_rank) || !topo_.valid_rank(packet.src_rank)) {
     throw base::Error(base::ErrClass::rte_bad_param, "invalid packet route");
   }
-  const bool same_node = topo_.same_node(packet.src_rank, packet.dst_rank);
-  const std::size_t header = packet.header_bytes();
-  const std::size_t payload = packet.payload.size();
-  bytes_sent_.fetch_add(header + payload, std::memory_order_relaxed);
-  base::precise_delay(cost_.wire_cost(same_node, payload, header));
   if (is_failed(packet.dst_rank)) {
+    // A known-dead destination is not a loss event for the reliability
+    // layer: the packet is charged, counted, and forgotten (no window).
+    const std::size_t sz = packet.header_bytes() + packet.payload.size();
+    base::precise_delay(cost_.wire_cost(
+        topo_.same_node(packet.src_rank, packet.dst_rank),
+        packet.payload.size(), packet.header_bytes()));
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    bytes_dropped_.fetch_add(sz, std::memory_order_relaxed);
     return;
   }
-  if (has_drop_filter_.load(std::memory_order_acquire) &&
-      drop_filter_(packet)) {
-    chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
-    base::counters().add("fabric.chaos.dropped");
+  if (!packet.is_sequenced()) {
+    transmit(std::move(packet), /*charge_wire=*/true);
     return;
   }
-  Endpoint& ep = *endpoints_[static_cast<std::size_t>(packet.dst_rank)];
-  ep.delivered_.fetch_add(1, std::memory_order_relaxed);
-  ep.inbox_.push(std::move(packet));
+
+  const Rank src = packet.src_rank;
+  const Rank dst = packet.dst_rank;
+  // Piggyback the cumulative ACK for the reverse flow (data we received
+  // from dst). Deliberately does NOT clear the reverse flow's ack_pending:
+  // this packet may spend a long wall time on the wire (or be chaos-
+  // dropped), and ACK state that exists only in flight is exactly what
+  // causes spurious retransmits. The pump's explicit flow_ack is the
+  // ground truth; the piggyback just retires windows earlier for free.
+  {
+    Flow& rev = flow(dst, src);
+    std::lock_guard lock(rev.mu);
+    packet.flow.ack = rev.cum_delivered;
+  }
+  std::uint64_t seq = 0;
+  std::int64_t rto_ns = 0;
+  {
+    Flow& f = flow(src, dst);
+    std::lock_guard lock(f.mu);
+    packet.flow.seq = seq = f.next_seq++;
+    Flow::Unacked& entry = f.window[seq];
+    entry.pkt = packet;  // retained copy for retransmission
+    entry.rto_ns = rto_ns =
+        rel_.rto_base_ns + cost_.wire_cost(topo_.same_node(src, dst),
+                                           packet.payload.size(),
+                                           packet.header_bytes());
+    entry.retries = 0;
+    // Parked until the transmit below returns: the RTO clock must start
+    // when the packet actually left the wire, not when it was windowed —
+    // on an oversubscribed host the sending thread can be descheduled
+    // mid-spin for longer than the whole RTO.
+    entry.deadline.arm_never();
+  }
+  transmit(std::move(packet), /*charge_wire=*/true);
+  arm_entry(src, dst, seq, rto_ns);
 }
+
+/// Start (or restart) the RTO clock on a window entry after its transmit
+/// completed. The entry may already be gone — acknowledged while the wire
+/// time was being charged — in which case there is nothing to time.
+void Fabric::arm_entry(Rank src, Rank dst, std::uint64_t seq,
+                       std::int64_t rto_ns) {
+  Flow& f = flow(src, dst);
+  std::lock_guard lock(f.mu);
+  auto it = f.window.find(seq);
+  if (it == f.window.end()) {
+    return;
+  }
+  it->second.rto_ns = rto_ns;
+  it->second.deadline.arm(base::now_ns(), rto_ns);
+  it->second.armed_pass = pump_passes_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Wire + receive path
+// ---------------------------------------------------------------------------
+
+bool Fabric::transmit(Packet&& pkt, bool charge_wire) {
+  const std::size_t header = pkt.header_bytes();
+  const std::size_t payload = pkt.payload.size();
+  const std::size_t sz = header + payload;
+  if (charge_wire) {
+    base::precise_delay(cost_.wire_cost(
+        topo_.same_node(pkt.src_rank, pkt.dst_rank), payload, header));
+  }
+  if (is_failed(pkt.dst_rank)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    bytes_dropped_.fetch_add(sz, std::memory_order_relaxed);
+    return false;
+  }
+  if (auto filter = drop_filter_.get(); filter && (*filter)(pkt)) {
+    chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
+    bytes_dropped_.fetch_add(sz, std::memory_order_relaxed);
+    base::counters().add("fabric.chaos.dropped");
+    return false;
+  }
+  bytes_sent_.fetch_add(sz, std::memory_order_relaxed);
+  if (pkt.is_sequenced()) {
+    if (auto filter = reorder_filter_.get(); filter && (*filter)(pkt)) {
+      // Reordering injection: hold the packet back one pump tick so later
+      // traffic overtakes it on the wire.
+      base::counters().add("fabric.reordered");
+      std::lock_guard lock(held_mu_);
+      held_.push_back(std::move(pkt));
+      return true;
+    }
+  }
+  deliver(std::move(pkt));
+  return true;
+}
+
+void Fabric::apply_ack(Rank src, Rank dst, std::uint64_t cum,
+                       const std::vector<std::uint64_t>& sack) {
+  Flow& f = flow(src, dst);
+  std::lock_guard lock(f.mu);
+  f.window.erase(f.window.begin(), f.window.upper_bound(cum));
+  for (std::uint64_t s : sack) {
+    f.window.erase(s);
+  }
+}
+
+void Fabric::push_to_inbox(Packet&& pkt) {
+  Endpoint& ep = *endpoints_[static_cast<std::size_t>(pkt.dst_rank)];
+  ep.delivered_.fetch_add(1, std::memory_order_relaxed);
+  ep.inbox_.push(std::move(pkt));
+}
+
+void Fabric::deliver(Packet&& pkt) {
+  // Any packet X->Y carrying an ACK acknowledges the reverse flow (Y->X):
+  // piggybacked cumulative ACKs on data packets and explicit flow_acks
+  // share this path.
+  if (pkt.flow.ack > 0 || !pkt.sack.empty()) {
+    apply_ack(pkt.dst_rank, pkt.src_rank, pkt.flow.ack, pkt.sack);
+  }
+  if (pkt.kind == PacketKind::flow_ack) {
+    return;  // fabric-internal: never reaches the inbox
+  }
+
+  Flow& f = flow(pkt.src_rank, pkt.dst_rank);
+  std::lock_guard lock(f.mu);
+  const std::uint64_t seq = pkt.flow.seq;
+  if (seq <= f.cum_delivered || f.reorder.count(seq) != 0) {
+    // Retransmit-induced duplicate: suppress, but re-arm the ACK so the
+    // sender's window entry retires.
+    dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    base::counters().add("fabric.dup_suppressed");
+    f.ack_pending = true;
+    return;
+  }
+  if (seq == f.cum_delivered + 1) {
+    push_to_inbox(std::move(pkt));
+    f.cum_delivered = seq;
+    // Release any contiguous run the gap was holding back.
+    auto it = f.reorder.begin();
+    while (it != f.reorder.end() && it->first == f.cum_delivered + 1) {
+      push_to_inbox(std::move(it->second));
+      f.cum_delivered = it->first;
+      it = f.reorder.erase(it);
+    }
+  } else {
+    f.reorder.emplace(seq, std::move(pkt));
+  }
+  f.ack_pending = true;
+}
+
+// ---------------------------------------------------------------------------
+// Pump: batched ACKs, timeout-driven retransmission, escalation
+// ---------------------------------------------------------------------------
+
+void Fabric::flush_ack(Rank src, Rank dst) {
+  Packet ack;
+  {
+    Flow& f = flow(src, dst);
+    std::lock_guard lock(f.mu);
+    if (!f.ack_pending) {
+      return;
+    }
+    f.ack_pending = false;
+    ack.kind = PacketKind::flow_ack;
+    ack.src_rank = dst;  // the ACK travels receiver -> sender
+    ack.dst_rank = src;
+    ack.flow.ack = f.cum_delivered;
+    for (const auto& [seq, held] : f.reorder) {
+      if (ack.sack.size() >= rel_.max_sack_entries) {
+        break;
+      }
+      ack.sack.push_back(seq);
+    }
+  }
+  base::counters().add("fabric.acks");
+  // ACK wire time is not charged: ACKs model piggybacked / NIC-offloaded
+  // reverse traffic, keeping the pump from serializing behind wire delays.
+  transmit(std::move(ack), /*charge_wire=*/false);
+}
+
+void Fabric::escalate_unreachable(Rank dst) {
+  if (is_failed(dst)) {
+    return;
+  }
+  mark_failed(dst);
+  rto_escalations_.fetch_add(1, std::memory_order_relaxed);
+  base::counters().add("fabric.rto_escalations");
+  std::function<void(Rank)> cb;
+  {
+    std::lock_guard lock(unreachable_mu_);
+    cb = unreachable_cb_;
+  }
+  if (cb) {
+    cb(dst);
+  }
+}
+
+bool Fabric::pump_pass() {
+  const int n = topo_.size();
+  const std::int64_t now = base::now_ns();
+  const std::uint64_t pass = pump_passes_.load(std::memory_order_relaxed);
+  bool busy = false;
+  struct RetransmitItem {
+    Packet pkt;
+    std::uint64_t seq;
+    std::int64_t rto_ns;
+  };
+  std::vector<RetransmitItem> to_retransmit;
+  std::vector<Rank> to_escalate;
+
+  // Reorder-injected packets held for one tick go out first: they are
+  // already past the loss filters and only awaited their delay.
+  std::vector<Packet> held;
+  {
+    std::lock_guard lock(held_mu_);
+    held.swap(held_);
+  }
+  for (Packet& p : held) {
+    deliver(std::move(p));
+  }
+
+  for (Rank s = 0; s < n; ++s) {
+    for (Rank d = 0; d < n; ++d) {
+      Flow& f = flow(s, d);
+      bool escalate = false;
+      {
+        std::lock_guard lock(f.mu);
+        if (is_failed(d) || is_failed(s)) {
+          // A dead endpoint ends the flow: a crashed process neither
+          // retransmits nor fills receive-window gaps.
+          f.window.clear();
+          f.reorder.clear();
+          f.ack_pending = false;
+          continue;
+        }
+        for (auto& [seq, entry] : f.window) {
+          // Expiry needs the wall RTO AND two completed passes since the
+          // entry was (re)armed: every pass flushes every flow's ACKs, so
+          // anything delivered before the previous pass has been acked and
+          // erased by now — what's left is genuinely lost, not merely
+          // waiting on a starved pump.
+          if (!entry.deadline.expired(now) || pass < entry.armed_pass + 2) {
+            continue;
+          }
+          if (entry.retries >= rel_.max_retries) {
+            escalate = true;
+            break;
+          }
+          ++entry.retries;
+          entry.rto_ns = std::min(entry.rto_ns * 2, rel_.rto_cap_ns);
+          // Parked while the copy below waits its turn on the wire; the
+          // retransmit loop re-arms it once its transmit returns.
+          entry.deadline.arm_never();
+          to_retransmit.push_back({entry.pkt, seq, entry.rto_ns});
+        }
+        busy = busy || !f.window.empty() || !f.reorder.empty() ||
+               f.ack_pending;
+      }
+      if (escalate) {
+        to_escalate.push_back(d);
+      }
+    }
+  }
+
+  for (Rank d : to_escalate) {
+    escalate_unreachable(d);
+  }
+  for (RetransmitItem& item : to_retransmit) {
+    if (is_failed(item.pkt.dst_rank)) {
+      continue;
+    }
+    retransmits_.fetch_add(1, std::memory_order_relaxed);
+    base::counters().add("fabric.retransmits");
+    const Rank s = item.pkt.src_rank;
+    const Rank d = item.pkt.dst_rank;
+    // Retransmits occupy the wire like any send; charging them here (on the
+    // pump thread) makes benchmarks see the latency cost of loss.
+    transmit(std::move(item.pkt), /*charge_wire=*/true);
+    arm_entry(s, d, item.seq, item.rto_ns);
+  }
+
+  for (Rank s = 0; s < n; ++s) {
+    for (Rank d = 0; d < n; ++d) {
+      flush_ack(s, d);
+    }
+  }
+  pump_passes_.fetch_add(1, std::memory_order_relaxed);
+  return busy || !held.empty();
+}
+
+void Fabric::pump_main() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pump_pass();
+    std::this_thread::sleep_for(std::chrono::nanoseconds(rel_.tick_ns));
+  }
+}
+
+bool Fabric::quiesce(std::chrono::nanoseconds timeout) {
+  const std::int64_t deadline = base::now_ns() + timeout.count();
+  for (;;) {
+    bool busy;
+    {
+      std::lock_guard lock(held_mu_);
+      busy = !held_.empty();
+    }
+    if (!busy) {
+      busy = std::any_of(flows_.begin(), flows_.end(), [](const auto& f) {
+        std::lock_guard lock(f->mu);
+        return !f->window.empty() || !f->reorder.empty() || f->ack_pending;
+      });
+    }
+    if (!busy) {
+      return true;
+    }
+    if (base::now_ns() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(rel_.tick_ns));
+  }
+}
+
+std::uint64_t Fabric::unacked() const {
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) {
+    std::lock_guard lock(f->mu);
+    total += f->window.size();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Failure flags
+// ---------------------------------------------------------------------------
 
 void Fabric::mark_failed(Rank r) {
   if (topo_.valid_rank(r)) {

@@ -6,13 +6,28 @@
 // Aries-like network cost for inter-node traffic. Failure injection marks a
 // rank unreachable, after which sends to it are dropped (the runtime layers
 // surface this through PMIx failure events and operation timeouts).
+//
+// Reliable delivery (DESIGN.md §9): the fabric guarantees exactly-once,
+// in-order delivery per (src,dst) flow even when the chaos drop filter eats
+// packets. Every sequenced packet is stamped with a flow sequence number and
+// retained in a sender-side unacked window; a fabric-owned pump thread
+// retransmits entries whose RTO expired (exponential backoff), flushes
+// batched cumulative/selective ACKs, and — after `max_retries` consecutive
+// losses — escalates the peer to a mark_failed-style unreachable verdict.
+// Receivers suppress retransmit-induced duplicates and hold out-of-order
+// arrivals in a reorder buffer, so the pt2pt matching engine above never
+// sees a duplicate or an overtaking message.
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "sessmpi/base/backoff.hpp"
 #include "sessmpi/base/cost_model.hpp"
 #include "sessmpi/base/error.hpp"
 #include "sessmpi/base/inbox.hpp"
@@ -36,16 +51,66 @@ class Endpoint {
   std::atomic<std::uint64_t> delivered_{0};
 };
 
+/// Reliability policy knobs. Defaults are sized for the calibrated cost
+/// model (wire latencies of 0.2–0.6 ms): the RTO comfortably exceeds one
+/// wire time plus the ACK-flush tick, so lossless runs never retransmit.
+struct ReliabilityConfig {
+  /// Pump period: batched-ACK flush + retransmit scan granularity.
+  std::int64_t tick_ns = 1'000'000;  // 1 ms
+  /// RTO for the first retransmit = rto_base_ns + the packet's modeled wire
+  /// time; subsequent retries back off exponentially up to rto_cap_ns.
+  std::int64_t rto_base_ns = 20'000'000;   // 20 ms
+  std::int64_t rto_cap_ns = 320'000'000;   // 320 ms
+  /// Consecutive unacknowledged (re)transmissions before the destination is
+  /// declared unreachable (mark_failed + unreachable callback).
+  int max_retries = 10;
+  /// Cap on selective-ACK entries carried by one flow_ack packet.
+  std::size_t max_sack_entries = 16;
+};
+
+/// A chaos filter slot that is safe to install, swap, or clear while
+/// traffic is in flight. Readers copy the shared_ptr so an in-progress
+/// filter call survives a concurrent swap. Guarded by a mutex rather than
+/// std::atomic<std::shared_ptr>: libstdc++'s lock-bit _Sp_atomic trips
+/// ThreadSanitizer (the CI TSan job runs these suites), and the two
+/// pointer ops in the critical section are invisible next to the modeled
+/// wire time.
+class FilterSlot {
+ public:
+  using Filter = std::function<bool(const Packet&)>;
+
+  void set(Filter f) {
+    auto next =
+        f ? std::make_shared<const Filter>(std::move(f)) : nullptr;
+    std::lock_guard lock(mu_);
+    ptr_ = std::move(next);
+  }
+  [[nodiscard]] std::shared_ptr<const Filter> get() const {
+    std::lock_guard lock(mu_);
+    return ptr_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Filter> ptr_;
+};
+
 class Fabric {
  public:
-  Fabric(base::Topology topo, base::CostModel cost);
+  using PacketFilter = FilterSlot::Filter;
+
+  Fabric(base::Topology topo, base::CostModel cost,
+         ReliabilityConfig rel = {});
+  ~Fabric();
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
   /// Route a packet to its destination endpoint, injecting the modeled wire
   /// time on the calling (sender) thread. Throws Error(rte_bad_param) for an
-  /// invalid destination. Sends to failed ranks are counted and dropped.
+  /// invalid destination. Sends to failed ranks are counted and dropped;
+  /// chaos-dropped packets stay in the sender's unacked window and are
+  /// retransmitted by the pump until acknowledged or retries are exhausted.
   void send(Packet&& packet);
 
   [[nodiscard]] Endpoint& endpoint(Rank r);
@@ -53,42 +118,157 @@ class Fabric {
   [[nodiscard]] const base::CostModel& cost_model() const noexcept {
     return cost_;
   }
+  [[nodiscard]] const ReliabilityConfig& reliability() const noexcept {
+    return rel_;
+  }
 
   /// Failure injection: mark `r` unreachable.
   void mark_failed(Rank r);
   [[nodiscard]] bool is_failed(Rank r) const;
 
-  /// Chaos hook: packets for which the filter returns true are silently
-  /// dropped (lossy-link injection). Install before traffic starts — the
-  /// send path reads it without synchronization.
-  void set_drop_filter(std::function<bool(const Packet&)> filter) {
-    drop_filter_ = std::move(filter);
-    has_drop_filter_.store(drop_filter_ != nullptr,
-                           std::memory_order_release);
-  }
+  /// Called (off the sender threads, from the pump) when retry exhaustion
+  /// escalates a destination to unreachable — after mark_failed(r), so the
+  /// callback observes the fabric's ground truth. The cluster wires this to
+  /// the PMIx failure-event announcement.
+  void set_unreachable_callback(std::function<void(Rank)> cb);
+
+  /// Chaos hook: packets for which the filter returns true are dropped on
+  /// the wire (lossy-link injection); the reliability layer retransmits
+  /// them. Safe to install, swap, or clear while traffic is in flight
+  /// (FilterSlot), so a chaos schedule can toggle lossiness mid-phase.
+  void set_drop_filter(PacketFilter filter);
+
+  /// Chaos hook: sequenced packets for which the filter returns true are
+  /// held back and delivered by the pump one tick later, arriving behind
+  /// packets sent after them (reordering injection). The receiver-side
+  /// reorder buffer restores flow order before the inbox sees them. Same
+  /// mid-run swap guarantees as set_drop_filter.
+  void set_reorder_filter(PacketFilter filter);
+
+  /// Block until every unacked window, reorder buffer, held (reordered)
+  /// packet, and pending ACK has drained, or `timeout` elapses. Returns
+  /// true when fully quiesced. Tests and benches use this to wait out the
+  /// retransmit tail of a lossy phase.
+  bool quiesce(std::chrono::nanoseconds timeout);
 
   [[nodiscard]] std::uint64_t dropped_to_failed() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
   }
-  /// Packets discarded by the chaos drop filter.
+  /// Packets discarded by the chaos drop filter (first sends + retransmits).
   [[nodiscard]] std::uint64_t chaos_dropped() const noexcept {
     return chaos_dropped_.load(std::memory_order_relaxed);
   }
-  /// Total bytes (headers + payload) pushed through the fabric.
+  /// Bytes (headers + payload) that reached a destination endpoint. Lost
+  /// packets count under bytes_dropped() instead, so loss never inflates
+  /// the delivered-traffic totals the benchmarks report.
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
     return bytes_sent_.load(std::memory_order_relaxed);
   }
+  /// Bytes of packets lost on the wire (chaos-dropped or sent to a failed
+  /// rank).
+  [[nodiscard]] std::uint64_t bytes_dropped() const noexcept {
+    return bytes_dropped_.load(std::memory_order_relaxed);
+  }
+  /// Timeout-driven retransmissions performed by the pump.
+  [[nodiscard]] std::uint64_t retransmits() const noexcept {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
+  /// Duplicate arrivals suppressed at receivers (retransmit-induced).
+  [[nodiscard]] std::uint64_t dup_suppressed() const noexcept {
+    return dup_suppressed_.load(std::memory_order_relaxed);
+  }
+  /// Retry-exhaustion escalations to an unreachable verdict.
+  [[nodiscard]] std::uint64_t rto_escalations() const noexcept {
+    return rto_escalations_.load(std::memory_order_relaxed);
+  }
+  /// Sequenced packets currently awaiting acknowledgment (all flows).
+  [[nodiscard]] std::uint64_t unacked() const;
 
  private:
+  /// Directed per-(src,dst) flow state. tx_* is the sender-side unacked
+  /// window (touched by src's threads and the pump); rx_* is the
+  /// receiver-side dedup/reorder state (touched by delivering threads and
+  /// the pump). One mutex guards both; it is never held across a wire
+  /// delay, another flow's mutex, or an inbox wait.
+  struct Flow {
+    std::mutex mu;
+    // --- tx (packets src -> dst) ---
+    std::uint64_t next_seq = 1;
+    struct Unacked {
+      Packet pkt;
+      base::Deadline deadline;
+      std::int64_t rto_ns = 0;  ///< current (backed-off) RTO
+      int retries = 0;
+      /// Completed pump passes when (re)armed. An entry only expires after
+      /// BOTH the wall RTO and two further completed passes: ACKs are
+      /// flushed by the pump itself, so when the pump is starved (e.g. an
+      /// oversubscribed host where rank threads spin out wire delays),
+      /// retransmitting early is pure waste — the original was delivered
+      /// and its ACK simply hasn't been pumped yet.
+      std::uint64_t armed_pass = 0;
+    };
+    std::map<std::uint64_t, Unacked> window;
+    // --- rx (same direction, state kept at dst) ---
+    std::uint64_t cum_delivered = 0;  ///< highest contiguously delivered seq
+    std::map<std::uint64_t, Packet> reorder;  ///< out-of-order arrivals
+    bool ack_pending = false;  ///< new data since the last ACK we emitted
+  };
+
+  Flow& flow(Rank src, Rank dst) noexcept {
+    return *flows_[static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(topo_.size()) +
+                   static_cast<std::size_t>(dst)];
+  }
+
+  /// Put `pkt` on the wire: charge the cost model on the calling thread,
+  /// apply failure/chaos/reorder filters, and deliver on survival. Returns
+  /// true when the packet reached the destination's receive path.
+  bool transmit(Packet&& pkt, bool charge_wire);
+  /// Receiver-side processing on the destination's behalf: consume ACK
+  /// state, dedup/reorder sequenced packets, push deliverables to the
+  /// inbox.
+  void deliver(Packet&& pkt);
+  void push_to_inbox(Packet&& pkt);
+  /// Apply a cumulative + selective ACK to the (src,dst) sender window.
+  void apply_ack(Rank src, Rank dst, std::uint64_t cum,
+                 const std::vector<std::uint64_t>& sack);
+  /// Start the RTO clock on window entry `seq` after its transmit returned
+  /// (no-op when the entry was acknowledged mid-wire).
+  void arm_entry(Rank src, Rank dst, std::uint64_t seq, std::int64_t rto_ns);
+  /// Emit one flow_ack for flow (src,dst) if it has unacknowledged
+  /// deliveries. ACK wire time is not charged: ACKs model piggybacked /
+  /// NIC-offloaded reverse traffic (DESIGN.md §9).
+  void flush_ack(Rank src, Rank dst);
+  void pump_main();
+  /// One pump pass over every flow; returns true if any state remains.
+  bool pump_pass();
+  void escalate_unreachable(Rank dst);
+
   base::Topology topo_;
   base::CostModel cost_;
+  ReliabilityConfig rel_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::unique_ptr<Flow>> flows_;  ///< topo.size()^2, row = src
   std::vector<std::atomic<bool>> failed_;
-  std::function<bool(const Packet&)> drop_filter_;
-  std::atomic<bool> has_drop_filter_{false};
+  FilterSlot drop_filter_;
+  FilterSlot reorder_filter_;
+  std::mutex unreachable_mu_;
+  std::function<void(Rank)> unreachable_cb_;
+
+  std::mutex held_mu_;
+  std::vector<Packet> held_;  ///< reorder-injected packets awaiting a tick
+
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> chaos_dropped_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_dropped_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> dup_suppressed_{0};
+  std::atomic<std::uint64_t> rto_escalations_{0};
+  std::atomic<std::uint64_t> pump_passes_{0};  ///< completed pump passes
+
+  std::atomic<bool> stop_{false};
+  std::thread pump_;
 };
 
 }  // namespace sessmpi::fabric

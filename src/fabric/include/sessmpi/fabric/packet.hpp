@@ -6,9 +6,13 @@
 // (receiver-local 16-bit CID, tag, source, sequence number) rides in front of
 // the user payload. Sessions-derived communicators additionally prepend an
 // 18-byte extended header carrying the 128-bit exCID plus the sender's local
-// CID until the receiver's CID ACK arrives (paper §III-B4). Header *sizes*
-// are modeled explicitly — the cost model charges per header byte — while
-// the in-memory representation is an ordinary struct.
+// CID until the receiver's CID ACK arrives (paper §III-B4). The fabric's
+// reliable-delivery sublayer (DESIGN.md §9) prepends a 12-byte flow header —
+// 48-bit per-(src,dst) sequence number plus a 48-bit piggybacked cumulative
+// ACK for the reverse flow — to every packet, and adds a `flow_ack` control
+// packet (cumulative + selective ACKs) for flows with no reverse traffic.
+// Header *sizes* are modeled explicitly — the cost model charges per header
+// byte — while the in-memory representation is an ordinary struct.
 
 #include <cstdint>
 #include <vector>
@@ -29,6 +33,7 @@ enum class PacketKind : std::uint8_t {
   rndv_data,  ///< rendezvous bulk data (token)
   sync_ack,   ///< synchronous-send acknowledgement (token)
   comm_revoke,  ///< control: communicator revoked (ULFM); exCID + local CID
+  flow_ack,   ///< fabric-internal: cumulative + selective delivery ACK
 };
 
 /// 14-byte ob1-style match header (modeled size; see kMatchHeaderBytes).
@@ -49,42 +54,66 @@ struct ExtHeader {
 };
 inline constexpr std::size_t kExtHeaderBytes = 18;
 
+/// Reliable-delivery flow header: 48-bit per-(src,dst) sequence number plus
+/// a 48-bit piggybacked cumulative ACK for the reverse flow (12 modeled
+/// bytes). seq == 0 marks an unsequenced packet (flow_ack control traffic,
+/// which must not itself be acknowledged).
+struct FlowHeader {
+  std::uint64_t seq = 0;  ///< flow sequence number; 0 = unsequenced
+  std::uint64_t ack = 0;  ///< cumulative ACK for the reverse (dst->src) flow
+};
+inline constexpr std::size_t kFlowHeaderBytes = 12;
+/// Modeled bytes per selective-ACK entry in a flow_ack packet.
+inline constexpr std::size_t kSackEntryBytes = 6;
+
 struct Packet {
   PacketKind kind = PacketKind::eager;
   Rank src_rank = -1;  ///< global source rank
   Rank dst_rank = -1;  ///< global destination rank
   MatchHeader match;
   ExtHeader ext;                    ///< valid for *_ext and cid_ack kinds
+  FlowHeader flow;                  ///< stamped by the fabric's send path
   std::uint64_t token = 0;          ///< rendezvous / sync-send pairing token
   std::uint64_t advertised_size = 0;  ///< rndv_rts: payload size to come
+  std::vector<std::uint64_t> sack;  ///< flow_ack: out-of-order seqs held at rx
   std::vector<std::byte> payload;
 
   [[nodiscard]] bool has_ext_header() const noexcept {
     return kind == PacketKind::eager_ext || kind == PacketKind::rndv_rts_ext;
   }
 
-  /// Modeled wire header size in bytes (charged by the cost model).
+  /// Unsequenced control packets bypass the reliability window (they are
+  /// idempotent by construction and must not generate ACKs of ACKs).
+  [[nodiscard]] bool is_sequenced() const noexcept {
+    return kind != PacketKind::flow_ack;
+  }
+
+  /// Modeled wire header size in bytes (charged by the cost model). Every
+  /// kind pays the flow header: sequenced packets carry seq + piggybacked
+  /// ACK; flow_ack carries cum ACK + entry count + its selective entries.
   [[nodiscard]] std::size_t header_bytes() const noexcept {
     switch (kind) {
       case PacketKind::eager:
-        return kMatchHeaderBytes;
+        return kFlowHeaderBytes + kMatchHeaderBytes;
       case PacketKind::eager_ext:
-        return kMatchHeaderBytes + kExtHeaderBytes;
+        return kFlowHeaderBytes + kMatchHeaderBytes + kExtHeaderBytes;
       case PacketKind::rndv_rts:
-        return kMatchHeaderBytes + 8;  // + advertised size
+        return kFlowHeaderBytes + kMatchHeaderBytes + 8;  // + advertised size
       case PacketKind::rndv_rts_ext:
-        return kMatchHeaderBytes + kExtHeaderBytes + 8;
+        return kFlowHeaderBytes + kMatchHeaderBytes + kExtHeaderBytes + 8;
       case PacketKind::cid_ack:
-        return kExtHeaderBytes + 2;  // exCID + receiver CID
+        return kFlowHeaderBytes + kExtHeaderBytes + 2;  // exCID + receiver CID
       case PacketKind::rndv_cts:
       case PacketKind::sync_ack:
-        return 8;  // token
+        return kFlowHeaderBytes + 8;  // token
       case PacketKind::rndv_data:
-        return 8 + kMatchHeaderBytes;
+        return kFlowHeaderBytes + 8 + kMatchHeaderBytes;
       case PacketKind::comm_revoke:
-        return kExtHeaderBytes + 2;  // exCID + sender's local CID
+        return kFlowHeaderBytes + kExtHeaderBytes + 2;  // exCID + sender CID
+      case PacketKind::flow_ack:
+        return kFlowHeaderBytes + 2 + kSackEntryBytes * sack.size();
     }
-    return kMatchHeaderBytes;
+    return kFlowHeaderBytes + kMatchHeaderBytes;
   }
 };
 

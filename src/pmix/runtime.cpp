@@ -4,6 +4,7 @@
 
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/error.hpp"
+#include "sessmpi/base/stats.hpp"
 
 namespace sessmpi::pmix {
 
@@ -34,6 +35,10 @@ void PmixRuntime::notify_proc_failed(ProcId proc) {
   {
     std::lock_guard lock(failed_mu_);
     if (std::find(failed_.begin(), failed_.end(), proc) != failed_.end()) {
+      // Exactly-once: a death can be reported by several observers (the
+      // dying rank itself, fail_node, the fabric's retry-exhaustion
+      // escalation); only the first report raises events.
+      base::counters().add("pmix.dup_failure_notices");
       return;
     }
     failed_.push_back(proc);

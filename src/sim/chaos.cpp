@@ -114,27 +114,53 @@ std::vector<int> ChaosSchedule::node_kills_at(int step) const {
   return it == node_kills_.end() ? std::vector<int>{} : it->second;
 }
 
+namespace {
+
+/// Seeded Bernoulli filter, deterministic in the number of packets examined
+/// (not in which packet of a racing pair is hit — good enough for a
+/// lossy-fabric model). The counter lives outside the closure so swapping
+/// the filter mid-run never rewinds the stream.
+fabric::Fabric::PacketFilter seeded_fraction_filter(
+    std::shared_ptr<std::atomic<std::uint64_t>> counter, std::uint64_t seed,
+    double frac) {
+  return [counter = std::move(counter), seed, frac](const fabric::Packet&) {
+    std::uint64_t state =
+        seed ^ (counter->fetch_add(1, std::memory_order_relaxed) *
+                0x9e3779b97f4a7c15ull);
+    const std::uint64_t z = splitmix64(state);
+    return static_cast<double>(z >> 11) * 0x1.0p-53 < frac;
+  };
+}
+
+}  // namespace
+
 ChaosMonkey::ChaosMonkey(Cluster& cluster, ChaosPolicy policy)
     : cluster_(cluster),
       policy_(policy),
-      schedule_(policy, cluster.topology()) {
-  if (policy_.drop_fraction < 0.0 || policy_.drop_fraction > 1.0) {
+      schedule_(policy, cluster.topology()),
+      drop_stream_(std::make_shared<std::atomic<std::uint64_t>>(0)),
+      reorder_stream_(std::make_shared<std::atomic<std::uint64_t>>(0)) {
+  if (policy_.reorder_fraction < 0.0 || policy_.reorder_fraction > 1.0) {
+    throw base::Error(base::ErrClass::arg, "reorder_fraction outside [0, 1]");
+  }
+  set_drop_fraction(policy_.drop_fraction);
+  if (policy_.reorder_fraction > 0.0) {
+    // Distinct seed stream so drop and reorder decisions are independent.
+    cluster_.fabric().set_reorder_filter(seeded_fraction_filter(
+        reorder_stream_, policy_.seed ^ 0x5eedca11u,
+        policy_.reorder_fraction));
+  }
+}
+
+void ChaosMonkey::set_drop_fraction(double frac) {
+  if (frac < 0.0 || frac > 1.0) {
     throw base::Error(base::ErrClass::arg, "drop_fraction outside [0, 1]");
   }
-  if (policy_.drop_fraction > 0.0) {
-    // Deterministic in the number of packets sent (not in which packet of a
-    // racing pair is dropped — good enough for a lossy-fabric model).
-    auto counter = std::make_shared<std::atomic<std::uint64_t>>(0);
-    const double frac = policy_.drop_fraction;
-    const std::uint64_t seed = policy_.seed;
+  if (frac > 0.0) {
     cluster_.fabric().set_drop_filter(
-        [counter, frac, seed](const fabric::Packet&) {
-          std::uint64_t state =
-              seed ^ (counter->fetch_add(1, std::memory_order_relaxed) *
-                      0x9e3779b97f4a7c15ull);
-          const std::uint64_t z = splitmix64(state);
-          return static_cast<double>(z >> 11) * 0x1.0p-53 < frac;
-        });
+        seeded_fraction_filter(drop_stream_, policy_.seed, frac));
+  } else {
+    cluster_.fabric().set_drop_filter(nullptr);
   }
 }
 

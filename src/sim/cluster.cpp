@@ -29,11 +29,16 @@ bool Process::failed() const {
 
 Cluster::Cluster(Options opts)
     : dvm_(prte::JobSpec{opts.topo, opts.cost, std::move(opts.extra_psets)}),
-      fabric_(opts.topo, opts.cost) {
+      fabric_(opts.topo, opts.cost, opts.reliability) {
   procs_.reserve(static_cast<std::size_t>(opts.topo.size()));
   for (Rank r = 0; r < opts.topo.size(); ++r) {
     procs_.push_back(std::make_unique<Process>(*this, r));
   }
+  // Retry exhaustion in the fabric is a failure detection: surface it
+  // through the same PMIx proc_failed announcement as any other death so
+  // fault-aware layers (Communicator::get_failed, src/ft) hear about it.
+  fabric_.set_unreachable_callback(
+      [this](Rank r) { dvm_.pmix().notify_proc_failed(r); });
 }
 
 Cluster::~Cluster() = default;

@@ -39,10 +39,16 @@ struct ChaosPolicy {
   std::vector<std::pair<int, Rank>> kill_rank_at;
   std::vector<std::pair<int, int>> kill_node_at;
 
-  /// Fraction of fabric packets silently dropped (lossy-network model;
-  /// there is no retransmission layer, so anything above 0 is for
-  /// fabric-level experiments, not full MPI runs).
+  /// Fraction of fabric packets dropped on the wire (lossy-network model).
+  /// The fabric's reliability sublayer (DESIGN.md §9) retransmits dropped
+  /// packets, so full MPI runs — pt2pt, collectives, ft recovery — survive
+  /// any fraction below 1; the drop filter exercises the retransmit path.
   double drop_fraction = 0.0;
+
+  /// Fraction of fabric packets held back one pump tick so later traffic
+  /// overtakes them (reordering injection); the fabric's receive-side
+  /// reorder buffer restores per-flow order before delivery.
+  double reorder_fraction = 0.0;
 };
 
 /// The precomputed (step -> victims) map.
@@ -67,14 +73,19 @@ class ChaosSchedule {
 /// filter into the fabric. One monkey per cluster run.
 class ChaosMonkey {
  public:
-  /// Install before any traffic flows (the drop filter must be in place
-  /// before Fabric::send races with it).
   ChaosMonkey(Cluster& cluster, ChaosPolicy policy);
 
   /// Rank-side step boundary. Returns true if `proc` survives step `step`;
   /// returns false — after executing the scheduled death — when the rank is
   /// (or already was) dead and must stop issuing MPI calls.
   bool step(Process& proc, int step);
+
+  /// Re-seedable mid-run lossiness: installs (frac > 0) or clears (frac ==
+  /// 0) the fabric drop filter while traffic is in flight — the fabric
+  /// swaps filters atomically, so a chaos schedule can make a single phase
+  /// lossy. The seeded packet counter persists across swaps, keeping the
+  /// whole run's drop pattern a deterministic function of (seed, sends).
+  void set_drop_fraction(double frac);
 
   [[nodiscard]] const ChaosSchedule& schedule() const noexcept {
     return schedule_;
@@ -89,6 +100,10 @@ class ChaosMonkey {
   ChaosPolicy policy_;
   ChaosSchedule schedule_;
   std::atomic<std::uint64_t> kills_{0};
+  /// Packet counters feeding the seeded drop/reorder decisions; shared with
+  /// the installed filters so swapping never rewinds the streams.
+  std::shared_ptr<std::atomic<std::uint64_t>> drop_stream_;
+  std::shared_ptr<std::atomic<std::uint64_t>> reorder_stream_;
 };
 
 }  // namespace sessmpi::sim

@@ -76,6 +76,9 @@ class Cluster {
   struct Options {
     base::Topology topo;
     base::CostModel cost = base::CostModel::calibrated();
+    /// Fabric reliable-delivery policy (RTO, backoff, retry cap). Tests
+    /// shorten the timescales; the defaults fit the calibrated cost model.
+    fabric::ReliabilityConfig reliability;
     std::vector<std::pair<std::string, std::vector<pmix::ProcId>>> extra_psets;
   };
 

@@ -80,7 +80,14 @@ TEST(Fabric, CountsDeliveredAndBytes) {
   p.payload.resize(100);
   f.send(std::move(p));
   EXPECT_EQ(f.endpoint(1).delivered(), 1u);
-  EXPECT_EQ(f.bytes_sent(), 100u + kMatchHeaderBytes);
+  // Quiesce so the receiver's explicit flow_ack (nothing flows 1 -> 0 to
+  // piggyback on) has been transmitted and the sender window emptied.
+  ASSERT_TRUE(f.quiesce(std::chrono::seconds(10)));
+  const std::uint64_t data_bytes = 100u + kMatchHeaderBytes + kFlowHeaderBytes;
+  const std::uint64_t ack_bytes = kFlowHeaderBytes + 2u;
+  EXPECT_EQ(f.bytes_sent(), data_bytes + ack_bytes);
+  EXPECT_EQ(f.bytes_dropped(), 0u);
+  EXPECT_EQ(f.retransmits(), 0u);
 }
 
 TEST(Fabric, BlockingPopWakesOnCrossThreadSend) {

@@ -5,46 +5,59 @@
 namespace sessmpi::fabric {
 namespace {
 
-TEST(Packet, FastPathHeaderIs14Bytes) {
-  // The ob1 match header the paper describes is 14 bytes; the per-byte wire
-  // charge depends on this staying exact.
+TEST(Packet, FastPathHeaderIsFlowPlus14Bytes) {
+  // The ob1 match header the paper describes is 14 bytes; the reliability
+  // sublayer prepends its 12-byte flow header (seq + piggybacked ACK). The
+  // per-byte wire charge depends on both staying exact.
   Packet p;
   p.kind = PacketKind::eager;
-  EXPECT_EQ(p.header_bytes(), 14u);
+  EXPECT_EQ(p.header_bytes(), kFlowHeaderBytes + 14u);
 }
 
 TEST(Packet, ExtendedHeaderAdds18Bytes) {
   Packet p;
   p.kind = PacketKind::eager_ext;
-  EXPECT_EQ(p.header_bytes(), 14u + 18u);
+  EXPECT_EQ(p.header_bytes(), kFlowHeaderBytes + 14u + 18u);
   EXPECT_TRUE(p.has_ext_header());
 }
 
 TEST(Packet, RendezvousHeadersAdvertiseSize) {
   Packet rts;
   rts.kind = PacketKind::rndv_rts;
-  EXPECT_EQ(rts.header_bytes(), 14u + 8u);
+  EXPECT_EQ(rts.header_bytes(), kFlowHeaderBytes + 14u + 8u);
   Packet rts_ext;
   rts_ext.kind = PacketKind::rndv_rts_ext;
-  EXPECT_EQ(rts_ext.header_bytes(), 14u + 18u + 8u);
+  EXPECT_EQ(rts_ext.header_bytes(), kFlowHeaderBytes + 14u + 18u + 8u);
   EXPECT_TRUE(rts_ext.has_ext_header());
 }
 
 TEST(Packet, ControlPacketsHaveCompactHeaders) {
   Packet ack;
   ack.kind = PacketKind::cid_ack;
-  EXPECT_EQ(ack.header_bytes(), 18u + 2u);
+  EXPECT_EQ(ack.header_bytes(), kFlowHeaderBytes + 18u + 2u);
   Packet cts;
   cts.kind = PacketKind::rndv_cts;
-  EXPECT_EQ(cts.header_bytes(), 8u);
+  EXPECT_EQ(cts.header_bytes(), kFlowHeaderBytes + 8u);
+}
+
+TEST(Packet, FlowAckHeaderGrowsWithSelectiveEntries) {
+  Packet ack;
+  ack.kind = PacketKind::flow_ack;
+  EXPECT_FALSE(ack.is_sequenced());
+  EXPECT_EQ(ack.header_bytes(), kFlowHeaderBytes + 2u);
+  ack.sack = {4, 7, 9};
+  EXPECT_EQ(ack.header_bytes(), kFlowHeaderBytes + 2u + 3u * kSackEntryBytes);
 }
 
 TEST(Packet, DefaultsAreInert) {
   const Packet p;
   EXPECT_EQ(p.kind, PacketKind::eager);
   EXPECT_FALSE(p.has_ext_header());
+  EXPECT_TRUE(p.is_sequenced());
   EXPECT_TRUE(p.payload.empty());
   EXPECT_EQ(p.match.cid, 0u);
+  EXPECT_EQ(p.flow.seq, 0u);
+  EXPECT_EQ(p.flow.ack, 0u);
 }
 
 }  // namespace

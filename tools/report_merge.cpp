@@ -1,0 +1,130 @@
+// Merge the COUNTERS_JSON blocks printed by the bench_* binaries into one
+// EXPERIMENTS.md-ready markdown table (counters as rows, benches as
+// columns).
+//
+//   ./bench_latency > lat.txt && ./bench_mbw_mr > mbw.txt
+//   ./report_merge lat.txt mbw.txt >> EXPERIMENTS.md
+//
+// The input format is ours (bench/common.hpp print_counters_json): one
+// tagged line per bench run,
+//   COUNTERS_JSON {"bench": "<name>", "counters": {"<counter>": <n>, ...}}
+// so a purpose-built scanner beats pulling in a JSON library.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sessmpi/base/stats.hpp"
+
+namespace {
+
+constexpr const char* kTag = "COUNTERS_JSON ";
+
+/// Extract the next "quoted string" starting at or after `pos`; advances
+/// `pos` past the closing quote. Returns false when no quote remains.
+bool next_quoted(const std::string& line, std::size_t& pos, std::string& out) {
+  const std::size_t open = line.find('"', pos);
+  if (open == std::string::npos) {
+    return false;
+  }
+  const std::size_t close = line.find('"', open + 1);
+  if (close == std::string::npos) {
+    return false;
+  }
+  out = line.substr(open + 1, close - open - 1);
+  pos = close + 1;
+  return true;
+}
+
+struct BenchCounters {
+  std::string bench;
+  std::map<std::string, std::uint64_t> values;
+};
+
+/// Parse one tagged line. Layout (fixed by print_counters_json):
+/// quoted strings alternate "bench", <name>, "counters", <counter>, ... and
+/// every counter name is immediately followed by ": <integer>".
+bool parse_line(const std::string& line, BenchCounters& out) {
+  std::size_t pos = line.find(kTag);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  pos += std::string(kTag).size();
+  std::string key;
+  if (!next_quoted(line, pos, key) || key != "bench" ||
+      !next_quoted(line, pos, out.bench) ||
+      !next_quoted(line, pos, key) || key != "counters") {
+    return false;
+  }
+  std::string name;
+  while (next_quoted(line, pos, name)) {
+    const std::size_t colon = line.find(':', pos);
+    if (colon == std::string::npos) {
+      return false;
+    }
+    out.values[name] = std::stoull(line.substr(colon + 1));
+    pos = colon + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: report_merge <bench-output-file>...\n";
+    return 2;
+  }
+  std::vector<BenchCounters> runs;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::cerr << "report_merge: cannot open " << argv[i] << "\n";
+      return 1;
+    }
+    bool found = false;
+    std::string line;
+    while (std::getline(in, line)) {
+      BenchCounters bc;
+      if (parse_line(line, bc)) {
+        runs.push_back(std::move(bc));
+        found = true;
+      }
+    }
+    if (!found) {
+      std::cerr << "report_merge: no COUNTERS_JSON block in " << argv[i]
+                << "\n";
+    }
+  }
+  if (runs.empty()) {
+    return 1;
+  }
+
+  std::set<std::string> names;
+  for (const auto& run : runs) {
+    for (const auto& [name, value] : run.values) {
+      names.insert(name);
+    }
+  }
+
+  std::vector<std::string> header{"counter"};
+  for (const auto& run : runs) {
+    header.push_back(run.bench);
+  }
+  sessmpi::base::Table table{header};
+  for (const auto& name : names) {
+    std::vector<std::string> row{name};
+    for (const auto& run : runs) {
+      auto it = run.values.find(name);
+      row.push_back(it == run.values.end() ? "-"
+                                           : std::to_string(it->second));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  return 0;
+}
