@@ -1,0 +1,160 @@
+// Checkpoint/restart cost benchmark (src/ckpt): coordinated save and
+// restore time vs dataset size, with the redundancy levels broken out —
+// local snapshot only, + partner copy (SCR PARTNER), + filesystem spill.
+// Also times a full failure-recovery cycle: kill a rank, shrink, restore
+// with partner rebuild.
+//
+// No paper figure corresponds to this table (checkpointing is follow-on
+// work layered over the Sessions/ULFM machinery); EXPERIMENTS.md carries
+// the observed numbers next to the paper-reproduction rows.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "sessmpi/ckpt/ckpt.hpp"
+#include "sessmpi/ft/ft.hpp"
+
+namespace sessmpi::bench {
+namespace {
+
+constexpr int kNodes = 2;
+constexpr int kPpn = 4;
+constexpr int kIters = 4;
+
+struct CkptTimes {
+  double save_local_us = 0;
+  double save_partner_us = 0;
+  double save_spill_us = 0;
+  double restore_us = 0;
+};
+
+double time_saves(ckpt::Checkpointer& ck, const Communicator& comm) {
+  base::Stopwatch sw;
+  for (int i = 0; i < kIters; ++i) {
+    ck.save(comm);
+  }
+  return sw.elapsed_ms() * 1000.0 / kIters;
+}
+
+CkptTimes measure(std::size_t bytes) {
+  CkptTimes r;
+  const auto one_config = [&](bool partner, bool spill) {
+    RankSamples save_t;
+    RankSamples restore_t;
+    run_cluster(kNodes, kPpn, [&](sim::Process& p) {
+      Session s = Session::init(Info::null(), Errhandler::errors_return());
+      Communicator comm = Communicator::create_from_group(
+          s.group_from_pset("mpi://world"), "ckptbench", Info::null(),
+          Errhandler::errors_return());
+      std::vector<std::uint8_t> data(
+          bytes, static_cast<std::uint8_t>(p.rank()));
+      ckpt::Config cfg;
+      cfg.partner_copy = partner;
+      cfg.partner_offset = kPpn;  // cross-node partner
+      cfg.spill_to_fs = spill;
+      ckpt::Checkpointer ck("bench", cfg);
+      ck.register_dataset("data", data.data(), data.size());
+      comm.barrier();
+      save_t.add(time_saves(ck, comm));
+      comm.barrier();
+      {
+        base::Stopwatch sw;
+        ck.restore(comm);
+        restore_t.add(sw.elapsed_ms() * 1000.0);
+      }
+      comm.free();
+      s.finalize();
+    });
+    if (!partner && !spill) {
+      r.save_local_us = save_t.mean();
+    } else if (partner && !spill) {
+      r.save_partner_us = save_t.mean();
+      r.restore_us = restore_t.mean();
+    } else {
+      r.save_spill_us = save_t.mean();
+    }
+  };
+  one_config(false, false);
+  one_config(true, false);
+  one_config(true, true);
+  return r;
+}
+
+double measure_recovery_cycle(std::size_t bytes) {
+  // One full cycle: rank kPpn dies after epoch 1; survivors shrink,
+  // restore (partner rebuild included), and keep going.
+  RankSamples cycle_t;
+  std::atomic<int> saved{0};
+  run_cluster(kNodes, kPpn, [&](sim::Process& p) {
+    Session s = Session::init(Info::null(), Errhandler::errors_return());
+    Communicator comm = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "ckptrec", Info::null(),
+        Errhandler::errors_return());
+    std::vector<std::uint8_t> data(bytes, static_cast<std::uint8_t>(p.rank()));
+    ckpt::Config cfg;
+    cfg.partner_offset = 1;  // partner survives: rebuild path, not spill
+    ckpt::Checkpointer ck("benchrec", cfg);
+    ck.register_dataset("data", data.data(), data.size());
+    ck.save(comm);
+    saved.fetch_add(1);
+    if (p.rank() == kPpn) {
+      while (saved.load() < kNodes * kPpn) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      p.fail();
+      return;
+    }
+    while (!p.cluster().fabric().is_failed(kPpn)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    base::Stopwatch sw;
+    comm.ack_failed();
+    Communicator survivors = comm.shrink();
+    ck.restore(survivors);
+    cycle_t.add(sw.elapsed_ms() * 1000.0);
+    survivors.free();
+    comm.free();
+    s.finalize();
+  });
+  return cycle_t.mean();
+}
+
+}  // namespace
+}  // namespace sessmpi::bench
+
+int main() {
+  using namespace sessmpi;
+  using namespace sessmpi::bench;
+  using base::Table;
+  std::cout << "bench_ckpt: coordinated checkpoint/restart cost "
+               "(SCR-style levels over the ULFM layer)\n";
+  print_header(
+      "Checkpoint save/restore time vs dataset size (8 ranks, 2 nodes)",
+      "us per operation, calibrated cost model. 'local' = snapshot + "
+      "agree-commit only; '+partner' adds the cross-node partner copy; "
+      "'+spill' adds the shared-filesystem level. 'restore' reloads the "
+      "last epoch on the intact communicator. 'recovery' is a full "
+      "kill-shrink-restore cycle with one partner rebuild.");
+  Table t({"bytes/rank", "save local (us)", "save +partner (us)",
+           "save +spill (us)", "restore (us)", "recovery (us)"});
+  for (const std::size_t bytes : {std::size_t{1} << 10, std::size_t{1} << 14,
+                                  std::size_t{1} << 18, std::size_t{1} << 20}) {
+    const auto r = measure(bytes);
+    const double rec = measure_recovery_cycle(bytes);
+    t.add_row({std::to_string(bytes), Table::fmt(r.save_local_us, 1),
+               Table::fmt(r.save_partner_us, 1),
+               Table::fmt(r.save_spill_us, 1), Table::fmt(r.restore_us, 1),
+               Table::fmt(rec, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: save cost is flat in dataset size until the "
+               "partner copy dominates (wire transfer scales with bytes); "
+               "the spill adds a near-constant SimFs write on top. Recovery "
+               "is bounded by shrink (agreement + CID construction), not by "
+               "the rebuild copy.\n";
+  print_counters_json("bench_ckpt");
+  return 0;
+}

@@ -2,17 +2,38 @@
 // a seeded chaos schedule. A stencil-style iteration (ring exchange + global
 // residual allreduce) keeps running while the chaos monkey kills a rank
 // every few steps; survivors acknowledge the failure, revoke the broken
-// communicator, shrink it, agree on a common resume step, and continue —
-// no job restart, no checkpoint.
+// communicator, shrink it, and *restore the last coordinated checkpoint*
+// (src/ckpt) instead of recomputing — the restored epoch tells every
+// survivor the common resume step, and the dead ranks' shards come back via
+// the partner copies.
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
+#include "sessmpi/ckpt/ckpt.hpp"
 #include "sessmpi/ft/ft.hpp"
 #include "sessmpi/mpi.hpp"
 #include "sessmpi/sim/chaos.hpp"
 #include "sessmpi/sim/cluster.hpp"
 
 using namespace sessmpi;
+
+namespace {
+
+constexpr int kSteps = 20;
+constexpr int kCkptEvery = 4;  // one epoch per 4 steps
+constexpr int kCells = 16;     // stencil cells per rank
+
+/// One relaxation step on this rank's cells (the work being protected).
+void relax(std::vector<double>& cells, double halo_in) {
+  for (double& c : cells) {
+    c = 0.5 * (c + halo_in);
+    halo_in = c;
+  }
+}
+
+}  // namespace
 
 int main() {
   sim::Cluster::Options opts;
@@ -26,63 +47,96 @@ int main() {
   policy.min_survivors = 2;
   sim::ChaosMonkey monkey{cluster, policy};
 
-  constexpr int kSteps = 20;
-
   cluster.run([&](sim::Process& proc) {
     Session session = Session::init(Info::null(), Errhandler::errors_return());
     Communicator comm = Communicator::create_from_group(
         session.group_from_pset("mpi://world"), "stencil", Info::null(),
         Errhandler::errors_return());
 
-    for (int step = 1; step <= kSteps;) {
-      if (!monkey.step(proc, step)) {
-        std::printf("rank %d: killed by chaos at step %d\n", proc.rank(),
-                    step);
+    std::vector<double> cells(kCells, 1.0 + proc.rank());
+    std::uint64_t step = 1;
+
+    ckpt::Config cfg;
+    cfg.partner_offset = 4;  // partner on the other node
+    ckpt::Checkpointer ck("stencil", cfg);
+    ck.register_dataset("cells", cells.data(),
+                        cells.size() * sizeof(double));
+    ck.register_dataset("step", &step, sizeof(step));
+    ck.save(comm);  // epoch 1: the pristine initial state
+
+    while (step <= kSteps) {
+      if (!monkey.step(proc, static_cast<int>(step))) {
+        std::printf("rank %d: killed by chaos at step %llu\n", proc.rank(),
+                    static_cast<unsigned long long>(step));
         return;  // a crashed process does not finalize
       }
       bool ok = true;
       try {
         const int n = comm.size();
         const int me = comm.rank();
+        double halo_in = cells.back();
         if (n > 1) {
-          std::int32_t halo_out = me;
-          std::int32_t halo_in = -1;
-          comm.sendrecv(&halo_out, 1, Datatype::int32(), (me + 1) % n, 0,
-                        &halo_in, 1, Datatype::int32(), (me + n - 1) % n, 0);
+          const double halo_out = cells.back();
+          const Status st =
+              comm.sendrecv(&halo_out, 1, Datatype::float64(), (me + 1) % n,
+                            0, &halo_in, 1, Datatype::float64(),
+                            (me + n - 1) % n, 0);
+          if (st.error != ErrClass::success) {
+            throw Error(st.error, "ring exchange poisoned");
+          }
         }
-        std::int64_t local = 1;
-        std::int64_t residual = 0;
-        comm.allreduce(&local, &residual, 1, Datatype::int64(), Op::sum());
+        relax(cells, halo_in);
+        double local = cells.front();
+        double residual = 0;
+        comm.allreduce(&local, &residual, 1, Datatype::float64(), Op::sum());
+        ++step;
+        if ((step - 1) % kCkptEvery == 0) {
+          ck.save(comm);  // coordinated epoch commit (agree-backed)
+        }
       } catch (const Error&) {
         ok = false;  // a peer died mid-step (or revoked the communicator)
       }
       if (ok) {
-        ++step;
         continue;
       }
 
-      // --- ULFM recovery -------------------------------------------------
+      // --- ULFM recovery ---------------------------------------------------
       const auto dead = comm.ack_failed();
       comm.revoke();  // pull every survivor out of the broken communicator
       Communicator smaller = comm.shrink();
       comm.free();
       comm = smaller;
-      // Survivors may have noticed the failure one step apart; agree on a
-      // common resume point (bitwise-AND of ~step == ~(OR of steps)).
-      const std::uint64_t common =
-          comm.agree(~static_cast<std::uint64_t>(step));
-      step = static_cast<int>(~common) + 1;
+      // No agree-on-a-step, no recompute: the checkpoint *is* the common
+      // resume point. restore() picks the newest epoch committed everywhere
+      // (so survivors that noticed the failure a step apart still land on
+      // the same state) and hands back the dead ranks' shards.
+      const ckpt::RestoreResult res = ck.restore(comm);
+      // Redistribution under user control: fold each orphaned "cells" shard
+      // into this rank's boundary so no checkpointed work is dropped.
+      for (const ckpt::Shard& shard : res.adopted) {
+        if (shard.dataset == "cells" && !shard.bytes.empty()) {
+          double first = 0;
+          std::memcpy(&first, shard.bytes.data(), sizeof(first));
+          cells.back() = 0.5 * (cells.back() + first);
+        }
+      }
       if (comm.rank() == 0) {
         std::printf("recovered: %zu failure(s) acked, %d survivors, "
-                    "resuming at step %d\n",
-                    dead.size(), comm.size(), step);
+                    "restored epoch %llu -> resuming at step %llu "
+                    "(%zu orphan shard(s) adopted)\n",
+                    dead.size(), comm.size(),
+                    static_cast<unsigned long long>(res.epoch),
+                    static_cast<unsigned long long>(step),
+                    res.adopted.size());
       }
     }
 
     if (comm.rank() == 0) {
-      std::printf("done: %d survivors finished %d steps (%llu chaos kills)\n",
+      std::printf("done: %d survivors finished %d steps (%llu chaos kills, "
+                  "last epoch %llu)\n",
                   comm.size(), kSteps,
-                  static_cast<unsigned long long>(monkey.kills()));
+                  static_cast<unsigned long long>(monkey.kills()),
+                  static_cast<unsigned long long>(ck.last_committed()));
     }
     comm.free();
     session.finalize();

@@ -1,0 +1,382 @@
+// Coordinated checkpoint/restart (see include/sessmpi/ckpt/ckpt.hpp).
+//
+// The partner exchange runs on dedicated checkpoint tags (detail::ckpt_tag,
+// between the internal-collective and FT tag ranges). Those tags are
+// deliberately *inside* the revoke poison set: a revocation mid-save
+// completes the partner receives with comm_revoked, the rank votes abort,
+// and the agree()-backed commit — which runs on FT tags and therefore works
+// on the revoked communicator — aborts the epoch uniformly.
+
+#include "sessmpi/ckpt/ckpt.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "detail/state.hpp"
+#include "sessmpi/base/stats.hpp"
+#include "sessmpi/ft/ft.hpp"
+#include "sessmpi/op.hpp"
+
+namespace sessmpi::ckpt {
+
+namespace {
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t take_u64(const std::vector<std::byte>& in, std::size_t& pos) {
+  if (pos + 8 > in.size()) {
+    throw Error(ErrClass::truncate, "ckpt: snapshot blob truncated");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 8;
+  return v;
+}
+
+/// Drop any of `reqs` still sitting in the posted queue: their buffers live
+/// in save()'s stack frame (same hazard agree.cpp scrubs against).
+void scrub_posted(detail::ProcState& ps,
+                  const std::shared_ptr<detail::CommState>& s,
+                  const std::vector<detail::RequestPtr>& reqs) {
+  std::lock_guard lock(ps.mu);
+  std::erase_if(s->posted, [&](const detail::RequestPtr& p) {
+    return std::find(reqs.begin(), reqs.end(), p) != reqs.end();
+  });
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_snapshot(
+    const std::map<std::string, std::vector<std::byte>>& datasets) {
+  std::vector<std::byte> out;
+  put_u64(out, datasets.size());
+  for (const auto& [name, bytes] : datasets) {
+    put_u64(out, name.size());
+    for (char c : name) {
+      out.push_back(static_cast<std::byte>(c));
+    }
+    put_u64(out, bytes.size());
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<std::byte>> decode_snapshot(
+    const std::vector<std::byte>& blob) {
+  std::map<std::string, std::vector<std::byte>> out;
+  std::size_t pos = 0;
+  const std::uint64_t count = take_u64(blob, pos);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t name_len = take_u64(blob, pos);
+    if (pos + name_len > blob.size()) {
+      throw Error(ErrClass::truncate, "ckpt: snapshot blob truncated");
+    }
+    std::string name(name_len, '\0');
+    for (std::uint64_t j = 0; j < name_len; ++j) {
+      name[j] = static_cast<char>(std::to_integer<std::uint8_t>(blob[pos + j]));
+    }
+    pos += name_len;
+    const std::uint64_t data_len = take_u64(blob, pos);
+    if (pos + data_len > blob.size()) {
+      throw Error(ErrClass::truncate, "ckpt: snapshot blob truncated");
+    }
+    out.emplace(std::move(name),
+                std::vector<std::byte>(blob.begin() + static_cast<long>(pos),
+                                       blob.begin() +
+                                           static_cast<long>(pos + data_len)));
+    pos += data_len;
+  }
+  return out;
+}
+
+Checkpointer::Checkpointer(std::string name, Config cfg)
+    : name_(std::move(name)), cfg_(std::move(cfg)) {
+  if (cfg_.keep_epochs == 0) {
+    cfg_.keep_epochs = 1;
+  }
+}
+
+void Checkpointer::register_dataset(const std::string& dataset, void* data,
+                                    std::size_t bytes) {
+  if (data == nullptr && bytes != 0) {
+    throw Error(ErrClass::buffer, "ckpt: null dataset pointer");
+  }
+  datasets_[dataset] = Dataset{data, bytes};
+}
+
+std::string Checkpointer::fs_path(std::uint64_t epoch, base::Rank owner) const {
+  return cfg_.fs_prefix + name_ + "/e" + std::to_string(epoch) + "/r" +
+         std::to_string(owner);
+}
+
+std::uint64_t Checkpointer::save(const Communicator& comm) {
+  const auto& s = detail_unwrap(comm);
+  if (!s || s->freed) {
+    throw Error(ErrClass::comm, "null or freed communicator");
+  }
+  detail::ProcState& ps = *s->ps;
+  const int n = s->size();
+  const int me = s->myrank;
+  const base::Rank my_global = s->global_of(me);
+
+  // Stage 1: local snapshot. Nothing commits until the vote.
+  Epoch staging;
+  staging.members = comm.group().members();
+  std::size_t own_bytes = 0;
+  for (const auto& [dsname, ds] : datasets_) {
+    const auto* p = static_cast<const std::byte*>(ds.data);
+    staging.own.emplace(dsname, std::vector<std::byte>(p, p + ds.bytes));
+    own_bytes += ds.bytes;
+  }
+
+  // A revocation observed at any point before the vote invalidates this
+  // save; the flag outlives this frame (the observer may fire later, after
+  // an abort already threw out of here).
+  auto invalidated = std::make_shared<std::atomic<bool>>(false);
+  const int obs_id =
+      comm.on_revoke([invalidated] { invalidated->store(true); });
+  struct ObserverGuard {
+    const Communicator& comm;
+    int id;
+    ~ObserverGuard() {
+      if (id != -1) {
+        comm.remove_on_revoke(id);
+      }
+    }
+  } obs_guard{comm, obs_id};
+
+  bool ok = obs_id != -1;  // -1: already revoked when we attached
+
+  std::uint32_t seq;
+  {
+    std::lock_guard lock(ps.mu);
+    seq = s->ckpt_seq++;
+  }
+
+  // Stage 2: partner redundancy — send my serialized snapshot `offset`
+  // ranks ahead, hold the snapshot of the rank `offset` behind.
+  std::vector<std::byte> partner_blob;
+  base::Rank partner_owner = -1;
+  const int off = n > 0 ? ((cfg_.partner_offset % n) + n) % n : 0;
+  if (ok && cfg_.partner_copy && off != 0) {
+    const int to = (me + off) % n;
+    const int from = (me - off + n) % n;
+    const std::vector<std::byte> mine = encode_snapshot(staging.own);
+    const std::uint64_t my_size = mine.size();
+    std::uint64_t their_size = 0;
+
+    std::vector<detail::RequestPtr> cleanup;
+    try {
+      detail::RequestPtr size_recv =
+          ps.irecv_impl(s, &their_size, 1, datatype_of<std::uint64_t>(), from,
+                        detail::ckpt_tag(seq, 0));
+      cleanup.push_back(size_recv);
+      ps.isend_impl(s, &my_size, 1, datatype_of<std::uint64_t>(), to,
+                    detail::ckpt_tag(seq, 0), /*sync=*/false);
+      ps.progress_until([&] { return size_recv->done(); });
+      if (size_recv->status.error != ErrClass::success) {
+        ok = false;
+      } else {
+        partner_blob.resize(their_size);
+        detail::RequestPtr blob_recv = ps.irecv_impl(
+            s, partner_blob.data(), static_cast<int>(their_size),
+            datatype_of<std::byte>(), from, detail::ckpt_tag(seq, 1));
+        cleanup.push_back(blob_recv);
+        ps.isend_impl(s, mine.data(), static_cast<int>(mine.size()),
+                      datatype_of<std::byte>(), to, detail::ckpt_tag(seq, 1),
+                      /*sync=*/false);
+        ps.progress_until([&] { return blob_recv->done(); });
+        if (blob_recv->status.error != ErrClass::success) {
+          ok = false;
+        } else {
+          partner_owner = staging.members[static_cast<std::size_t>(from)];
+        }
+      }
+    } catch (...) {
+      scrub_posted(ps, s, cleanup);
+      throw;
+    }
+    scrub_posted(ps, s, cleanup);
+  }
+
+  if (invalidated->load()) {
+    ok = false;
+  }
+
+  // Stage 3: uniform commit/abort vote. agree() runs on FT tags, so the
+  // vote reaches every survivor even on a revoked communicator; bit 0 of
+  // the AND survives iff every rank voted commit.
+  const std::uint64_t verdict = comm.agree(ok ? ~0ull : ~1ull);
+  if ((verdict & 1ull) == 0) {
+    base::counters().add("ckpt.aborted_saves");
+    if (invalidated->load() || comm.is_revoked()) {
+      throw Error(ErrClass::comm_revoked,
+                  "ckpt: save invalidated by communicator revocation");
+    }
+    throw Error(ErrClass::rte_proc_failed,
+                "ckpt: save aborted (a member voted abort)");
+  }
+
+  // Stage 4: commit locally, publish the epoch through PMIx, spill.
+  const std::uint64_t epoch = last_committed_ + 1;
+  Epoch& committed = epochs_[epoch];
+  committed = std::move(staging);
+  if (partner_owner != -1) {
+    committed.partner.emplace(partner_owner, std::move(partner_blob));
+  }
+  last_committed_ = epoch;
+  while (epochs_.size() > cfg_.keep_epochs) {
+    if (cfg_.spill_to_fs) {
+      ps.proc.cluster().fs().remove(fs_path(epochs_.begin()->first, my_global));
+    }
+    epochs_.erase(epochs_.begin());
+  }
+
+  ps.pmix().put("ckpt." + name_ + ".epoch", epoch);
+  ps.pmix().commit();
+
+  if (cfg_.spill_to_fs) {
+    const std::vector<std::byte> blob = encode_snapshot(committed.own);
+    const std::string path = fs_path(epoch, my_global);
+    ps.proc.cluster().fs().set_size(path, 0);
+    ps.proc.cluster().fs().write(path, 0, blob.data(), blob.size());
+    base::counters().add("ckpt.spills");
+  }
+
+  base::counters().add("ckpt.saves");
+  base::counters().add("ckpt.save_bytes", own_bytes);
+  return epoch;
+}
+
+RestoreResult Checkpointer::restore(const Communicator& comm) {
+  const auto& s = detail_unwrap(comm);
+  if (!s || s->freed) {
+    throw Error(ErrClass::comm, "null or freed communicator");
+  }
+  detail::ProcState& ps = *s->ps;
+  base::counters().add("ckpt.restores");
+
+  // Agree on the newest epoch *everyone* committed. Commit votes are
+  // uniform, so in practice all ranks agree already; min() also absorbs a
+  // rank that aborted its very first save (last_committed_ == 0 aborts the
+  // whole restore below, uniformly).
+  const std::uint64_t mine = last_committed_;
+  std::uint64_t epoch = 0;
+  comm.allreduce(&mine, &epoch, 1, datatype_of<std::uint64_t>(), Op::min());
+  if (epoch == 0) {
+    throw Error(ErrClass::arg, "ckpt: restore with no committed epoch");
+  }
+
+  // Uniform availability check before touching any registered buffer.
+  const auto it = epochs_.find(epoch);
+  const std::uint64_t missing = it == epochs_.end() ? 1 : 0;
+  std::uint64_t any_missing = 0;
+  comm.allreduce(&missing, &any_missing, 1, datatype_of<std::uint64_t>(),
+                 Op::max());
+  if (any_missing != 0) {
+    throw Error(ErrClass::rte_not_found,
+                "ckpt: epoch " + std::to_string(epoch) +
+                    " pruned on some member");
+  }
+  const Epoch& ed = it->second;
+
+  RestoreResult res;
+  res.epoch = epoch;
+  std::uint64_t bad = 0;
+
+  // My own datasets, bitwise.
+  std::size_t copied = 0;
+  for (const auto& [dsname, ds] : datasets_) {
+    const auto own_it = ed.own.find(dsname);
+    if (own_it == ed.own.end() || own_it->second.size() != ds.bytes) {
+      bad = 1;
+      continue;
+    }
+    if (ds.bytes != 0) {
+      std::memcpy(ds.data, own_it->second.data(), ds.bytes);
+    }
+    copied += ds.bytes;
+  }
+  base::counters().add("ckpt.restore_bytes", copied);
+
+  // Shards of members that did not make it into this communicator: the
+  // save-time partner adopts them; if the partner died too, the spill (when
+  // enabled) is the copy of last resort, assigned round-robin.
+  const Group now = comm.group();
+  const base::Rank my_global = s->global_of(s->myrank);
+  const int n_saved = static_cast<int>(ed.members.size());
+  const int off =
+      n_saved > 0 ? ((cfg_.partner_offset % n_saved) + n_saved) % n_saved : 0;
+  int orphan_idx = 0;
+  for (int r = 0; r < n_saved; ++r) {
+    const base::Rank owner = ed.members[static_cast<std::size_t>(r)];
+    if (now.contains(owner)) {
+      continue;
+    }
+    bool held_by_survivor = false;
+    if (cfg_.partner_copy && off != 0) {
+      const base::Rank holder =
+          ed.members[static_cast<std::size_t>((r + off) % n_saved)];
+      if (now.contains(holder)) {
+        held_by_survivor = true;
+        if (holder == my_global) {
+          const auto pit = ed.partner.find(owner);
+          if (pit == ed.partner.end()) {
+            bad = 1;
+          } else {
+            for (auto& [dsname, bytes] : decode_snapshot(pit->second)) {
+              res.adopted.push_back(Shard{owner, dsname, std::move(bytes)});
+            }
+            base::counters().add("ckpt.partner_rebuilds");
+          }
+        }
+      }
+    }
+    if (!held_by_survivor) {
+      if (!cfg_.spill_to_fs) {
+        bad = 1;  // deterministic: every rank reaches the same conclusion
+      } else if (comm.rank() == orphan_idx % comm.size()) {
+        prte::SimFs& fs = ps.proc.cluster().fs();
+        const std::string path = fs_path(epoch, owner);
+        const auto sz = fs.size(path);
+        if (!sz) {
+          bad = 1;
+        } else {
+          std::vector<std::byte> blob(*sz);
+          fs.read(path, 0, blob.data(), blob.size());
+          for (auto& [dsname, bytes] : decode_snapshot(blob)) {
+            res.adopted.push_back(Shard{owner, dsname, std::move(bytes)});
+          }
+          res.from_fs += 1;
+          base::counters().add("ckpt.fs_rebuilds");
+        }
+      }
+    }
+    ++orphan_idx;
+  }
+
+  // Uniform verdict: one lost shard fails the restore on every rank.
+  std::uint64_t worst = 0;
+  comm.allreduce(&bad, &worst, 1, datatype_of<std::uint64_t>(), Op::max());
+  if (worst != 0) {
+    throw Error(ErrClass::rte_not_found,
+                "ckpt: unrecoverable shard (owner and partner both failed, "
+                "no filesystem copy)");
+  }
+
+  last_committed_ = epoch;
+  epochs_.erase(epochs_.upper_bound(epoch), epochs_.end());
+  return res;
+}
+
+}  // namespace sessmpi::ckpt

@@ -1,0 +1,144 @@
+#pragma once
+
+// SCR-style multilevel checkpoint/restart on top of the fault-tolerance
+// layer (src/ft) and the Sessions pset machinery.
+//
+// Applications register named datasets (a pointer + byte count per rank);
+// `save(comm)` then takes a *coordinated* in-memory checkpoint:
+//
+//   1. snapshot every registered dataset into a staging epoch,
+//   2. (optionally) exchange the serialized snapshot with a partner rank —
+//      rank r sends to (r+offset) mod n and holds a redundant copy for
+//      (r-offset) mod n, SCR's PARTNER scheme,
+//   3. commit the epoch through an agree()-backed vote: each rank
+//      contributes ~0 on success or ~1 on any local failure; bit 0 of the
+//      AND decides commit/abort *uniformly* across survivors,
+//   4. publish the committed epoch through PMIx (`ckpt.<name>.epoch`) and
+//      (optionally) spill the snapshot to the shared SimFs — SCR's
+//      filesystem level, the copy of last resort.
+//
+// A revocation of the communicator mid-save invalidates the in-flight
+// epoch (via Communicator::on_revoke) and the save completes with
+// Error(comm_revoked) on every rank, previous epochs intact.
+//
+// After failures the application shrinks and calls `restore(new_comm)`:
+// survivors agree (allreduce-min) on the newest epoch everyone committed,
+// reload their own datasets bitwise, and *adopt* the shards of dead
+// members — from the partner copy when the partner survived (counter
+// ckpt.partner_rebuilds), else from the filesystem spill (counter
+// ckpt.fs_rebuilds). A shard with no surviving copy fails the restore
+// uniformly on every rank.
+//
+// Counters (base::counters()): ckpt.saves, ckpt.aborted_saves,
+// ckpt.save_bytes, ckpt.restores, ckpt.restore_bytes,
+// ckpt.partner_rebuilds, ckpt.fs_rebuilds, ckpt.spills.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sessmpi/base/topology.hpp"
+#include "sessmpi/comm.hpp"
+
+namespace sessmpi::ckpt {
+
+struct Config {
+  /// Keep a redundant copy of each rank's snapshot on a partner rank.
+  bool partner_copy = true;
+  /// Partner distance: rank r's copy lives on (r + partner_offset) mod n.
+  /// Use >= procs-per-node to survive whole-node failures.
+  int partner_offset = 1;
+  /// Also write each rank's snapshot to the shared SimFs (slowest, most
+  /// durable level — survives the partner dying with the owner).
+  bool spill_to_fs = false;
+  /// SimFs path prefix for spilled snapshots.
+  std::string fs_prefix = "/ckpt/";
+  /// Committed epochs retained in memory (older ones are pruned).
+  std::size_t keep_epochs = 2;
+};
+
+/// A dataset shard recovered on behalf of a dead member.
+struct Shard {
+  base::Rank owner = -1;   ///< global rank that saved the shard
+  std::string dataset;     ///< registered dataset name
+  std::vector<std::byte> bytes;
+};
+
+struct RestoreResult {
+  std::uint64_t epoch = 0;      ///< epoch everyone restored from
+  std::vector<Shard> adopted;   ///< shards this rank now holds for the dead
+  int from_fs = 0;              ///< adopted shards that came from the spill
+};
+
+/// Per-rank checkpoint manager. One instance per rank, persisting across
+/// communicator shrinks (the epochs live here, not on the communicator).
+/// Not thread-safe: drive it from the owning rank thread.
+class Checkpointer {
+ public:
+  /// `name` namespaces the PMIx keys and SimFs paths of this checkpoint
+  /// set; every participating rank must use the same name and config.
+  explicit Checkpointer(std::string name, Config cfg = {});
+
+  /// Register (or re-point) a named dataset: `bytes` bytes at `data`,
+  /// snapshotted on save and overwritten on restore. The pointer must stay
+  /// valid across save/restore calls.
+  void register_dataset(const std::string& dataset, void* data,
+                        std::size_t bytes);
+
+  /// Coordinated checkpoint over `comm` (collective). Returns the committed
+  /// epoch number. Throws Error(comm_revoked) if the communicator is (or
+  /// becomes) revoked mid-save, Error(rte_proc_failed) if a member failure
+  /// aborts the vote; previous epochs are untouched either way.
+  std::uint64_t save(const Communicator& comm);
+
+  /// Collective restore over the (post-shrink) communicator: reload own
+  /// datasets from the newest commonly-committed epoch and adopt dead
+  /// members' shards. Throws Error(arg) when no epoch was ever committed
+  /// and Error(rte_not_found) when a shard is unrecoverable — uniformly on
+  /// every rank.
+  RestoreResult restore(const Communicator& comm);
+
+  /// Newest epoch this rank committed (0 = none yet).
+  [[nodiscard]] std::uint64_t last_committed() const noexcept {
+    return last_committed_;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  struct Dataset {
+    void* data = nullptr;
+    std::size_t bytes = 0;
+  };
+  /// One committed (or staging) checkpoint generation.
+  struct Epoch {
+    /// My datasets, snapshotted. Keyed by dataset name.
+    std::map<std::string, std::vector<std::byte>> own;
+    /// Partner copies held for other ranks, keyed by owner global rank:
+    /// serialized snapshot blobs (decoded on demand at restore).
+    std::map<base::Rank, std::vector<std::byte>> partner;
+    /// Global ranks of the communicator at save time, by comm rank.
+    std::vector<base::Rank> members;
+  };
+
+  [[nodiscard]] std::string fs_path(std::uint64_t epoch,
+                                    base::Rank owner) const;
+
+  std::string name_;
+  Config cfg_;
+  std::map<std::string, Dataset> datasets_;  // registration order irrelevant
+  std::map<std::uint64_t, Epoch> epochs_;
+  std::uint64_t last_committed_ = 0;
+};
+
+/// Serialize `{name -> bytes}` into one blob (length-prefixed entries).
+std::vector<std::byte> encode_snapshot(
+    const std::map<std::string, std::vector<std::byte>>& datasets);
+/// Inverse of encode_snapshot. Throws Error(truncate) on a malformed blob.
+std::map<std::string, std::vector<std::byte>> decode_snapshot(
+    const std::vector<std::byte>& blob);
+
+}  // namespace sessmpi::ckpt

@@ -120,6 +120,25 @@ AttributeStore& Communicator::attributes() const {
   return checked(state_)->attrs;
 }
 
+int Communicator::on_revoke(std::function<void()> fn) const {
+  const auto& s = checked(state_);
+  std::lock_guard lock(s->ps->mu);
+  if (s->revoked) {
+    // Already revoked: never let an observer miss the event.
+    fn();
+    return -1;
+  }
+  const int id = s->next_revoke_observer++;
+  s->revoke_observers.emplace(id, std::move(fn));
+  return id;
+}
+
+void Communicator::remove_on_revoke(int id) const {
+  const auto& s = checked(state_);
+  std::lock_guard lock(s->ps->mu);
+  s->revoke_observers.erase(id);
+}
+
 // ---------------------------------------------------------------------------
 // Point-to-point
 // ---------------------------------------------------------------------------

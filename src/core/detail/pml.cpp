@@ -332,6 +332,19 @@ void ProcState::revoke_comm_locked(const std::shared_ptr<CommState>& comm,
     }
   }
 
+  // Fire the revocation observers exactly once, after poisoning, so an
+  // observer (e.g. an in-flight checkpoint save) that inspects its pending
+  // requests sees them already completed with comm_revoked. Observers run
+  // under ps.mu (recursive), so they may query the communicator but must
+  // not block.
+  if (!comm->revoke_observers.empty()) {
+    auto observers = std::move(comm->revoke_observers);
+    comm->revoke_observers.clear();
+    for (auto& [id, fn] : observers) {
+      fn();
+    }
+  }
+
   if (!flood) {
     return;
   }
@@ -446,6 +459,7 @@ void ProcState::sweep_failed_peers_locked() {
 }
 
 void ProcState::progress_until(const std::function<bool()>& done) {
+  fabric::Fabric& fab = proc.cluster().fabric();
   for (;;) {
     if (done()) {
       return;
@@ -453,6 +467,16 @@ void ProcState::progress_until(const std::function<bool()>& done) {
     if (proc.cluster().aborted()) {
       throw Error(ErrClass::proc_aborted,
                   "cluster run aborting (a rank threw)");
+    }
+    // Self-failure unwind: a node kill (Cluster::fail_node) marks this
+    // process failed while its thread may be blocked here, mid-operation.
+    // Survivors stop talking to a failed rank (the fabric drops packets to
+    // it), so without this check the victim would wait forever and hang the
+    // join. Throwing lets the rank body observe Process::failed() and stop
+    // issuing MPI calls — the cooperative-death contract of the chaos layer.
+    if (fab.is_failed(proc.rank())) {
+      throw Error(ErrClass::rte_proc_failed,
+                  "this process was marked failed while blocked");
     }
     progress_pass(/*block=*/true);
   }

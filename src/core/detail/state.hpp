@@ -112,7 +112,16 @@ struct CommState {
   // --- fault tolerance (ULFM-style) ---------------------------------------
   bool revoked = false;         ///< revoke() observed: non-FT ops poisoned
   std::uint32_t ft_seq = 0;     ///< FT collective ordinal (agree/shrink tags)
+  std::uint32_t ckpt_seq = 0;   ///< checkpoint collective ordinal (src/ckpt)
   std::vector<std::uint8_t> acked;  ///< per comm rank: failure acknowledged
+
+  /// Revocation observers: hooks attached to this communicator that fire
+  /// exactly once, on the thread that first observes the revocation (local
+  /// revoke() call or remote revoke flood), after pending operations were
+  /// poisoned. src/ckpt attaches one per in-flight save so a revoked comm
+  /// invalidates the staged epoch instead of committing over it.
+  std::map<int, std::function<void()>> revoke_observers;
+  int next_revoke_observer = 0;
 
   struct Peer {
     int remote_cid = -1;   ///< peer's local CID once learned (ACK/ext header)
@@ -264,6 +273,18 @@ void teardown_world_objects(ProcState& ps);
 /// Tag used for round `round` of internal collective number `seq`.
 inline int internal_tag(std::uint32_t seq, int round) {
   return kInternalTagBase - static_cast<int>((seq % (1u << 20)) * 32u) - round;
+}
+
+/// Checkpoint-protocol tags (src/ckpt partner exchange) live between the
+/// internal collective range (bottoms out around -33.6M) and the FT range
+/// (-268M): isolated from application and collective traffic, but — unlike
+/// FT tags — *not* exempt from revoke poisoning: a checkpoint save caught by
+/// a revocation must abort, exactly like application traffic.
+inline constexpr int kCkptTagBase = -(1 << 27);
+
+/// Tag for sub-step `sub` of checkpoint collective number `seq`.
+inline int ckpt_tag(std::uint32_t seq, int sub) {
+  return kCkptTagBase - static_cast<int>((seq % (1u << 20)) * 8u) - sub;
 }
 
 /// FT-protocol tags live far below the internal collective tag range

@@ -44,6 +44,12 @@ MPI_Errhandler mpi_errors_return();
 inline constexpr int MPI_SUCCESS = 0;
 inline constexpr int MPI_ERR_ARG = 13;
 inline constexpr int MPI_MAX_PSET_NAME_LEN = 256;
+/// Extension codes (identity mapping of base::ErrClass, like everything
+/// returned through this boundary): a ULFM-revoked communicator, and the
+/// runtime's process-failure class. ckpt::Checkpointer::save surfaces
+/// SESSMPI_ERR_COMM_REVOKED when a revocation invalidates an in-flight save.
+inline constexpr int SESSMPI_ERR_COMM_REVOKED = 26;
+inline constexpr int SESSMPI_ERR_PROC_FAILED = 42;
 
 /// Map a sessmpi ErrClass value to the returned code (identity mapping of
 /// the underlying enum; MPI_SUCCESS == ErrClass::success).

@@ -22,6 +22,7 @@
 // revoked communicator — ULFM's carve-out for recovery operations.
 
 #include <algorithm>
+#include <mutex>
 
 #include "detail/state.hpp"
 #include "sessmpi/base/stats.hpp"
@@ -30,6 +31,23 @@
 namespace sessmpi {
 
 namespace {
+
+std::mutex g_agree_hook_mu;
+ft::testing::AgreeHook g_agree_hook;
+
+/// Fire the instrumentation hook for `step` (no-op unless a test installed
+/// one). Must be called with ps.mu NOT held: the hook may throw or issue
+/// failure injection that takes cluster-level locks.
+void hook(ft::AgreeStep step, int me) {
+  ft::testing::AgreeHook h;
+  {
+    std::lock_guard lock(g_agree_hook_mu);
+    h = g_agree_hook;
+  }
+  if (h) {
+    h(step, me);
+  }
+}
 
 /// Remove any of `reqs` still sitting in the posted queue (their receive
 /// buffers live on our stack frame; a late match after return would write
@@ -71,6 +89,8 @@ std::uint64_t Communicator::agree(std::uint64_t contribution) const {
   const int tag_contrib = detail::ft_tag(seq, 1);
   const int tag_result = detail::ft_tag(seq, 2);
 
+  hook(ft::AgreeStep::enter, me);
+
   const auto lowest_live = [&] {
     for (int r = 0; r < n; ++r) {
       if (!fab.is_failed(s->global_of(r))) {
@@ -89,6 +109,7 @@ std::uint64_t Communicator::agree(std::uint64_t contribution) const {
   cleanup.push_back(result_any);
 
   std::uint64_t decided = contribution;
+  try {
   for (;;) {
     if (result_any->done()) {
       decided = flooded;
@@ -132,13 +153,16 @@ std::uint64_t Communicator::agree(std::uint64_t contribution) const {
           }
         }
       }
+      hook(ft::AgreeStep::coordinator_gathered, me);
       break;
     }
 
     // Follower: push the contribution (eager — completes locally even if
     // the coordinator is already gone) and watch the coordinator.
+    hook(ft::AgreeStep::follower_pre_push, me);
     ps.isend_impl(s, &contribution, 1, datatype_of<std::uint64_t>(), coord,
                   tag_contrib, /*sync=*/false);
+    hook(ft::AgreeStep::follower_post_push, me);
     std::uint64_t watched = 0;
     detail::RequestPtr watch = ps.irecv_impl(s, &watched, 1,
                                              datatype_of<std::uint64_t>(),
@@ -159,20 +183,43 @@ std::uint64_t Communicator::agree(std::uint64_t contribution) const {
     // Coordinator died; converge on the next lowest live rank.
     base::counters().add("ft.agree_coordinator_deaths");
   }
+  } catch (...) {
+    // A throw mid-protocol (self marked failed, cluster abort, or a test
+    // hook modeling a crash) must not leave posted receives pointing at
+    // this dying stack frame.
+    scrub_posted(ps, s, cleanup);
+    throw;
+  }
 
   scrub_posted(ps, s, cleanup);
 
   // Flood the decision to every live member before returning, so survivors
   // that have not decided yet can adopt it even if we (or the coordinator)
   // die right after returning.
+  hook(ft::AgreeStep::pre_flood, me);
+  bool flood_first = true;
   for (int r = 0; r < n; ++r) {
     if (r == me || fab.is_failed(s->global_of(r))) {
       continue;
     }
     ps.isend_impl(s, &decided, 1, datatype_of<std::uint64_t>(), r, tag_result,
                   /*sync=*/false);
+    if (flood_first) {
+      flood_first = false;
+      hook(ft::AgreeStep::mid_flood, me);
+    }
   }
+  hook(ft::AgreeStep::post_flood, me);
   return decided;
 }
+
+namespace ft::testing {
+
+void set_agree_hook(AgreeHook new_hook) {
+  std::lock_guard lock(g_agree_hook_mu);
+  g_agree_hook = std::move(new_hook);
+}
+
+}  // namespace ft::testing
 
 }  // namespace sessmpi

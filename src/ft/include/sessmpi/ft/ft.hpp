@@ -31,6 +31,7 @@
 // ft.agree_coordinator_deaths, ft.shrinks, ft.shrink_retries.
 
 #include <cstdint>
+#include <functional>
 
 #include "sessmpi/comm.hpp"
 
@@ -39,5 +40,34 @@ namespace sessmpi::ft {
 /// Library presence probe (the FT methods on Communicator are defined by
 /// libsessmpi_ft; linking it is required to use them).
 constexpr bool kAvailable = true;
+
+/// Instrumentation points inside Communicator::agree, in protocol order.
+/// Property tests inject a failure at each step and assert that every
+/// survivor still decides the same value (uniformity under any single
+/// failure timing — the ULFM agreement contract).
+enum class AgreeStep : int {
+  enter = 0,             ///< sequence number taken, before any traffic
+  follower_pre_push,     ///< follower: about to push its contribution
+  follower_post_push,    ///< follower: pushed, about to watch the coordinator
+  coordinator_gathered,  ///< coordinator: all live contributions collected
+  pre_flood,             ///< decided locally, before flooding the result
+  mid_flood,             ///< after the first flood send, more pending
+  post_flood,            ///< flood complete, about to return
+  kNumSteps,
+};
+
+namespace testing {
+
+/// Called at each AgreeStep with the caller's comm rank. Process-wide
+/// (covers every rank thread); installed/cleared by tests. The hook may
+/// throw to abort the agreement on that rank — e.g. after marking the rank
+/// failed, to model a crash at exactly that protocol step.
+using AgreeHook = std::function<void(AgreeStep, int)>;
+
+/// Install (or, with nullptr, clear) the global agree hook. Not for
+/// concurrent use with in-flight agreements from a *previous* hook.
+void set_agree_hook(AgreeHook hook);
+
+}  // namespace testing
 
 }  // namespace sessmpi::ft

@@ -74,6 +74,19 @@ base::Result<Value> PmixClient::get(ProcId proc, const std::string& key,
   return *v;
 }
 
+base::Result<Value> PmixClient::get_immediate(ProcId proc,
+                                              const std::string& key) {
+  runtime_.server_of(self_).rpc_delay();
+  if (runtime_.topology().node_of(proc) != runtime_.topology().node_of(self_)) {
+    base::precise_delay(runtime_.cost().net_latency_ns);
+  }
+  auto v = runtime_.datastore().get_immediate(proc, key);
+  if (!v) {
+    return base::ErrClass::rte_not_found;
+  }
+  return *v;
+}
+
 CollectiveEngine::Outcome PmixClient::hier_collective(
     const std::string& op_tag, const std::vector<ProcId>& participants,
     std::optional<base::Nanos> timeout,

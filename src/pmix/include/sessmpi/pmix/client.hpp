@@ -48,6 +48,10 @@ class PmixClient {
   /// Blocking lookup of `key` published by `proc` (dmodex semantics).
   base::Result<Value> get(ProcId proc, const std::string& key,
                           base::Nanos timeout = std::chrono::seconds(5));
+  /// Non-blocking lookup (PMIX_IMMEDIATE): returns not_found instead of
+  /// waiting for the key to appear. Used by ckpt restore to probe a dead
+  /// peer's committed-epoch metadata without a 5 s stall per dead rank.
+  base::Result<Value> get_immediate(ProcId proc, const std::string& key);
 
   // --- fence ---------------------------------------------------------------
   /// Collective barrier over `procs` (must contain self). Events queued for

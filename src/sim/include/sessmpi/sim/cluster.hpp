@@ -90,6 +90,9 @@ class Cluster {
 
   [[nodiscard]] prte::Dvm& dvm() noexcept { return dvm_; }
   [[nodiscard]] fabric::Fabric& fabric() noexcept { return fabric_; }
+  /// Shared simulated filesystem (the DVM's SimFs) — the spill target for
+  /// src/ckpt filesystem-level checkpoints.
+  [[nodiscard]] prte::SimFs& fs() noexcept { return dvm_.fs(); }
   [[nodiscard]] const base::Topology& topology() const noexcept {
     return dvm_.topology();
   }

@@ -1,0 +1,342 @@
+// Checkpoint/restart subsystem tests: coordinated save, partner
+// redundancy, epoch metadata, revocation interaction, and the recovery
+// edge cases (dead partner, filesystem fallback, empty history).
+
+#include "sessmpi/ckpt/ckpt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "../core/harness.hpp"
+#include "sessmpi/base/stats.hpp"
+#include "sessmpi/capi.hpp"
+#include "sessmpi/ft/ft.hpp"
+
+namespace sessmpi {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::world_run;
+
+/// Deterministic per-rank payload: every byte depends on (rank, step, i).
+std::vector<std::uint8_t> payload(int rank, int step, std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(31u * static_cast<unsigned>(rank) +
+                                     7u * static_cast<unsigned>(step) + i);
+  }
+  return v;
+}
+
+/// In-place update of a registered buffer. Plain `dst = src` would move the
+/// allocation and leave the pointer handed to register_dataset() dangling.
+void overwrite(std::vector<std::uint8_t>& dst,
+               const std::vector<std::uint8_t>& src) {
+  ASSERT_EQ(dst.size(), src.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+TEST(Ckpt, SnapshotCodecRoundTrips) {
+  std::map<std::string, std::vector<std::byte>> in;
+  in["a"] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  in["longer-name"] = {};
+  in["z"] = std::vector<std::byte>(1000, std::byte{0x5a});
+  const auto blob = ckpt::encode_snapshot(in);
+  EXPECT_EQ(ckpt::decode_snapshot(blob), in);
+
+  auto truncated = blob;
+  truncated.resize(blob.size() - 1);
+  EXPECT_THROW(ckpt::decode_snapshot(truncated), Error);
+}
+
+TEST(Ckpt, SaveRestoreRoundTripAndEpochPruning) {
+  world_run(1, 4, [](sim::Process& p) {
+    const int me = static_cast<int>(p.rank());
+    std::vector<std::uint8_t> data = payload(me, 0, 256);
+    std::uint64_t counter = 0;
+
+    ckpt::Config cfg;
+    cfg.keep_epochs = 2;
+    ckpt::Checkpointer ck("roundtrip", cfg);
+    ck.register_dataset("data", data.data(), data.size());
+    ck.register_dataset("counter", &counter, sizeof counter);
+    EXPECT_EQ(ck.last_committed(), 0u);
+
+    // Three committed epochs; keep_epochs == 2 prunes the first.
+    for (int step = 1; step <= 3; ++step) {
+      overwrite(data, payload(me, step, 256));
+      counter = static_cast<std::uint64_t>(step);
+      EXPECT_EQ(ck.save(comm_world()), static_cast<std::uint64_t>(step));
+    }
+    EXPECT_EQ(ck.last_committed(), 3u);
+
+    // Clobber the live state, then restore: bitwise back to epoch 3.
+    std::fill(data.begin(), data.end(), std::uint8_t{0});
+    counter = 999;
+    const ckpt::RestoreResult res = ck.restore(comm_world());
+    EXPECT_EQ(res.epoch, 3u);
+    EXPECT_TRUE(res.adopted.empty());
+    EXPECT_EQ(data, payload(me, 3, 256));
+    EXPECT_EQ(counter, 3u);
+  });
+}
+
+TEST(Ckpt, PublishesEpochMetadataThroughPmix) {
+  world_run(1, 3, [](sim::Process& p) {
+    std::uint64_t x = 42;
+    ckpt::Checkpointer ck("meta");
+    ck.register_dataset("x", &x, sizeof x);
+    ck.save(comm_world());
+    comm_world().barrier();  // everyone committed & published
+    // Any rank can read any member's committed epoch from the modex.
+    const int peer = (static_cast<int>(p.rank()) + 1) % 3;
+    auto v = p.pmix_client->get(peer, "ckpt.meta.epoch");
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(std::get<std::uint64_t>(v.value()), 1u);
+  });
+}
+
+TEST(Ckpt, SaveOnRevokedCommFailsUniformlyWithoutCorruptingEpochs) {
+  world_run(1, 3, [](sim::Process& p) {
+    const int me = static_cast<int>(p.rank());
+    std::vector<std::uint8_t> data = payload(me, 1, 128);
+    ckpt::Checkpointer ck("revoked");
+    ck.register_dataset("data", data.data(), data.size());
+
+    Communicator comm = comm_world().dup();
+    EXPECT_EQ(ck.save(comm), 1u);  // epoch 1 commits normally
+
+    if (me == 0) {
+      comm.revoke();
+    } else {
+      // Observe the revocation the ULFM way: a pending receive poisoned by
+      // the incoming flood (progress runs inside the wait) — or, if the
+      // flood won the race, the post itself refuses.
+      try {
+        std::int32_t v = 0;
+        Request r = comm.irecv(&v, 1, Datatype::int32(), 0, 11);
+        EXPECT_EQ(r.wait().error, ErrClass::comm_revoked);
+      } catch (const Error& e) {
+        EXPECT_EQ(e.error_class(), ErrClass::comm_revoked);
+      }
+    }
+    EXPECT_TRUE(comm.is_revoked());
+
+    // A save caught by the revocation aborts with comm_revoked on every
+    // rank — the vote still runs (agree works on the wreck) so the abort
+    // is uniform, and epoch 1 stays intact.
+    overwrite(data, payload(me, 2, 128));
+    try {
+      ck.save(comm);
+      FAIL() << "save on a revoked communicator must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrClass::comm_revoked);
+      EXPECT_EQ(static_cast<int>(e.error_class()),
+                capi::SESSMPI_ERR_COMM_REVOKED);
+    }
+    EXPECT_EQ(ck.last_committed(), 1u);
+
+    // Restore (over the healthy parent) returns the epoch-1 contents.
+    const ckpt::RestoreResult res = ck.restore(comm_world());
+    EXPECT_EQ(res.epoch, 1u);
+    EXPECT_EQ(data, payload(me, 1, 128));
+    comm.free();
+  });
+}
+
+TEST(Ckpt, RevokeObserverFiresOnceAndImmediatelyWhenLate) {
+  world_run(1, 2, [](sim::Process& p) {
+    Communicator comm = comm_world().dup();
+    std::atomic<int> fired{0};
+    const int id = comm.on_revoke([&] { fired.fetch_add(1); });
+    EXPECT_GE(id, 0);
+    comm_world().barrier();
+    if (p.rank() == 0) {
+      comm.revoke();
+    } else {
+      try {
+        std::int32_t v = 0;
+        Request r = comm.irecv(&v, 1, Datatype::int32(), 0, 11);
+        EXPECT_EQ(r.wait().error, ErrClass::comm_revoked);
+      } catch (const Error& e) {
+        EXPECT_EQ(e.error_class(), ErrClass::comm_revoked);
+      }
+    }
+    EXPECT_EQ(fired.load(), 1);
+    // Attaching after the fact fires immediately and returns -1.
+    std::atomic<int> late{0};
+    EXPECT_EQ(comm.on_revoke([&] { late.fetch_add(1); }), -1);
+    EXPECT_EQ(late.load(), 1);
+    comm_world().barrier();
+    comm.free();
+  });
+}
+
+TEST(Ckpt, RestoreWithNoCommittedEpochFailsCleanly) {
+  world_run(1, 3, [](sim::Process&) {
+    std::uint64_t x = 7;
+    ckpt::Checkpointer ck("empty");
+    ck.register_dataset("x", &x, sizeof x);
+    try {
+      ck.restore(comm_world());
+      FAIL() << "restore with no committed epoch must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrClass::arg);
+    }
+    EXPECT_EQ(x, 7u);  // registered buffer untouched
+    comm_world().barrier();  // the failure left the comm usable
+  });
+}
+
+TEST(Ckpt, PartnerRebuildAdoptsDeadRanksShard) {
+  constexpr int kRanks = 4;
+  const std::uint64_t rebuilds_before =
+      base::counters().value("ckpt.partner_rebuilds");
+  std::atomic<int> saved{0};
+  world_run(1, kRanks, [&](sim::Process& p) {
+    const int me = static_cast<int>(p.rank());
+    std::vector<std::uint8_t> data = payload(me, 1, 64);
+    ckpt::Checkpointer ck("partner");
+    ck.register_dataset("data", data.data(), data.size());
+    ck.save(comm_world());
+    saved.fetch_add(1);
+
+    if (me == 1) {
+      // Die only after every rank committed, so the save itself is clean.
+      while (saved.load() < kRanks) {
+        std::this_thread::sleep_for(1ms);
+      }
+      p.fail();
+      return;
+    }
+    while (!p.cluster().fabric().is_failed(1)) {
+      std::this_thread::sleep_for(1ms);
+    }
+    // ULFM recipe: revoke, shrink, then restore over the survivors.
+    comm_world().ack_failed();
+    Communicator survivors = comm_world().shrink();
+    const ckpt::RestoreResult res = ck.restore(survivors);
+    EXPECT_EQ(res.epoch, 1u);
+    EXPECT_EQ(data, payload(me, 1, 64));
+    if (me == 2) {
+      // Rank 1's save-time partner was (1 + 1) mod 4 = 2: it adopts.
+      ASSERT_EQ(res.adopted.size(), 1u);
+      EXPECT_EQ(res.adopted[0].owner, 1);
+      EXPECT_EQ(res.adopted[0].dataset, "data");
+      const auto want = payload(1, 1, 64);
+      ASSERT_EQ(res.adopted[0].bytes.size(), want.size());
+      EXPECT_EQ(std::memcmp(res.adopted[0].bytes.data(), want.data(),
+                            want.size()),
+                0);
+      EXPECT_EQ(res.from_fs, 0);
+    } else {
+      EXPECT_TRUE(res.adopted.empty());
+    }
+    survivors.free();
+  });
+  EXPECT_GT(base::counters().value("ckpt.partner_rebuilds"), rebuilds_before);
+}
+
+TEST(Ckpt, UnrecoverableWhenOwnerAndPartnerBothDieWithoutSpill) {
+  constexpr int kRanks = 4;
+  std::atomic<int> saved{0};
+  world_run(1, kRanks, [&](sim::Process& p) {
+    const int me = static_cast<int>(p.rank());
+    std::vector<std::uint8_t> data = payload(me, 1, 32);
+    ckpt::Checkpointer ck("lost");
+    ck.register_dataset("data", data.data(), data.size());
+    ck.save(comm_world());
+    saved.fetch_add(1);
+
+    // Rank 1 and its partner (rank 2) both die: the shard of rank 1 has no
+    // surviving copy and no spill was configured.
+    if (me == 1 || me == 2) {
+      while (saved.load() < kRanks) {
+        std::this_thread::sleep_for(1ms);
+      }
+      p.fail();
+      return;
+    }
+    while (!p.cluster().fabric().is_failed(1) ||
+           !p.cluster().fabric().is_failed(2)) {
+      std::this_thread::sleep_for(1ms);
+    }
+    comm_world().ack_failed();
+    Communicator survivors = comm_world().shrink();
+    try {
+      ck.restore(survivors);
+      FAIL() << "restore must report the unrecoverable shard";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrClass::rte_not_found);
+    }
+    // The failed restore is uniform, and the communicator stays usable.
+    std::int64_t one = 1;
+    std::int64_t sum = 0;
+    survivors.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+    EXPECT_EQ(sum, 2);
+    survivors.free();
+  });
+}
+
+TEST(Ckpt, FilesystemSpillRecoversWhenOwnerAndPartnerBothDie) {
+  constexpr int kRanks = 4;
+  const std::uint64_t fs_before = base::counters().value("ckpt.fs_rebuilds");
+  std::atomic<int> saved{0};
+  world_run(1, kRanks, [&](sim::Process& p) {
+    const int me = static_cast<int>(p.rank());
+    std::vector<std::uint8_t> data = payload(me, 1, 96);
+    ckpt::Config cfg;
+    cfg.spill_to_fs = true;
+    ckpt::Checkpointer ck("spill", cfg);
+    ck.register_dataset("data", data.data(), data.size());
+    ck.save(comm_world());
+    saved.fetch_add(1);
+
+    if (me == 1 || me == 2) {
+      while (saved.load() < kRanks) {
+        std::this_thread::sleep_for(1ms);
+      }
+      p.fail();
+      return;
+    }
+    while (!p.cluster().fabric().is_failed(1) ||
+           !p.cluster().fabric().is_failed(2)) {
+      std::this_thread::sleep_for(1ms);
+    }
+    comm_world().ack_failed();
+    Communicator survivors = comm_world().shrink();
+    const ckpt::RestoreResult res = ck.restore(survivors);
+    EXPECT_EQ(res.epoch, 1u);
+    EXPECT_EQ(data, payload(me, 1, 96));
+    // Owner 2's save-time partner (rank 3) survived, so that shard comes
+    // back the cheap way; owner 1's partner (rank 2) died with it, so its
+    // shard must come off the filesystem spill — adopted by rank 0 (the
+    // deterministic round-robin assignee of orphan 0).
+    ASSERT_EQ(res.adopted.size(), 1u);
+    const int owner = static_cast<int>(res.adopted[0].owner);
+    if (me == 0) {
+      EXPECT_EQ(owner, 1);
+      EXPECT_EQ(res.from_fs, 1);
+    } else {
+      EXPECT_EQ(owner, 2);
+      EXPECT_EQ(res.from_fs, 0);  // partner rebuild, not spill
+    }
+    const auto want = payload(owner, 1, 96);
+    ASSERT_EQ(res.adopted[0].bytes.size(), want.size());
+    EXPECT_EQ(
+        std::memcmp(res.adopted[0].bytes.data(), want.data(), want.size()), 0);
+    survivors.free();
+  });
+  EXPECT_GE(base::counters().value("ckpt.fs_rebuilds"), fs_before + 1);
+}
+
+}  // namespace
+}  // namespace sessmpi

@@ -1,0 +1,362 @@
+// Chaos soak matrix: a parameterized fault-tolerance workload — ring
+// exchange + nonblocking barrier + periodic coordinated checkpoints, with
+// ULFM revoke/shrink + ckpt restore as the recovery path — swept across
+// (drop fraction x kill schedule x rank count) with seeded determinism.
+// Each SOAK_CASE expands to its own TEST so ctest registers every matrix
+// point as an individual case (label: soak).
+//
+// The final test is the acceptance scenario: 8 ranks, 10% packet drop, a
+// scheduled whole-node kill mid-iteration; survivors shrink, restore from
+// the last committed epoch, and every restored byte — own datasets and
+// adopted shards of the dead — is compared against a no-fault golden run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../core/harness.hpp"
+#include "sessmpi/base/stats.hpp"
+#include "sessmpi/ckpt/ckpt.hpp"
+#include "sessmpi/ft/ft.hpp"
+#include "sessmpi/sim/chaos.hpp"
+
+namespace sessmpi {
+namespace {
+
+constexpr std::size_t kBytes = 128;   ///< per-rank dataset size
+constexpr int kSaveEvery = 3;         ///< checkpoint cadence (iterations)
+
+/// Deterministic dataset contents: a pure function of (owner, iteration),
+/// so a restored state is bitwise-checkable without reference to the run
+/// that produced it — and identical between a faulty and a golden run.
+std::vector<std::uint8_t> state_of(int owner, std::uint64_t iter) {
+  std::vector<std::uint8_t> v(kBytes);
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    v[i] = static_cast<std::uint8_t>(131u * static_cast<unsigned>(owner) +
+                                     17u * static_cast<unsigned>(iter) + i);
+  }
+  return v;
+}
+
+struct SoakParams {
+  int nodes = 1;
+  int ppn = 4;
+  std::uint64_t iters = 9;  ///< iterations each survivor must complete
+  std::uint64_t seed = 1;
+  double drop = 0.0;
+  int kill_every = 0;  ///< cooperative periodic rank kills (0 = off)
+  int max_kills = 0;
+  std::vector<std::pair<int, int>> kill_node_at;  ///< (step, node)
+};
+
+/// What the workload observed, for cross-run comparison.
+struct SoakRecord {
+  std::mutex mu;
+  /// Dataset bytes at each committed save: (owner global rank, epoch).
+  std::map<std::pair<int, std::uint64_t>, std::vector<std::uint8_t>> saved;
+  struct Restore {
+    int global = -1;
+    std::uint64_t epoch = 0;
+    std::vector<std::uint8_t> own;   ///< own dataset after the restore
+    std::vector<ckpt::Shard> adopted;
+    int from_fs = 0;
+  };
+  std::vector<Restore> restores;
+  std::map<int, std::uint64_t> final_iter;  ///< survivors only
+};
+
+sim::Cluster::Options soak_opts(const SoakParams& prm) {
+  sim::Cluster::Options opts = testing::zero_opts(prm.nodes, prm.ppn);
+  // Lossy-run timers (cf. the LossyLinks integration test): RTOs scaled to
+  // the zero-cost wire, retry cap high enough that seeded drops cannot
+  // spuriously escalate a live rank.
+  opts.reliability.tick_ns = 100'000;
+  opts.reliability.rto_base_ns = 1'000'000;
+  opts.reliability.rto_cap_ns = 8'000'000;
+  opts.reliability.max_retries = 40;
+  return opts;
+}
+
+sim::ChaosPolicy soak_policy(const SoakParams& prm) {
+  sim::ChaosPolicy pol;
+  pol.seed = prm.seed;
+  pol.drop_fraction = prm.drop;
+  pol.kill_every_steps = prm.kill_every;
+  pol.max_kills = prm.max_kills;
+  pol.min_survivors = 2;
+  pol.kill_node_at = prm.kill_node_at;
+  return pol;
+}
+
+/// The soak workload. Every iteration: chaos step boundary, tagged ring
+/// sendrecv, nonblocking barrier, state advance, periodic checkpoint. Any
+/// Error drops into the recovery path: revoke, shrink, restore, resume from
+/// the restored iteration. Non-cooperative deaths (node-mates of a killed
+/// rank, unwound out of a blocked call by the PML's self-failure check)
+/// leave via the p.failed() exits.
+void soak_body(sim::Cluster& cluster, sim::ChaosMonkey& monkey,
+               const SoakParams& prm, SoakRecord& rec) {
+  cluster.run([&](sim::Process& p) {
+    const int g = static_cast<int>(p.rank());
+    Session sess = Session::init(Info::null(), Errhandler::errors_return());
+    Communicator comm = Communicator::create_from_group(
+        sess.group_from_pset("mpi://world"), "soak", Info::null(),
+        Errhandler::errors_return());
+
+    std::vector<std::uint8_t> data = state_of(g, 0);
+    std::uint64_t iter = 0;
+    ckpt::Config cfg;
+    // Partner on another node when there is one (survives node failure);
+    // the filesystem spill is the copy of last resort either way.
+    cfg.partner_offset = prm.nodes > 1 ? prm.ppn : 1;
+    cfg.spill_to_fs = true;
+    ckpt::Checkpointer ck("soak", cfg);
+    ck.register_dataset("data", data.data(), data.size());
+    ck.register_dataset("iter", &iter, sizeof iter);
+
+    int step = 0;
+    int recoveries = 0;
+    while (iter < prm.iters) {
+      if (!monkey.step(p, ++step)) {
+        return;  // scheduled (cooperative) death
+      }
+      try {
+        const std::uint64_t next = iter + 1;
+        const int n = comm.size();
+        const int me = comm.rank();
+        if (n > 1) {
+          // Ring exchange tagged by iteration: a cross-iteration match
+          // (lost/duplicated/reordered message) shows up as a wrong value.
+          std::int64_t in = -1;
+          const std::int64_t out =
+              g * 1'000'000 + static_cast<std::int64_t>(next);
+          const int tag = static_cast<int>(next % 1000);
+          const Status rst =
+              comm.sendrecv(&out, 1, Datatype::int64(), (me + 1) % n, tag,
+                            &in, 1, Datatype::int64(), (me + n - 1) % n, tag);
+          if (rst.error != ErrClass::success) {
+            throw Error(rst.error, "soak: ring exchange poisoned");
+          }
+          EXPECT_EQ(in % 1'000'000, static_cast<std::int64_t>(next));
+        }
+        const Status bst = comm.ibarrier().wait();
+        if (bst.error != ErrClass::success) {
+          throw Error(bst.error, "soak: barrier poisoned");
+        }
+        // In place: `data = ...` would move the allocation out from under
+        // the pointer registered with the Checkpointer.
+        const std::vector<std::uint8_t> advanced = state_of(g, next);
+        std::copy(advanced.begin(), advanced.end(), data.begin());
+        iter = next;
+        if (iter % kSaveEvery == 0) {
+          const std::uint64_t e = ck.save(comm);
+          std::lock_guard lk(rec.mu);
+          rec.saved[{g, e}] = data;
+        }
+      } catch (const Error&) {
+        if (p.failed()) {
+          return;  // this rank was killed mid-operation (node kill)
+        }
+        if (++recoveries > 20) {
+          ADD_FAILURE() << "rank " << g << ": recovery did not converge";
+          return;
+        }
+        try {
+          if (!comm.is_revoked()) {
+            comm.revoke();
+          }
+          Communicator shrunk = comm.shrink();
+          comm.free();
+          comm = shrunk;
+          const ckpt::RestoreResult res = ck.restore(comm);
+          EXPECT_EQ(iter, res.epoch * kSaveEvery);
+          EXPECT_EQ(data, state_of(g, iter));  // bitwise rewind
+          std::lock_guard lk(rec.mu);
+          rec.restores.push_back(
+              {g, res.epoch, data, res.adopted, res.from_fs});
+        } catch (const Error&) {
+          if (p.failed()) {
+            return;
+          }
+          // Another failure landed mid-recovery (or the shrink raced a
+          // concurrent vote): loop around and recover again.
+        }
+      }
+    }
+    {
+      std::lock_guard lk(rec.mu);
+      rec.final_iter[g] = iter;
+    }
+    comm.free();
+    sess.finalize();
+  });
+}
+
+/// Invariants every matrix point must satisfy, chaos or not: survivors
+/// finish all iterations, every restore rewound bitwise-correctly (checked
+/// in-body), and the survivor set is exactly the non-failed ranks.
+void run_soak(const SoakParams& prm) {
+  sim::Cluster cluster{soak_opts(prm)};
+  sim::ChaosMonkey monkey{cluster, soak_policy(prm)};
+  SoakRecord rec;
+  soak_body(cluster, monkey, prm, rec);
+
+  const int ranks = prm.nodes * prm.ppn;
+  int survivors = 0;
+  for (int r = 0; r < ranks; ++r) {
+    if (cluster.fabric().is_failed(r)) {
+      EXPECT_EQ(rec.final_iter.count(r), 0u) << "dead rank " << r << " finished";
+      continue;
+    }
+    ++survivors;
+    ASSERT_EQ(rec.final_iter.count(r), 1u) << "rank " << r << " never finished";
+    EXPECT_EQ(rec.final_iter[r], prm.iters);
+  }
+  EXPECT_GE(survivors, 2);
+  // kills() counts kill *events* (a node kill is one event, ppn deaths);
+  // the schedule's victim list is the per-rank ground truth.
+  EXPECT_EQ(static_cast<std::size_t>(ranks - survivors),
+            monkey.schedule().victims().size());
+  if (!monkey.schedule().victims().empty()) {
+    EXPECT_FALSE(rec.restores.empty()) << "kills happened but nobody restored";
+  }
+}
+
+/// One matrix point = one ctest case (gtest_discover_tests registers each
+/// TEST individually; the binary carries the `soak` label).
+#define SOAK_CASE(name, nodes_, ppn_, iters_, seed_, drop_, kill_every_, \
+                  max_kills_, ...)                                       \
+  TEST(Soak, name) {                                                     \
+    SoakParams prm;                                                      \
+    prm.nodes = (nodes_);                                                \
+    prm.ppn = (ppn_);                                                    \
+    prm.iters = (iters_);                                                \
+    prm.seed = (seed_);                                                  \
+    prm.drop = (drop_);                                                  \
+    prm.kill_every = (kill_every_);                                      \
+    prm.max_kills = (max_kills_);                                        \
+    prm.kill_node_at = {__VA_ARGS__};                                    \
+    run_soak(prm);                                                       \
+  }
+
+//        name                  nodes ppn iters seed drop  every kills  node kills
+SOAK_CASE(Clean4Ranks,             1,  4,   9,   11, 0.00,  0,    0)
+SOAK_CASE(Drop10Clean4Ranks,       1,  4,   9,   12, 0.10,  0,    0)
+SOAK_CASE(Kill1of4,                1,  4,   9,   13, 0.00,  5,    1)
+SOAK_CASE(Drop10Kill1of8,          2,  4,  12,   14, 0.10,  6,    1)
+SOAK_CASE(Drop25Kill2of8,          2,  4,  12,   15, 0.25,  5,    2)
+SOAK_CASE(NodeKill8Ranks,          2,  4,   9,   16, 0.00,  0,    0, {5, 1})
+SOAK_CASE(Drop10NodeKill8Ranks,    2,  4,   9,   17, 0.10,  0,    0, {5, 1})
+
+#undef SOAK_CASE
+
+TEST(Soak, GoldenBitwiseRestoreAfterNodeKill) {
+  // Acceptance scenario. Golden pass: same workload, no chaos.
+  SoakParams golden_prm;
+  golden_prm.nodes = 2;
+  golden_prm.ppn = 4;
+  golden_prm.iters = 9;
+  SoakRecord golden;
+  {
+    sim::Cluster cluster{soak_opts(golden_prm)};
+    sim::ChaosMonkey monkey{cluster, sim::ChaosPolicy{}};
+    soak_body(cluster, monkey, golden_prm, golden);
+  }
+  for (int g = 0; g < 8; ++g) {
+    ASSERT_EQ(golden.final_iter.at(g), 9u);
+    for (std::uint64_t e = 1; e <= 3; ++e) {
+      ASSERT_EQ(golden.saved.count({g, e}), 1u);
+    }
+  }
+  EXPECT_TRUE(golden.restores.empty());
+
+  // Faulty pass: 10% seeded drop the whole run, node 1 (ranks 4..7) killed
+  // at step 5 — mid-iteration for its node-mates, between epochs 1 and 2.
+  SoakParams faulty_prm = golden_prm;
+  faulty_prm.seed = 2026;
+  faulty_prm.drop = 0.10;
+  faulty_prm.kill_node_at = {{5, 1}};
+  SoakRecord faulty;
+  const std::uint64_t fs_rebuilds_before =
+      base::counters().value("ckpt.partner_rebuilds") +
+      base::counters().value("ckpt.fs_rebuilds");
+  {
+    sim::Cluster cluster{soak_opts(faulty_prm)};
+    sim::ChaosMonkey monkey{cluster, soak_policy(faulty_prm)};
+    soak_body(cluster, monkey, faulty_prm, faulty);
+    EXPECT_EQ(monkey.schedule().victims().size(), 4u);
+    for (int r = 4; r < 8; ++r) {
+      EXPECT_TRUE(cluster.fabric().is_failed(r)) << "rank " << r;
+    }
+    EXPECT_GT(cluster.fabric().chaos_dropped(), 0u);
+  }
+
+  // Survivors (ranks 0..3) resumed and completed all 9 iterations.
+  for (int g = 0; g < 4; ++g) {
+    ASSERT_EQ(faulty.final_iter.count(g), 1u);
+    EXPECT_EQ(faulty.final_iter.at(g), 9u);
+  }
+  for (int g = 4; g < 8; ++g) {
+    EXPECT_EQ(faulty.final_iter.count(g), 0u);
+  }
+
+  // Every byte the faulty run ever committed matches the golden run's
+  // committed bytes for the same (owner, epoch) — the checkpoint pipeline
+  // is content-transparent even under 10% loss and a node failure.
+  for (const auto& [key, bytes] : faulty.saved) {
+    ASSERT_EQ(golden.saved.count(key), 1u)
+        << "epoch " << key.second << " of rank " << key.first
+        << " committed only in the faulty run";
+    EXPECT_EQ(bytes, golden.saved.at(key))
+        << "rank " << key.first << " epoch " << key.second;
+  }
+
+  // Restores resumed from the last committed epoch (1: the node died before
+  // epoch 2), with own data bitwise-equal to the golden save and the dead
+  // node's shards adopted bitwise-intact. With partner_offset == ppn the
+  // dead node's partner copies live on the surviving node — this is exactly
+  // the single-node-loss case SCR's PARTNER level is built for, so every
+  // shard comes back the cheap way and the spill stays untouched.
+  // (keyed by rank: a survivor may legitimately restore more than once if
+  // another error lands mid-recovery, so compare each rank's last restore).
+  std::map<int, const SoakRecord::Restore*> last_restore;
+  for (const auto& r : faulty.restores) {
+    last_restore[r.global] = &r;
+  }
+  ASSERT_EQ(last_restore.size(), 4u);
+  int adopted_total = 0;
+  int from_fs_total = 0;
+  for (const auto& entry : last_restore) {
+    const SoakRecord::Restore& r = *entry.second;
+    EXPECT_EQ(r.epoch, 1u);
+    EXPECT_EQ(r.own, golden.saved.at({r.global, r.epoch}));
+    from_fs_total += r.from_fs;
+    for (const auto& shard : r.adopted) {
+      EXPECT_GE(shard.owner, 4);  // only node-1 ranks were lost
+      if (shard.dataset != "data") {
+        continue;
+      }
+      ++adopted_total;
+      const auto& want = golden.saved.at({static_cast<int>(shard.owner), 1u});
+      ASSERT_EQ(shard.bytes.size(), want.size());
+      EXPECT_EQ(std::memcmp(shard.bytes.data(), want.data(), want.size()), 0)
+          << "adopted shard of rank " << shard.owner;
+    }
+  }
+  EXPECT_EQ(adopted_total, 4);  // every dead rank's dataset was adopted
+  EXPECT_EQ(from_fs_total, 0);  // all via surviving cross-node partners
+  EXPECT_GE(base::counters().value("ckpt.partner_rebuilds") +
+                base::counters().value("ckpt.fs_rebuilds"),
+            fs_rebuilds_before + 4);
+}
+
+}  // namespace
+}  // namespace sessmpi
