@@ -125,7 +125,9 @@ double measure_recovery_cycle(std::size_t bytes) {
 }  // namespace
 }  // namespace sessmpi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const auto trace_dir =
+      sessmpi::bench::trace_dir_from_args(argc, argv);
   using namespace sessmpi;
   using namespace sessmpi::bench;
   using base::Table;
@@ -156,5 +158,6 @@ int main() {
                "is bounded by shrink (agreement + CID construction), not by "
                "the rebuild copy.\n";
   print_counters_json("bench_ckpt");
+  flush_trace(trace_dir, "bench_ckpt");
   return 0;
 }

@@ -85,7 +85,9 @@ void sweep(const char* title, const char* note, int ppn,
 }  // namespace
 }  // namespace sessmpi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const auto trace_dir =
+      sessmpi::bench::trace_dir_from_args(argc, argv);
   using namespace sessmpi;
   using namespace sessmpi::bench;
   std::cout << "bench_comm_dup: reproduces Figure 4 (MPI_Comm_dup cost)\n";
@@ -106,5 +108,6 @@ int main() {
                "derivation removes most of that gap (the §IV-C2 'more "
                "complex series' remark).\n";
   print_counters_json("bench_comm_dup");
+  flush_trace(trace_dir, "bench_comm_dup");
   return 0;
 }

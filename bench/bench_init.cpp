@@ -82,7 +82,9 @@ void figure(const char* name, int ppn, const std::vector<int>& node_counts) {
 }  // namespace
 }  // namespace sessmpi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const auto trace_dir =
+      sessmpi::bench::trace_dir_from_args(argc, argv);
   using namespace sessmpi;
   using namespace sessmpi::bench;
   std::cout << "bench_init: reproduces Figure 3 (MPI startup overhead)\n";
@@ -92,5 +94,6 @@ int main() {
                "ppn the session-handle (resource init) share is ~30%; at 1 "
                "ppn resource init dominates the sessions path.\n";
   print_counters_json("bench_init");
+  flush_trace(trace_dir, "bench_init");
   return 0;
 }

@@ -48,7 +48,9 @@ double pingpong_us(const Communicator& comm, std::size_t size) {
 }  // namespace
 }  // namespace sessmpi::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const auto trace_dir =
+      sessmpi::bench::trace_dir_from_args(argc, argv);
   using namespace sessmpi;
   using namespace sessmpi::bench;
   std::cout << "bench_latency: reproduces Figure 5a (on-node osu_latency, "
@@ -98,5 +100,6 @@ int main() {
                "handshake completes during warmup; steady state uses the "
                "same 14-byte fast path).\n";
   print_counters_json("bench_latency");
+  flush_trace(trace_dir, "bench_latency");
   return 0;
 }

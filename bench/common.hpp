@@ -4,16 +4,20 @@
 // clusters, cross-rank timing collection, and paper-style table output.
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/mpi.hpp"
+#include "sessmpi/obs/trace.hpp"
+#include "sessmpi/obs/trace_json.hpp"
 #include "sessmpi/sim/cluster.hpp"
 
 namespace sessmpi::bench {
@@ -83,6 +87,60 @@ inline void print_counters_json(const std::string& bench_name) {
             << "\", \"counters\": ";
   base::counters().print_json(std::cout);
   std::cout << "}\n";
+}
+
+/// True if `name` appears among the args.
+inline bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// `--trace <dir>` / `--trace=<dir>`: output directory for per-rank Chrome
+/// trace files. Parsing it also enables the tracer for the whole run.
+inline std::optional<std::string> trace_dir_from_args(int argc, char** argv) {
+  std::optional<std::string> dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      dir = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      dir = argv[i] + 8;
+    }
+  }
+  if (dir) {
+    obs::Tracer::instance().set_enabled(true);
+  }
+  return dir;
+}
+
+/// Flush the collected trace into per-rank files under `dir` and print one
+/// `TRACE=<path>` line per file (the driver-side marker, like
+/// COUNTERS_JSON). Call after every cluster has been destroyed — the
+/// tracer's rings may only be read once all writer threads are quiescent.
+inline void flush_trace(const std::optional<std::string>& dir,
+                        const std::string& bench_name) {
+  if (!dir) {
+    return;
+  }
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_enabled(false);
+  const auto events = tracer.collect();
+  const auto paths = obs::write_rank_traces(*dir, bench_name, events);
+  for (const auto& path : paths) {
+    std::cout << "TRACE=" << path << "\n";
+  }
+  if (tracer.evicted() > 0) {
+    std::cout << "TRACE_EVICTED=" << tracer.evicted()
+              << " (oldest events dropped; raise obs.trace.ring_events)\n";
+  }
+  std::cout << "merge with: trace_merge";
+  for (const auto& path : paths) {
+    std::cout << ' ' << path;
+  }
+  std::cout << " -o merged.trace.json\n";
 }
 
 }  // namespace sessmpi::bench

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <mutex>
@@ -60,13 +61,21 @@ class Counters {
   /// tools/report_merge collects into an EXPERIMENTS.md-ready table.
   void print_json(std::ostream& os) const;
 
-  /// Reset all counters to zero (tests isolate themselves with this).
+  /// Reset all counters to zero (tests isolate themselves with this),
+  /// then run every registered reset hook — so other per-run statistics
+  /// (obs histograms, future pvars) stay in lockstep with one call.
   void reset();
+
+  /// Register a callback fired at the end of every reset(). Hooks run
+  /// outside the counter lock and live for the process lifetime.
+  void add_reset_hook(std::function<void()> hook);
 
  private:
   mutable std::mutex mu_;
   // std::map: node-based, so pointers into values stay valid on insert.
   std::map<std::string, std::atomic<std::uint64_t>> counters_;
+  std::mutex hooks_mu_;
+  std::vector<std::function<void()>> reset_hooks_;
 };
 
 /// The process-wide counter registry.

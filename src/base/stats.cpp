@@ -113,10 +113,26 @@ void Counters::print_json(std::ostream& os) const {
 }
 
 void Counters::reset() {
-  std::lock_guard lock(mu_);
-  for (auto& [name, v] : counters_) {
-    v.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [name, v] : counters_) {
+      v.store(0, std::memory_order_relaxed);
+    }
   }
+  // Hooks run unlocked so they may call back into the registry.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard lock(hooks_mu_);
+    hooks = reset_hooks_;
+  }
+  for (const auto& hook : hooks) {
+    hook();
+  }
+}
+
+void Counters::add_reset_hook(std::function<void()> hook) {
+  std::lock_guard lock(hooks_mu_);
+  reset_hooks_.push_back(std::move(hook));
 }
 
 Counters& counters() {

@@ -17,6 +17,7 @@
 
 #include "detail/state.hpp"
 #include "sessmpi/base/stats.hpp"
+#include "sessmpi/obs/trace.hpp"
 #include "sessmpi/ft/ft.hpp"
 #include "sessmpi/op.hpp"
 
@@ -128,6 +129,7 @@ std::uint64_t Checkpointer::save(const Communicator& comm) {
   const int n = s->size();
   const int me = s->myrank;
   const base::Rank my_global = s->global_of(me);
+  OBS_SPAN("ckpt.save", "ckpt");
 
   // Stage 1: local snapshot. Nothing commits until the vote.
   Epoch staging;
@@ -165,6 +167,7 @@ std::uint64_t Checkpointer::save(const Communicator& comm) {
 
   // Stage 2: partner redundancy — send my serialized snapshot `offset`
   // ranks ahead, hold the snapshot of the rank `offset` behind.
+  ::sessmpi::obs::Tracer::instance().begin("ckpt.partner_exchange", "ckpt");
   std::vector<std::byte> partner_blob;
   base::Rank partner_owner = -1;
   const int off = n > 0 ? ((cfg_.partner_offset % n) + n) % n : 0;
@@ -213,10 +216,14 @@ std::uint64_t Checkpointer::save(const Communicator& comm) {
     ok = false;
   }
 
+  ::sessmpi::obs::Tracer::instance().end("ckpt.partner_exchange", "ckpt");
   // Stage 3: uniform commit/abort vote. agree() runs on FT tags, so the
   // vote reaches every survivor even on a revoked communicator; bit 0 of
   // the AND survives iff every rank voted commit.
-  const std::uint64_t verdict = comm.agree(ok ? ~0ull : ~1ull);
+  const std::uint64_t verdict = [&] {
+    OBS_SPAN("ckpt.commit_vote", "ckpt");
+    return comm.agree(ok ? ~0ull : ~1ull);
+  }();
   if ((verdict & 1ull) == 0) {
     base::counters().add("ckpt.aborted_saves");
     if (invalidated->load() || comm.is_revoked()) {
@@ -246,6 +253,7 @@ std::uint64_t Checkpointer::save(const Communicator& comm) {
   ps.pmix().commit();
 
   if (cfg_.spill_to_fs) {
+    OBS_SPAN("ckpt.spill", "ckpt");
     const std::vector<std::byte> blob = encode_snapshot(committed.own);
     const std::string path = fs_path(epoch, my_global);
     ps.proc.cluster().fs().set_size(path, 0);
@@ -265,6 +273,7 @@ RestoreResult Checkpointer::restore(const Communicator& comm) {
   }
   detail::ProcState& ps = *s->ps;
   base::counters().add("ckpt.restores");
+  OBS_SPAN("ckpt.restore", "ckpt");
 
   // Agree on the newest epoch *everyone* committed. Commit votes are
   // uniform, so in practice all ranks agree already; min() also absorbs a

@@ -1,9 +1,12 @@
 #include "sessmpi/capi.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
 #include "sessmpi/mpi.hpp"
+#include "sessmpi/obs/hist.hpp"
+#include "sessmpi/obs/tvar.hpp"
 #include "sessmpi/sim/cluster.hpp"
 
 namespace sessmpi::capi {
@@ -430,6 +433,138 @@ int MPI_Bcast(void* buf, int count, MPI_Datatype dt, int root, MPI_Comm comm) {
       throw Error(ErrClass::comm, "null communicator");
     }
     comm->c.bcast(buf, count, cxx_datatype(dt), root);
+  });
+}
+
+// --- MPI_T-style introspection (obs pvars/cvars) ------------------------------
+
+namespace {
+
+void copy_name(const std::string& src, char* dst, int len) {
+  if (dst == nullptr || len <= 0) {
+    throw Error(ErrClass::arg, "null/empty name buffer");
+  }
+  const std::size_t n = std::min<std::size_t>(src.size(),
+                                              static_cast<std::size_t>(len) - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+int SESSMPI_T_pvar_get_num(int* num) {
+  return guarded([&] {
+    if (num == nullptr) throw Error(ErrClass::arg, "null num");
+    *num = static_cast<int>(obs::pvar_list().size());
+  });
+}
+
+int SESSMPI_T_pvar_get_info(int index, char* name, int name_len,
+                            int* var_class) {
+  return guarded([&] {
+    const auto vars = obs::pvar_list();
+    if (index < 0 || static_cast<std::size_t>(index) >= vars.size()) {
+      throw Error(ErrClass::arg, "pvar index out of range");
+    }
+    copy_name(vars[static_cast<std::size_t>(index)].name, name, name_len);
+    if (var_class != nullptr) {
+      *var_class = vars[static_cast<std::size_t>(index)].cls ==
+                           obs::PvarClass::histogram
+                       ? SESSMPI_T_PVAR_CLASS_HISTOGRAM
+                       : SESSMPI_T_PVAR_CLASS_COUNTER;
+    }
+  });
+}
+
+int SESSMPI_T_pvar_read(const char* name, unsigned long long* value) {
+  return guarded([&] {
+    if (name == nullptr || value == nullptr) {
+      throw Error(ErrClass::arg, "null name/value");
+    }
+    if (auto c = obs::pvar_read_counter(name)) {
+      *value = *c;
+      return;
+    }
+    if (auto h = obs::pvar_read_histogram(name)) {
+      *value = h->count;
+      return;
+    }
+    throw Error(ErrClass::arg, "unknown pvar");
+  });
+}
+
+int SESSMPI_T_pvar_read_percentile(const char* name, double q, double* value) {
+  return guarded([&] {
+    if (name == nullptr || value == nullptr) {
+      throw Error(ErrClass::arg, "null name/value");
+    }
+    auto h = obs::pvar_read_histogram(name);
+    if (!h) throw Error(ErrClass::arg, "not a histogram pvar");
+    if (q <= 0.50001 && q >= 0.49999) {
+      *value = h->p50;
+    } else if (q <= 0.90001 && q >= 0.89999) {
+      *value = h->p90;
+    } else if (q <= 0.99001 && q >= 0.98999) {
+      *value = h->p99;
+    } else {
+      // Arbitrary quantiles re-walk the histogram.
+      for (const auto& [n, hist] : obs::histograms()) {
+        if (n == name) {
+          *value = hist->percentile(q);
+          return;
+        }
+      }
+      throw Error(ErrClass::arg, "unknown pvar");
+    }
+  });
+}
+
+int SESSMPI_T_pvar_reset(const char* name) {
+  return guarded([&] {
+    if (name == nullptr || !obs::pvar_reset(name)) {
+      throw Error(ErrClass::arg, "unknown pvar");
+    }
+  });
+}
+
+int SESSMPI_T_pvar_reset_all(void) {
+  return guarded([] { obs::pvar_reset_all(); });
+}
+
+int SESSMPI_T_cvar_get_num(int* num) {
+  return guarded([&] {
+    if (num == nullptr) throw Error(ErrClass::arg, "null num");
+    *num = static_cast<int>(obs::cvar_list().size());
+  });
+}
+
+int SESSMPI_T_cvar_get_info(int index, char* name, int name_len) {
+  return guarded([&] {
+    const auto vars = obs::cvar_list();
+    if (index < 0 || static_cast<std::size_t>(index) >= vars.size()) {
+      throw Error(ErrClass::arg, "cvar index out of range");
+    }
+    copy_name(vars[static_cast<std::size_t>(index)].name, name, name_len);
+  });
+}
+
+int SESSMPI_T_cvar_read(const char* name, char* value, int value_len) {
+  return guarded([&] {
+    if (name == nullptr) throw Error(ErrClass::arg, "null name");
+    auto v = obs::cvar_read(name);
+    if (!v) throw Error(ErrClass::arg, "unknown cvar");
+    copy_name(*v, value, value_len);
+  });
+}
+
+int SESSMPI_T_cvar_write(const char* name, const char* value) {
+  return guarded([&] {
+    if (name == nullptr || value == nullptr) {
+      throw Error(ErrClass::arg, "null name/value");
+    }
+    if (!obs::cvar_write(name, value)) {
+      throw Error(ErrClass::arg, "unknown cvar or rejected value");
+    }
   });
 }
 

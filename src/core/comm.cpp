@@ -4,6 +4,7 @@
 
 #include "detail/cid.hpp"
 #include "detail/state.hpp"
+#include "sessmpi/obs/trace.hpp"
 
 namespace sessmpi {
 
@@ -62,6 +63,7 @@ Communicator Communicator::create_from_group(const Group& group,
   if (!group.contains(ps.proc.rank())) {
     errh.raise(ErrClass::group, "calling process not in group");
   }
+  OBS_SPAN_ARG("comm.create_from_group", "core", group.size());
   // Fig. 1 path: the runtime (PMIx) provides a fresh PGCID; the exCID is
   // derived locally from it. The string tag keeps concurrent creations from
   // overlapping groups apart.
@@ -74,8 +76,11 @@ Communicator Communicator::create_from_group(const Group& group,
     std::lock_guard lock(ps.mu);
     ++ps.pgcids;
   }
-  auto comm = ps.register_comm(group, ExCidSpace::fresh(pgcid.value()),
-                               /*uses_excid=*/true, std::nullopt);
+  auto comm = [&] {
+    OBS_SPAN("cid.excid_alloc", "core");
+    return ps.register_comm(group, ExCidSpace::fresh(pgcid.value()),
+                            /*uses_excid=*/true, std::nullopt);
+  }();
   comm->errh = errh;
   comm->comm_name = "from_group:" + tag;
   return Communicator{std::move(comm)};

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sessmpi/obs/trace.hpp"
+
 namespace sessmpi::detail {
 
 namespace {
@@ -77,6 +79,7 @@ std::uint16_t consensus_cid(ProcState& ps,
                             const std::shared_ptr<CommState>& parent,
                             const std::vector<int>& participants, int base_tag,
                             int* rounds_out) {
+  OBS_SPAN("cid.consensus", "core");
   std::uint32_t start = 0;
   int round = 0;
   for (;;) {

@@ -2,6 +2,8 @@
 
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/stats.hpp"
+#include "sessmpi/obs/hist.hpp"
+#include "sessmpi/obs/trace.hpp"
 #include "detail/state.hpp"
 
 namespace sessmpi::detail {
@@ -46,6 +48,7 @@ bool ProcState::match_against_unexpected(CommState& comm,
 
 void ProcState::handle_incoming(const std::shared_ptr<CommState>& comm,
                                 fabric::Packet&& pkt) {
+  OBS_SPAN("pml.match", "core");
   // Exactly-once cross-check of the fabric's reliable-delivery guarantee:
   // sends stamp MatchHeader::seq per (comm,peer), so a duplicate or
   // overtaking arrival would show up here as a non-+1 step.
@@ -163,6 +166,7 @@ void ProcState::dispatch(fabric::Packet&& pkt) {
       return;
     }
     case PacketKind::cid_ack: {
+      OBS_INSTANT("pml.cid_ack", "core");
       const ExCid id{pkt.ext.excid_hi, pkt.ext.excid_lo};
       auto it = comm_by_excid.find(id);
       if (it != comm_by_excid.end()) {
@@ -259,6 +263,7 @@ void ProcState::revoke_comm_locked(const std::shared_ptr<CommState>& comm,
   }
   comm->revoked = true;
   base::counters().add("ft.comms_revoked");
+  OBS_INSTANT_ARG("ft.revoked", "ft", flood ? 1 : 0);
 
   const auto poison = [](const RequestPtr& r, int source, int tag) {
     Status st;
@@ -498,6 +503,7 @@ RequestPtr ProcState::isend_impl(const std::shared_ptr<CommState>& comm,
   req->dst = dst;
 
   const std::size_t bytes = packed_bytes(count, dt);
+  OBS_SPAN_ARG("pml.send", "core", bytes);
   std::vector<std::byte> payload(bytes);
   if (bytes > 0) {
     dt.pack(buf, count, payload.data());
@@ -528,6 +534,7 @@ RequestPtr ProcState::isend_impl(const std::shared_ptr<CommState>& comm,
       pkt.ext.excid_lo = comm->excid_space.id().lo;
       pkt.ext.sender_cid = comm->cid;
       ++comm->ext_headers_sent;
+      OBS_INSTANT_ARG("pml.ext_header", "core", comm->ext_headers_sent);
       base::precise_delay(cost.ext_send_overhead_ns);
     } else {
       pkt.kind = eager ? fabric::PacketKind::eager : fabric::PacketKind::rndv_rts;
@@ -579,6 +586,7 @@ RequestPtr ProcState::irecv_impl(const std::shared_ptr<CommState>& comm,
   req->src = src;
   req->tag = tag;
 
+  OBS_SPAN("pml.recv.post", "core");
   std::lock_guard lock(mu);
   if (comm->revoked && !is_ft_tag(tag)) {
     throw Error(ErrClass::comm_revoked, "communicator has been revoked");
@@ -592,8 +600,15 @@ RequestPtr ProcState::irecv_impl(const std::shared_ptr<CommState>& comm,
 Status ProcState::blocking_recv(const std::shared_ptr<CommState>& comm,
                                 void* buf, int count, const Datatype& dt,
                                 int src, int tag) {
+  const std::int64_t t0 = base::now_ns();
   RequestPtr req = irecv_impl(comm, buf, count, dt, src, tag);
   progress_until([&] { return req->done(); });
+  if (tag >= 0) {
+    // User-tag traffic only: the internal tag bands (collectives, ft,
+    // ckpt) would swamp the pt2pt latency distribution.
+    static obs::Histogram& hist = obs::histogram("pt2pt.recv_ns");
+    hist.record(static_cast<std::uint64_t>(base::now_ns() - t0));
+  }
   if (req->status.error == ErrClass::rte_proc_failed) {
     // Failure must surface even on internal (collective) receives so a dead
     // rank cannot hang survivors inside a collective.
@@ -609,8 +624,13 @@ Status ProcState::blocking_recv(const std::shared_ptr<CommState>& comm,
 void ProcState::blocking_send(const std::shared_ptr<CommState>& comm,
                               const void* buf, int count, const Datatype& dt,
                               int dst, int tag, bool sync) {
+  const std::int64_t t0 = base::now_ns();
   RequestPtr req = isend_impl(comm, buf, count, dt, dst, tag, sync);
   progress_until([&] { return req->done(); });
+  if (tag >= 0) {
+    static obs::Histogram& hist = obs::histogram("pt2pt.send_ns");
+    hist.record(static_cast<std::uint64_t>(base::now_ns() - t0));
+  }
   if (req->status.error == ErrClass::rte_proc_failed) {
     throw Error(ErrClass::rte_proc_failed, "peer process failed during send");
   }

@@ -140,4 +140,27 @@ int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
                   MPI_Datatype dt, MPI_Op op, MPI_Comm comm);
 int MPI_Bcast(void* buf, int count, MPI_Datatype dt, int root, MPI_Comm comm);
 
+// --- MPI_T-style introspection (obs pvars/cvars) ------------------------------
+// Performance variables: every base::Counters counter plus every obs
+// histogram, enumerated by index (sorted by name; indices are stable only
+// until a new variable is created). Reading a histogram pvar by value
+// yields its sample count; percentiles go through _read_percentile.
+inline constexpr int SESSMPI_T_PVAR_CLASS_COUNTER = 0;
+inline constexpr int SESSMPI_T_PVAR_CLASS_HISTOGRAM = 1;
+
+int SESSMPI_T_pvar_get_num(int* num);
+int SESSMPI_T_pvar_get_info(int index, char* name, int name_len,
+                            int* var_class);
+int SESSMPI_T_pvar_read(const char* name, unsigned long long* value);
+int SESSMPI_T_pvar_read_percentile(const char* name, double q, double* value);
+int SESSMPI_T_pvar_reset(const char* name);
+int SESSMPI_T_pvar_reset_all(void);
+
+// Control variables: string-typed knobs (obs.trace.enabled,
+// obs.trace.ring_events, ...). Values round-trip as strings.
+int SESSMPI_T_cvar_get_num(int* num);
+int SESSMPI_T_cvar_get_info(int index, char* name, int name_len);
+int SESSMPI_T_cvar_read(const char* name, char* value, int value_len);
+int SESSMPI_T_cvar_write(const char* name, const char* value);
+
 }  // namespace sessmpi::capi

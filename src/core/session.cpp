@@ -7,6 +7,7 @@
 
 #include "detail/state.hpp"
 #include "sessmpi/base/clock.hpp"
+#include "sessmpi/obs/trace.hpp"
 #include "sessmpi/session.hpp"
 
 namespace sessmpi {
@@ -45,6 +46,7 @@ Session Session::init(const Info& info, const Errhandler& errh) {
   ProcState& ps = ProcState::current();
   const ThreadLevel level = level_from_info(info);  // may throw pre-acquire
 
+  OBS_SPAN("session.init", "core");
   ps.acquire_instance();
   base::precise_delay(ps.cost.session_handle_ns);
 

@@ -4,8 +4,24 @@
 
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/stats.hpp"
+#include "sessmpi/obs/hist.hpp"
+#include "sessmpi/obs/trace.hpp"
 
 namespace sessmpi::fabric {
+
+namespace {
+
+/// Async-event correlation id for one sequenced packet: the trace's
+/// "fabric.inflight" span opens at windowing and closes when the ACK
+/// erases the entry; retransmits reuse the id so they nest under the
+/// owning send on the sender's timeline (DESIGN.md §11).
+[[maybe_unused]] std::uint64_t flow_trace_id(Rank src, Rank dst,
+                                             std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(src) << 48) |
+         (static_cast<std::uint64_t>(dst) << 32) | (seq & 0xFFFFFFFFu);
+}
+
+}  // namespace
 
 Fabric::Fabric(base::Topology topo, base::CostModel cost, ReliabilityConfig rel)
     : topo_(topo),
@@ -79,6 +95,7 @@ void Fabric::send(Packet&& packet) {
 
   const Rank src = packet.src_rank;
   const Rank dst = packet.dst_rank;
+  OBS_SPAN_ARG("fabric.send", "fabric", packet.payload.size());
   // Piggyback the cumulative ACK for the reverse flow (data we received
   // from dst). Deliberately does NOT clear the reverse flow's ack_pending:
   // this packet may spend a long wall time on the wire (or be chaos-
@@ -109,6 +126,8 @@ void Fabric::send(Packet&& packet) {
     // mid-spin for longer than the whole RTO.
     entry.deadline.arm_never();
   }
+  OBS_ASYNC_BEGIN(src, "fabric.inflight", "fabric", flow_trace_id(src, dst, seq),
+                  seq);
   transmit(std::move(packet), /*charge_wire=*/true);
   arm_entry(src, dst, seq, rto_ns);
 }
@@ -150,6 +169,7 @@ bool Fabric::transmit(Packet&& pkt, bool charge_wire) {
     chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
     bytes_dropped_.fetch_add(sz, std::memory_order_relaxed);
     base::counters().add("fabric.chaos.dropped");
+    OBS_INSTANT_ON(pkt.src_rank, "fabric.chaos_drop", "fabric", pkt.flow.seq);
     return false;
   }
   bytes_sent_.fetch_add(sz, std::memory_order_relaxed);
@@ -171,9 +191,17 @@ void Fabric::apply_ack(Rank src, Rank dst, std::uint64_t cum,
                        const std::vector<std::uint64_t>& sack) {
   Flow& f = flow(src, dst);
   std::lock_guard lock(f.mu);
-  f.window.erase(f.window.begin(), f.window.upper_bound(cum));
+  auto stop = f.window.upper_bound(cum);
+  for (auto it = f.window.begin(); it != stop; ++it) {
+    OBS_ASYNC_END(src, "fabric.inflight", "fabric",
+                  flow_trace_id(src, dst, it->first));
+  }
+  f.window.erase(f.window.begin(), stop);
   for (std::uint64_t s : sack) {
-    f.window.erase(s);
+    if (f.window.erase(s) != 0) {
+      OBS_ASYNC_END(src, "fabric.inflight", "fabric",
+                    flow_trace_id(src, dst, s));
+    }
   }
 }
 
@@ -246,6 +274,7 @@ void Fabric::flush_ack(Rank src, Rank dst) {
     }
   }
   base::counters().add("fabric.acks");
+  OBS_INSTANT_ON(dst, "fabric.ack.flush", "fabric", ack.flow.ack);
   // ACK wire time is not charged: ACKs model piggybacked / NIC-offloaded
   // reverse traffic, keeping the pump from serializing behind wire delays.
   transmit(std::move(ack), /*charge_wire=*/false);
@@ -258,6 +287,8 @@ void Fabric::escalate_unreachable(Rank dst) {
   mark_failed(dst);
   rto_escalations_.fetch_add(1, std::memory_order_relaxed);
   base::counters().add("fabric.rto_escalations");
+  OBS_INSTANT_ON(dst, "fabric.rto_escalate", "fabric",
+                 static_cast<std::uint64_t>(dst));
   std::function<void(Rank)> cb;
   {
     std::lock_guard lock(unreachable_mu_);
@@ -344,11 +375,19 @@ bool Fabric::pump_pass() {
     }
     retransmits_.fetch_add(1, std::memory_order_relaxed);
     base::counters().add("fabric.retransmits");
+    static obs::Histogram& rto_hist = obs::histogram("fabric.rto_backoff_ns");
+    rto_hist.record(static_cast<std::uint64_t>(item.rto_ns));
     const Rank s = item.pkt.src_rank;
     const Rank d = item.pkt.dst_rank;
     // Retransmits occupy the wire like any send; charging them here (on the
-    // pump thread) makes benchmarks see the latency cost of loss.
+    // pump thread) makes benchmarks see the latency cost of loss. The trace
+    // charges them to the sending rank's track, nested (same async id)
+    // under the owning fabric.inflight span.
+    [[maybe_unused]] const std::uint64_t trace_id =
+        flow_trace_id(s, d, item.seq);
+    OBS_ASYNC_BEGIN(s, "fabric.retransmit", "fabric", trace_id, item.seq);
     transmit(std::move(item.pkt), /*charge_wire=*/true);
+    OBS_ASYNC_END(s, "fabric.retransmit", "fabric", trace_id);
     arm_entry(s, d, item.seq, item.rto_ns);
   }
 

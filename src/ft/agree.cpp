@@ -27,6 +27,7 @@
 #include "detail/state.hpp"
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/ft/ft.hpp"
+#include "sessmpi/obs/trace.hpp"
 
 namespace sessmpi {
 
@@ -38,7 +39,33 @@ ft::testing::AgreeHook g_agree_hook;
 /// Fire the instrumentation hook for `step` (no-op unless a test installed
 /// one). Must be called with ps.mu NOT held: the hook may throw or issue
 /// failure injection that takes cluster-level locks.
+[[maybe_unused]] const char* step_name(ft::AgreeStep step) {
+  switch (step) {
+    case ft::AgreeStep::enter:
+      return "ft.agree.enter";
+    case ft::AgreeStep::follower_pre_push:
+      return "ft.agree.follower_pre_push";
+    case ft::AgreeStep::follower_post_push:
+      return "ft.agree.follower_post_push";
+    case ft::AgreeStep::coordinator_gathered:
+      return "ft.agree.coordinator_gathered";
+    case ft::AgreeStep::pre_flood:
+      return "ft.agree.pre_flood";
+    case ft::AgreeStep::mid_flood:
+      return "ft.agree.mid_flood";
+    case ft::AgreeStep::post_flood:
+      return "ft.agree.post_flood";
+    case ft::AgreeStep::kNumSteps:
+      break;
+  }
+  return "ft.agree.step";
+}
+
 void hook(ft::AgreeStep step, int me) {
+  // The AgreeStep hook doubles as the trace probe: each protocol step is
+  // an instant on the caller's track, so a merged trace shows where every
+  // survivor was when a failure hit.
+  OBS_INSTANT_ARG(step_name(step), "ft", static_cast<std::uint64_t>(me));
   ft::testing::AgreeHook h;
   {
     std::lock_guard lock(g_agree_hook_mu);
@@ -71,6 +98,7 @@ std::uint64_t Communicator::agree(std::uint64_t contribution) const {
   detail::ProcState& ps = *s->ps;
   fabric::Fabric& fab = ps.proc.cluster().fabric();
   base::counters().add("ft.agrees");
+  OBS_SPAN_ARG("ft.agree", "ft", contribution);
 
   const int n = s->size();
   const int me = s->myrank;

@@ -11,6 +11,7 @@
 
 #include "detail/state.hpp"
 #include "sessmpi/base/stats.hpp"
+#include "sessmpi/obs/trace.hpp"
 #include "sessmpi/pmix/client.hpp"
 
 namespace sessmpi {
@@ -62,6 +63,7 @@ std::vector<int> Communicator::ack_failed() const {
 void Communicator::revoke() const {
   const auto& s = ft_state(*this);
   detail::ProcState& ps = *s->ps;
+  OBS_INSTANT("ft.revoke", "ft");
   std::lock_guard lock(ps.mu);
   ps.revoke_comm_locked(s, /*flood=*/true);
 }
@@ -77,6 +79,7 @@ Communicator Communicator::shrink() const {
   detail::ProcState& ps = *s->ps;
   fabric::Fabric& fab = ps.proc.cluster().fabric();
   base::counters().add("ft.shrinks");
+  OBS_SPAN("ft.shrink", "ft");
   const int n = s->size();
 
   // Fold everything we already know into the acknowledged set; from here on

@@ -1,0 +1,139 @@
+#include "sessmpi/obs/hist.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "sessmpi/base/stats.hpp"
+
+namespace sessmpi::obs {
+
+namespace {
+
+void atomic_min(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_of(std::uint64_t value) noexcept {
+  constexpr std::uint64_t kSub = 1u << kSubBits;  // 16
+  if (value < kSub) return static_cast<std::size_t>(value);
+  // exponent of the leading bit: 2^e <= value < 2^(e+1), e >= kSubBits
+  const int e = 63 - std::countl_zero(value);
+  const auto sub =
+      static_cast<std::size_t>((value >> (e - kSubBits)) & (kSub - 1));
+  return (static_cast<std::size_t>(e - kSubBits + 1) << kSubBits) + sub;
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t b) noexcept {
+  constexpr std::uint64_t kSub = 1u << kSubBits;
+  if (b < kSub) return b;
+  const std::size_t block = b >> kSubBits;  // >= 1
+  const std::uint64_t sub = b & (kSub - 1);
+  const int e = static_cast<int>(block) + kSubBits - 1;
+  const std::uint64_t base = std::uint64_t{1} << e;
+  const std::uint64_t width = std::uint64_t{1} << (e - kSubBits);
+  return base + (sub + 1) * width - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  counts_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+double Histogram::percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += counts_[b].load(std::memory_order_relaxed);
+    if (seen >= target) return static_cast<double>(bucket_upper(b));
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// std::map: node-based, so Histogram addresses stay stable across inserts
+// (hot paths cache the reference).
+struct HistRegistry {
+  std::mutex mu;
+  std::map<std::string, Histogram> hists;
+};
+
+HistRegistry& registry() {
+  static HistRegistry r;
+  return r;
+}
+
+std::once_flag g_reset_hook_once;
+
+}  // namespace
+
+Histogram& histogram(const std::string& name) {
+  std::call_once(g_reset_hook_once,
+                 [] { base::counters().add_reset_hook(&reset_histograms); });
+  auto& reg = registry();
+  std::lock_guard lk(reg.mu);
+  return reg.hists[name];
+}
+
+std::vector<std::pair<std::string, Histogram*>> histograms() {
+  auto& reg = registry();
+  std::lock_guard lk(reg.mu);
+  std::vector<std::pair<std::string, Histogram*>> out;
+  out.reserve(reg.hists.size());
+  for (auto& [name, h] : reg.hists) out.emplace_back(name, &h);
+  return out;
+}
+
+void reset_histograms() {
+  auto& reg = registry();
+  std::lock_guard lk(reg.mu);
+  for (auto& [name, h] : reg.hists) h.reset();
+}
+
+}  // namespace sessmpi::obs

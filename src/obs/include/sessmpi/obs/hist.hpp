@@ -1,0 +1,64 @@
+#pragma once
+
+// HDR-style latency histograms (DESIGN.md §11). Fixed layout: values below
+// 16 are exact; above that, each power-of-two range is split into 16 linear
+// sub-buckets, so any recorded value is bucketed with relative error
+// <= 1/16 (6.25%). record() is three relaxed atomic RMWs — safe from any
+// thread, cheap enough for the blocking pt2pt path.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sessmpi::obs {
+
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;  ///< 16 linear sub-buckets per octave
+  static constexpr std::size_t kNumBuckets = 64u << kSubBits;
+
+  void record(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Value at quantile q in [0, 1]: the upper edge of the bucket holding
+  /// the ceil(q * count)-th sample (0 when empty). Exact for values < 16;
+  /// within 1/16 relative error above.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+  void reset() noexcept;
+
+  /// Bucket index for a value (exposed for the unit tests).
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept;
+  /// Largest value mapping to bucket `b`.
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t b) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Process-wide named histogram, created on first use; the reference stays
+/// valid for the process lifetime (cache it in hot paths). Creating the
+/// first histogram registers a base::Counters reset hook, so
+/// base::counters().reset() also zeroes every histogram — one call resets
+/// all performance variables (counters and histograms alike).
+Histogram& histogram(const std::string& name);
+
+/// Registered (name, histogram) pairs, sorted by name.
+std::vector<std::pair<std::string, Histogram*>> histograms();
+
+/// Zero every registered histogram (also fired by counters().reset()).
+void reset_histograms();
+
+}  // namespace sessmpi::obs

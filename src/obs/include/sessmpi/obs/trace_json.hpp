@@ -1,0 +1,79 @@
+#pragma once
+
+// Chrome trace-event JSON export + merge (DESIGN.md §11). Each rank gets
+// its own `<prefix>.rank<N>.trace.json` (pid = rank); events emitted by
+// runtime threads with no rank attribution land in
+// `<prefix>.runtime.trace.json` under a sentinel pid. tools/trace_merge
+// (or merge_traces below) folds N per-rank files into one stream that
+// chrome://tracing and ui.perfetto.dev load directly, aligning clocks via
+// the per-file `clock_ns_offset` header. All ranks in the sim share one
+// base::now_ns() steady clock, so per-rank offsets are zero here — the
+// field exists so traces from genuinely separate processes merge the same
+// way.
+//
+// File schema (one event per line, so the merger can stream):
+//   {"otherData": {"rank": R, "clock_ns_offset": O, "evicted": K},
+//   "displayTimeUnit": "ns",
+//   "traceEvents": [
+//   {"name":"pml.send","cat":"core","ph":"B","ts":12.345,"pid":0,"tid":1},
+//   ...
+//   ]}
+// ts is microseconds (Chrome's unit) with nanosecond precision; async
+// events add "id":"0x..." and "scope" is implied by cat.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sessmpi/obs/trace.hpp"
+
+namespace sessmpi::obs {
+
+/// pid used for runtime-thread events with no rank attribution.
+inline constexpr int kRuntimeTrackPid = 1'000'000;
+
+/// Serialise one event as a Chrome trace-event JSON object (no trailing
+/// newline). `pid_override < 0` keeps the event's own track.
+void write_event_json(std::ostream& os, const Event& ev,
+                      int pid_override = -1);
+
+/// Write a complete single-track trace file body for `events` (already
+/// filtered to one pid).
+void write_trace_file(std::ostream& os, const std::vector<Event>& events,
+                      int pid, std::int64_t clock_ns_offset,
+                      std::uint64_t evicted);
+
+/// Partition `events` by track and write one trace file per rank (plus a
+/// runtime file when unattributed events exist) under `dir`, named
+/// `<prefix>.rank<N>.trace.json`. Creates `dir` if needed. Returns the
+/// written paths, rank order first, runtime last.
+std::vector<std::string> write_rank_traces(const std::string& dir,
+                                           const std::string& prefix,
+                                           const std::vector<Event>& events);
+
+/// One event parsed back from a trace file (names become owned strings).
+struct ParsedEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'i';
+  double ts_us = 0;
+  int pid = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t id = 0;
+  std::uint64_t arg = 0;
+  bool has_id = false;
+};
+
+/// Parse a per-rank or merged trace file. Throws base::Error on malformed
+/// input. `clock_ns_offset` from the header is applied to every ts.
+std::vector<ParsedEvent> parse_trace_file(const std::string& path);
+
+/// Merge per-rank trace files into one Perfetto-loadable stream: applies
+/// each file's clock offset, rebases the earliest event to t=0, sorts by
+/// timestamp, and prepends process_name metadata ("rank N" / "runtime")
+/// so Perfetto labels the tracks. Returns the merged event count.
+std::size_t merge_traces(const std::vector<std::string>& files,
+                         std::ostream& out);
+
+}  // namespace sessmpi::obs

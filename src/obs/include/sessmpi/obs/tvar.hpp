@@ -1,0 +1,79 @@
+#pragma once
+
+// MPI_T-style tool variables (DESIGN.md §11). Performance variables
+// (pvars) are read-only runtime statistics: every base::Counters counter
+// plus every obs::Histogram, unified under one enumerate/read/reset
+// namespace. Control variables (cvars) are named string-typed knobs with
+// registered getter/setter pairs; the obs built-ins control the tracer.
+// The C API mirror (SESSMPI_T_* in sessmpi/capi.hpp) goes through these.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sessmpi::obs {
+
+enum class PvarClass {
+  counter,    ///< monotonically increasing event count (base::Counters)
+  histogram,  ///< value distribution (obs::Histogram)
+};
+
+struct PvarDesc {
+  std::string name;
+  PvarClass cls = PvarClass::counter;
+};
+
+/// Distribution summary for histogram pvars.
+struct HistSummary {
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// Every pvar, sorted by name (counters and histograms interleaved).
+/// Indices into this snapshot are what the C API get_info takes; they are
+/// only stable until the next variable is created.
+std::vector<PvarDesc> pvar_list();
+
+/// Counter value, or nullopt if no such counter exists.
+std::optional<std::uint64_t> pvar_read_counter(const std::string& name);
+
+/// Histogram summary, or nullopt if no such histogram exists.
+std::optional<HistSummary> pvar_read_histogram(const std::string& name);
+
+/// Reset one pvar (counter to 0 / histogram emptied). False if unknown.
+bool pvar_reset(const std::string& name);
+
+/// Reset everything: counters().reset(), which also resets histograms via
+/// the registered hook.
+void pvar_reset_all();
+
+struct CvarDesc {
+  std::string name;
+  std::string description;
+};
+
+using CvarGetter = std::function<std::string()>;
+using CvarSetter = std::function<bool(const std::string&)>;
+
+/// Register a control variable. Re-registering a name replaces it.
+void register_cvar(const std::string& name, const std::string& description,
+                   CvarGetter getter, CvarSetter setter);
+
+/// Every cvar, sorted by name. Includes the obs built-ins:
+///   obs.trace.enabled     "0"/"1", toggles the tracer at runtime
+///   obs.trace.ring_events per-thread ring capacity for future threads
+std::vector<CvarDesc> cvar_list();
+
+std::optional<std::string> cvar_read(const std::string& name);
+
+/// False if the cvar is unknown or the setter rejected the value.
+bool cvar_write(const std::string& name, const std::string& value);
+
+}  // namespace sessmpi::obs

@@ -1,0 +1,152 @@
+#include "sessmpi/obs/trace.hpp"
+
+#include <algorithm>
+
+#include "sessmpi/base/clock.hpp"
+
+namespace sessmpi::obs {
+
+namespace {
+
+thread_local std::int32_t tls_track = -1;
+
+// Per-thread ring handle. shared_ptr keeps the ring alive in the Tracer's
+// registry after the owning thread exits (sim rank threads are short-lived;
+// their events are collected after the run).
+thread_local std::shared_ptr<TraceBuffer> tls_buffer;
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::size_t capacity, std::uint32_t tid)
+    : ring_(std::max<std::size_t>(capacity, 2)), tid_(tid) {}
+
+std::vector<Event> TraceBuffer::drain() const {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  const std::uint64_t n = std::min<std::uint64_t>(h, ring_.size());
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = h - n; i < h; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(i % ring_.size())]);
+  }
+  return out;
+}
+
+std::uint64_t TraceBuffer::evicted() const noexcept {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  return h > ring_.size() ? h - ring_.size() : 0;
+}
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::set_thread_track(std::int32_t track) noexcept {
+  tls_track = track;
+}
+
+std::int32_t Tracer::thread_track() noexcept { return tls_track; }
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  capacity_.store(std::max<std::size_t>(events, 2),
+                  std::memory_order_relaxed);
+}
+
+std::size_t Tracer::ring_capacity() const noexcept {
+  return capacity_.load(std::memory_order_relaxed);
+}
+
+TraceBuffer& Tracer::local_buffer() {
+  if (!tls_buffer) {
+    std::lock_guard lk(mu_);
+    tls_buffer = std::make_shared<TraceBuffer>(
+        capacity_.load(std::memory_order_relaxed), next_tid_++);
+    buffers_.push_back(tls_buffer);
+  }
+  return *tls_buffer;
+}
+
+void Tracer::emit(const char* name, const char* cat, Phase ph,
+                  std::int32_t track, std::uint64_t id, std::uint64_t arg) {
+  Event ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_ns = base::now_ns();
+  ev.id = id;
+  ev.arg = arg;
+  ev.track = track;
+  ev.phase = ph;
+  TraceBuffer& buf = local_buffer();
+  ev.tid = buf.tid();
+  buf.emit(ev);
+}
+
+void Tracer::begin(const char* name, const char* cat, std::uint64_t arg) {
+  if (!enabled()) return;
+  emit(name, cat, Phase::begin, tls_track, 0, arg);
+}
+
+void Tracer::end(const char* name, const char* cat) {
+  if (!enabled()) return;
+  emit(name, cat, Phase::end, tls_track, 0, 0);
+}
+
+void Tracer::instant(const char* name, const char* cat, std::uint64_t arg) {
+  if (!enabled()) return;
+  emit(name, cat, Phase::instant, tls_track, 0, arg);
+}
+
+void Tracer::instant_on(std::int32_t track, const char* name, const char* cat,
+                        std::uint64_t arg) {
+  if (!enabled()) return;
+  emit(name, cat, Phase::instant, track, 0, arg);
+}
+
+void Tracer::async_begin(std::int32_t track, const char* name, const char* cat,
+                         std::uint64_t id, std::uint64_t arg) {
+  if (!enabled()) return;
+  emit(name, cat, Phase::async_begin, track, id, arg);
+}
+
+void Tracer::async_instant(std::int32_t track, const char* name,
+                           const char* cat, std::uint64_t id,
+                           std::uint64_t arg) {
+  if (!enabled()) return;
+  emit(name, cat, Phase::async_instant, track, id, arg);
+}
+
+void Tracer::async_end(std::int32_t track, const char* name, const char* cat,
+                       std::uint64_t id) {
+  if (!enabled()) return;
+  emit(name, cat, Phase::async_end, track, id, 0);
+}
+
+std::vector<Event> Tracer::collect() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& buf : buffers_) {
+      auto events = buf->drain();
+      out.insert(out.end(), events.begin(), events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard lk(mu_);
+  for (const auto& buf : buffers_) buf->reset();
+}
+
+std::uint64_t Tracer::evicted() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) total += buf->evicted();
+  return total;
+}
+
+}  // namespace sessmpi::obs

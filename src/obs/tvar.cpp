@@ -1,0 +1,162 @@
+#include "sessmpi/obs/tvar.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "sessmpi/base/stats.hpp"
+#include "sessmpi/obs/hist.hpp"
+#include "sessmpi/obs/trace.hpp"
+
+namespace sessmpi::obs {
+
+namespace {
+
+struct Cvar {
+  std::string description;
+  CvarGetter getter;
+  CvarSetter setter;
+};
+
+struct CvarRegistry {
+  std::mutex mu;
+  std::map<std::string, Cvar> cvars;
+};
+
+CvarRegistry& cvar_registry() {
+  static CvarRegistry r;
+  return r;
+}
+
+std::once_flag g_builtins_once;
+
+void ensure_builtin_cvars() {
+  std::call_once(g_builtins_once, [] {
+    register_cvar(
+        "obs.trace.enabled", "span tracing on (1) / off (0)",
+        [] { return Tracer::instance().enabled() ? std::string("1")
+                                                 : std::string("0"); },
+        [](const std::string& v) {
+          if (v != "0" && v != "1") return false;
+          Tracer::instance().set_enabled(v == "1");
+          return true;
+        });
+    register_cvar(
+        "obs.trace.ring_events",
+        "per-thread trace ring capacity (applies to new threads)",
+        [] { return std::to_string(Tracer::instance().ring_capacity()); },
+        [](const std::string& v) {
+          std::size_t n = 0;
+          for (char c : v) {
+            if (c < '0' || c > '9') return false;
+            n = n * 10 + static_cast<std::size_t>(c - '0');
+          }
+          if (n < 2 || n > (1u << 24)) return false;
+          Tracer::instance().set_ring_capacity(n);
+          return true;
+        });
+  });
+}
+
+}  // namespace
+
+std::vector<PvarDesc> pvar_list() {
+  std::vector<PvarDesc> out;
+  for (const auto& [name, value] : base::counters().snapshot()) {
+    out.push_back({name, PvarClass::counter});
+  }
+  for (const auto& [name, h] : histograms()) {
+    out.push_back({name, PvarClass::histogram});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PvarDesc& a, const PvarDesc& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::optional<std::uint64_t> pvar_read_counter(const std::string& name) {
+  for (const auto& [n, value] : base::counters().snapshot()) {
+    if (n == name) return value;
+  }
+  return std::nullopt;
+}
+
+std::optional<HistSummary> pvar_read_histogram(const std::string& name) {
+  for (const auto& [n, h] : histograms()) {
+    if (n != name) continue;
+    HistSummary s;
+    s.count = h->count();
+    s.min = h->min();
+    s.max = h->max();
+    s.mean = h->mean();
+    s.p50 = h->percentile(0.50);
+    s.p90 = h->percentile(0.90);
+    s.p99 = h->percentile(0.99);
+    return s;
+  }
+  return std::nullopt;
+}
+
+bool pvar_reset(const std::string& name) {
+  for (const auto& [n, h] : histograms()) {
+    if (n == name) {
+      h->reset();
+      return true;
+    }
+  }
+  if (pvar_read_counter(name).has_value()) {
+    base::counters().get(name)->store(0, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void pvar_reset_all() { base::counters().reset(); }
+
+void register_cvar(const std::string& name, const std::string& description,
+                   CvarGetter getter, CvarSetter setter) {
+  auto& reg = cvar_registry();
+  std::lock_guard lk(reg.mu);
+  reg.cvars[name] = Cvar{description, std::move(getter), std::move(setter)};
+}
+
+std::vector<CvarDesc> cvar_list() {
+  ensure_builtin_cvars();
+  auto& reg = cvar_registry();
+  std::lock_guard lk(reg.mu);
+  std::vector<CvarDesc> out;
+  out.reserve(reg.cvars.size());
+  for (const auto& [name, cv] : reg.cvars) {
+    out.push_back({name, cv.description});
+  }
+  return out;
+}
+
+std::optional<std::string> cvar_read(const std::string& name) {
+  ensure_builtin_cvars();
+  auto& reg = cvar_registry();
+  CvarGetter getter;
+  {
+    std::lock_guard lk(reg.mu);
+    auto it = reg.cvars.find(name);
+    if (it == reg.cvars.end()) return std::nullopt;
+    getter = it->second.getter;
+  }
+  return getter();
+}
+
+bool cvar_write(const std::string& name, const std::string& value) {
+  ensure_builtin_cvars();
+  auto& reg = cvar_registry();
+  CvarSetter setter;
+  {
+    std::lock_guard lk(reg.mu);
+    auto it = reg.cvars.find(name);
+    if (it == reg.cvars.end()) return false;
+    setter = it->second.setter;
+  }
+  return setter(value);
+}
+
+}  // namespace sessmpi::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sessmpi/base/clock.hpp"
+#include "sessmpi/obs/hist.hpp"
+#include "sessmpi/obs/trace.hpp"
 
 namespace sessmpi::pmix {
 
@@ -56,12 +58,14 @@ void PmixClient::put(const std::string& key, Value value) {
 }
 
 std::size_t PmixClient::commit() {
+  OBS_SPAN("pmix.modex.commit", "pmix");
   runtime_.server_of(self_).rpc_delay();
   return runtime_.datastore().commit(self_);
 }
 
 base::Result<Value> PmixClient::get(ProcId proc, const std::string& key,
                                     base::Nanos timeout) {
+  OBS_SPAN("pmix.modex.get", "pmix");
   runtime_.server_of(self_).rpc_delay();
   if (runtime_.topology().node_of(proc) != runtime_.topology().node_of(self_)) {
     // Direct-modex fetch from a remote server.
@@ -131,8 +135,11 @@ CollectiveEngine::Outcome PmixClient::hier_collective(
   CollectiveEngine& engine = runtime_.collectives();
 
   // Stage 1: node-local gather at the local server.
-  auto out1 = engine.arrive(key_base + ":L" + std::to_string(my_node), locals,
-                            self_, timeout, nullptr, 0);
+  auto out1 = [&] {
+    OBS_SPAN("pmix.hier.local_gather", "pmix");
+    return engine.arrive(key_base + ":L" + std::to_string(my_node), locals,
+                         self_, timeout, nullptr, 0);
+  }();
   if (!out1.status.ok()) {
     return out1;
   }
@@ -147,6 +154,7 @@ CollectiveEngine::Outcome PmixClient::hier_collective(
   // exactly once, by the release op's completion.
   const std::string value_key = key_base + ":V" + std::to_string(my_node);
   if (is_delegate) {
+    OBS_SPAN("pmix.hier.exchange", "pmix");
     auto out2 = engine.arrive(key_base + ":G", delegates, self_, timeout,
                               on_complete, exchange_delay_ns);
     runtime_.board().post(value_key, out2.value);
@@ -161,6 +169,7 @@ CollectiveEngine::Outcome PmixClient::hier_collective(
   // Stage 3: node-local release; the engine distributes the node's board
   // value to every local participant atomically with completion.
   ValueBoard& board = runtime_.board();
+  OBS_SPAN("pmix.hier.release", "pmix");
   auto out3 = engine.arrive(
       key_base + ":R" + std::to_string(my_node), locals, self_, timeout,
       [&board, value_key] { return board.consume(value_key, 1); }, 0);
@@ -184,9 +193,13 @@ base::RtStatus PmixClient::fence(const std::vector<ProcId>& procs,
   if (collect_data) {
     runtime_.datastore().commit(self_);
   }
+  OBS_SPAN_ARG("pmix.fence", "pmix", procs.size());
+  const std::int64_t t0 = base::now_ns();
   const int span = nodes_spanned(runtime_.topology(), procs);
   auto out = hier_collective("fence", procs, timeout, nullptr,
                              runtime_.cost().fence_exchange_cost(span));
+  static obs::Histogram& hist = obs::histogram("pmix.fence_ns");
+  hist.record(static_cast<std::uint64_t>(base::now_ns() - t0));
   poll_events();
   return out.status;
 }
@@ -208,6 +221,7 @@ base::Result<GroupResult> PmixClient::group_construct(
   if (runtime_.groups().lookup(name)) {
     return base::ErrClass::rte_exists;
   }
+  OBS_SPAN_ARG("pmix.group_construct", "pmix", members.size());
   const ProcId leader = dirs.leader.value_or(
       *std::min_element(members.begin(), members.end()));
   const int span = nodes_spanned(runtime_.topology(), members);
@@ -245,6 +259,7 @@ base::Result<std::uint64_t> PmixClient::acquire_pgcid(
       std::find(members.begin(), members.end(), self_) == members.end()) {
     return base::ErrClass::rte_bad_param;
   }
+  OBS_SPAN_ARG("pmix.pgcid_acquire", "pmix", members.size());
   const int span = nodes_spanned(runtime_.topology(), members);
   PmixRuntime& rt = runtime_;
   auto out = hier_collective(

@@ -2,6 +2,7 @@
 
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/error.hpp"
+#include "sessmpi/obs/trace.hpp"
 
 namespace sessmpi::prte {
 
@@ -36,6 +37,7 @@ bool Dvm::load_components(int node) {
   }
   // First process on the node pulls the component stack over NFS; the cost
   // grows with allocation size because every node hits the filer at once.
+  OBS_SPAN_ARG("prte.nfs_load", "prte", static_cast<std::uint64_t>(node));
   base::precise_delay(spec_.cost.nfs_load_cost(spec_.topo.num_nodes));
   nl.loaded = true;
   return true;
@@ -54,6 +56,7 @@ void Dvm::attach_process(pmix::ProcId proc) {
   if (!spec_.topo.valid_rank(proc)) {
     throw base::Error(base::ErrClass::rte_bad_param, "invalid proc");
   }
+  OBS_SPAN_ARG("prte.proc_attach", "prte", static_cast<std::uint64_t>(proc));
   base::precise_delay(spec_.cost.proc_attach_ns);
 }
 

@@ -4,6 +4,7 @@
 
 #include "sessmpi/base/error.hpp"
 #include "sessmpi/base/log.hpp"
+#include "sessmpi/obs/trace.hpp"
 
 namespace sessmpi::sim {
 
@@ -87,6 +88,9 @@ void Cluster::run_on(const std::vector<Rank>& ranks,
     threads.emplace_back([this, r, i, &outcomes, &rank_main] {
       Process& proc = *procs_[static_cast<std::size_t>(r)];
       tls_current = &proc;
+      // Rank threads own their merged-trace track: every probe this thread
+      // fires lands on rank r's timeline.
+      obs::Tracer::set_thread_track(r);
       try {
         dvm_.attach_process(r);
         rank_main(proc);
@@ -98,6 +102,7 @@ void Cluster::run_on(const std::vector<Rank>& ranks,
         aborted_.store(true, std::memory_order_release);
         proc.fail();
       }
+      obs::Tracer::set_thread_track(-1);
       tls_current = nullptr;
     });
   }
@@ -123,8 +128,13 @@ Process* Cluster::current_ptr() noexcept { return tls_current; }
 
 ProcessAdopter::ProcessAdopter(Process& proc) : previous_(tls_current) {
   tls_current = &proc;
+  previous_track_ = obs::Tracer::thread_track();
+  obs::Tracer::set_thread_track(proc.rank());
 }
 
-ProcessAdopter::~ProcessAdopter() { tls_current = previous_; }
+ProcessAdopter::~ProcessAdopter() {
+  obs::Tracer::set_thread_track(previous_track_);
+  tls_current = previous_;
+}
 
 }  // namespace sessmpi::sim

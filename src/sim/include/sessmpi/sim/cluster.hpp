@@ -150,6 +150,7 @@ class ProcessAdopter {
 
  private:
   Process* previous_;
+  std::int32_t previous_track_ = -1;
 };
 
 }  // namespace sessmpi::sim

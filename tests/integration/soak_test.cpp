@@ -16,6 +16,8 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
@@ -26,6 +28,8 @@
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/ckpt/ckpt.hpp"
 #include "sessmpi/ft/ft.hpp"
+#include "sessmpi/obs/trace.hpp"
+#include "sessmpi/obs/trace_json.hpp"
 #include "sessmpi/sim/chaos.hpp"
 
 namespace sessmpi {
@@ -257,6 +261,89 @@ SOAK_CASE(NodeKill8Ranks,          2,  4,   9,   16, 0.00,  0,    0, {5, 1})
 SOAK_CASE(Drop10NodeKill8Ranks,    2,  4,   9,   17, 0.10,  0,    0, {5, 1})
 
 #undef SOAK_CASE
+
+TEST(Soak, TracedLossyRunNestsRetransmitsUnderOwningSends) {
+  // Observability acceptance under chaos: run the soak workload with 25%
+  // seeded packet drop while tracing, merge the per-rank traces, and check
+  // that every fabric.retransmit span in the merged timeline nests (same
+  // async id, same rank track) under the fabric.inflight span of the send
+  // it is retrying — the property that makes a lossy run's timeline read
+  // causally in Perfetto.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_enabled(false);
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  SoakParams prm;
+  prm.nodes = 1;
+  prm.ppn = 4;
+  prm.iters = 12;
+  prm.seed = 77;
+  prm.drop = 0.25;
+  {
+    sim::Cluster cluster{soak_opts(prm)};
+    sim::ChaosMonkey monkey{cluster, soak_policy(prm)};
+    SoakRecord rec;
+    soak_body(cluster, monkey, prm, rec);
+    EXPECT_GT(cluster.fabric().chaos_dropped(), 0u);
+    for (int g = 0; g < 4; ++g) {
+      ASSERT_EQ(rec.final_iter.count(g), 1u);
+      EXPECT_EQ(rec.final_iter.at(g), prm.iters);
+    }
+  }  // cluster destroyed: rank threads joined, pump stopped -> writers quiescent
+  tracer.set_enabled(false);
+
+  const auto events = tracer.collect();
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "soak_trace").string();
+  const auto paths = obs::write_rank_traces(dir, "soak", events);
+  ASSERT_FALSE(paths.empty());
+  const std::string merged_path = dir + "/merged.trace.json";
+  {
+    std::ofstream out(merged_path, std::ios::trunc);
+    ASSERT_TRUE(out);
+    ASSERT_GT(obs::merge_traces(paths, out), 0u);
+  }
+
+  const auto parsed = obs::parse_trace_file(merged_path);
+  // Owning send window per (rank track, flow id): open/close timestamps.
+  struct Inflight {
+    double begin_ts = -1;
+    double end_ts = -1;
+  };
+  std::map<std::pair<int, std::uint64_t>, Inflight> inflight;
+  std::vector<obs::ParsedEvent> retransmits;
+  for (const auto& ev : parsed) {
+    if (ev.name == "fabric.inflight" && ev.has_id) {
+      auto& f = inflight[{ev.pid, ev.id}];
+      if (ev.ph == 'b') f.begin_ts = ev.ts_us;
+      if (ev.ph == 'e') f.end_ts = ev.ts_us;
+    } else if (ev.name == "fabric.retransmit" && ev.ph == 'b') {
+      retransmits.push_back(ev);
+    }
+  }
+  // 25% drop over 4 ranks x 12 iterations must retransmit at least once.
+  ASSERT_FALSE(retransmits.empty())
+      << "lossy soak produced no fabric.retransmit spans";
+
+  int fully_nested = 0;
+  for (const auto& rt : retransmits) {
+    ASSERT_TRUE(rt.has_id);
+    const auto it = inflight.find({rt.pid, rt.id});
+    ASSERT_NE(it, inflight.end())
+        << "retransmit id 0x" << std::hex << rt.id
+        << " has no owning fabric.inflight span on pid " << std::dec << rt.pid;
+    ASSERT_GE(it->second.begin_ts, 0.0);
+    EXPECT_LE(it->second.begin_ts, rt.ts_us)
+        << "retransmit fired before its owning send opened";
+    // The close lands when the ACK finally erases the entry; retries whose
+    // flow was still unacked at teardown legitimately have no close, but a
+    // run that completed all iterations must have at least one acked retry.
+    if (it->second.end_ts >= rt.ts_us) ++fully_nested;
+  }
+  EXPECT_GE(fully_nested, 1)
+      << "no retransmit fully enclosed by its owning inflight span";
+}
 
 TEST(Soak, GoldenBitwiseRestoreAfterNodeKill) {
   // Acceptance scenario. Golden pass: same workload, no chaos.

@@ -1,0 +1,527 @@
+// Unit tests for src/obs: ring-buffer tracing (wraparound eviction,
+// concurrent writers), HDR histogram math, the pvar/cvar tool-variable
+// namespace, the trace JSON schema (golden file), and the SESSMPI_T_* C
+// API mirror. Runs under the `obs` ctest label so the sanitizer jobs can
+// target it; the concurrent-writer test is the TSan witness for the
+// single-writer ring discipline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sessmpi/base/stats.hpp"
+#include "sessmpi/capi.hpp"
+#include "sessmpi/obs/hist.hpp"
+#include "sessmpi/obs/trace.hpp"
+#include "sessmpi/obs/trace_json.hpp"
+#include "sessmpi/obs/tvar.hpp"
+
+namespace sessmpi::obs {
+namespace {
+
+/// Every test drives the one process-wide tracer; start and end clean so
+/// tests compose in any order.
+class TracerGuard {
+ public:
+  TracerGuard() {
+    Tracer& t = Tracer::instance();
+    saved_capacity_ = t.ring_capacity();
+    t.set_enabled(false);
+    t.clear();
+  }
+  ~TracerGuard() {
+    Tracer& t = Tracer::instance();
+    t.set_enabled(false);
+    t.set_ring_capacity(saved_capacity_);
+    t.clear();
+  }
+
+ private:
+  std::size_t saved_capacity_ = 0;
+};
+
+std::vector<Event> events_named(const std::vector<Event>& all,
+                                const char* name) {
+  std::vector<Event> out;
+  for (const Event& ev : all) {
+    if (std::string(ev.name) == name) out.push_back(ev);
+  }
+  return out;
+}
+
+// --- tracing ---------------------------------------------------------------
+
+// Exercises the OBS_* macros themselves, so it only exists in builds where
+// they expand to probes (with -DSESSMPI_OBS_TRACING=OFF they are (void)0
+// and the right observable behaviour is "nothing", covered below).
+#if !defined(SESSMPI_OBS_DISABLED)
+TEST(ObsTrace, SpanEmitsMatchedBeginEnd) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+  {
+    OBS_SPAN_ARG("obs_test.span", "test", 42);
+    OBS_INSTANT("obs_test.inside", "test");
+  }
+  t.set_enabled(false);
+
+  const auto all = t.collect();
+  const auto spans = events_named(all, "obs_test.span");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].phase, Phase::begin);
+  EXPECT_EQ(spans[0].arg, 42u);
+  EXPECT_EQ(spans[1].phase, Phase::end);
+  EXPECT_LE(spans[0].ts_ns, spans[1].ts_ns);
+
+  const auto inside = events_named(all, "obs_test.inside");
+  ASSERT_EQ(inside.size(), 1u);
+  EXPECT_EQ(inside[0].phase, Phase::instant);
+  // Same thread -> same tid; the instant falls inside the span.
+  EXPECT_EQ(inside[0].tid, spans[0].tid);
+  EXPECT_GE(inside[0].ts_ns, spans[0].ts_ns);
+  EXPECT_LE(inside[0].ts_ns, spans[1].ts_ns);
+}
+#endif  // !SESSMPI_OBS_DISABLED
+
+TEST(ObsTrace, DisabledEmitsNothing) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  ASSERT_FALSE(t.enabled());
+  OBS_SPAN("obs_test.dead", "test");
+  OBS_INSTANT("obs_test.dead", "test");
+  t.instant("obs_test.dead", "test");
+  EXPECT_TRUE(events_named(t.collect(), "obs_test.dead").empty());
+}
+
+TEST(ObsTrace, ToggleMidSpanEmitsNoUnmatchedEnd) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  {
+    Span s("obs_test.late", "test");  // constructed while disabled
+    t.set_enabled(true);
+  }  // destructor must not emit a dangling "E"
+  t.set_enabled(false);
+  EXPECT_TRUE(events_named(t.collect(), "obs_test.late").empty());
+}
+
+TEST(ObsTrace, RingWraparoundEvictsOldest) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  constexpr std::size_t kCap = 8;
+  constexpr std::uint64_t kEmit = 20;
+  t.set_ring_capacity(kCap);  // applies to rings created after this call
+  t.set_enabled(true);
+  // A fresh thread gets a fresh (small) ring regardless of what this
+  // thread's ring was created with.
+  std::thread writer([&] {
+    for (std::uint64_t i = 0; i < kEmit; ++i) {
+      t.instant("obs_test.wrap", "test", i);
+    }
+  });
+  writer.join();
+  t.set_enabled(false);
+
+  const auto wrapped = events_named(t.collect(), "obs_test.wrap");
+  ASSERT_EQ(wrapped.size(), kCap);
+  std::set<std::uint64_t> args;
+  for (const Event& ev : wrapped) args.insert(ev.arg);
+  // Oldest events evicted: exactly the newest kCap survive.
+  for (std::uint64_t i = kEmit - kCap; i < kEmit; ++i) {
+    EXPECT_TRUE(args.count(i)) << "expected surviving arg " << i;
+  }
+  EXPECT_EQ(t.evicted(), kEmit - kCap);
+}
+
+TEST(ObsTrace, ConcurrentWritersEachKeepTheirOwnRing) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&t, w] {
+      Tracer::set_thread_track(w);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        t.instant("obs_test.mt", "test", i);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  t.set_enabled(false);  // writers joined: collection is race-free
+
+  const auto events = events_named(t.collect(), "obs_test.mt");
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  // Each writer's ring preserved its own events: per tid, args 0..N-1.
+  std::map<std::uint32_t, std::set<std::uint64_t>> by_tid;
+  std::set<std::int32_t> tracks;
+  for (const Event& ev : events) {
+    by_tid[ev.tid].insert(ev.arg);
+    tracks.insert(ev.track);
+  }
+  ASSERT_EQ(by_tid.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, args] : by_tid) {
+    EXPECT_EQ(args.size(), kPerThread) << "tid " << tid;
+  }
+  EXPECT_EQ(tracks.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ObsTrace, AsyncEventsCarryExplicitTrackAndId) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+  t.async_begin(3, "obs_test.flow", "test", 0xabcdu, 7);
+  t.async_end(3, "obs_test.flow", "test", 0xabcdu);
+  t.set_enabled(false);
+
+  const auto flow = events_named(t.collect(), "obs_test.flow");
+  ASSERT_EQ(flow.size(), 2u);
+  EXPECT_EQ(flow[0].phase, Phase::async_begin);
+  EXPECT_EQ(flow[1].phase, Phase::async_end);
+  for (const Event& ev : flow) {
+    EXPECT_EQ(ev.track, 3);
+    EXPECT_EQ(ev.id, 0xabcdu);
+  }
+}
+
+// --- histograms ------------------------------------------------------------
+
+TEST(ObsHist, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    // Each value below 16 owns its own bucket whose upper edge is itself.
+    EXPECT_EQ(Histogram::bucket_upper(Histogram::bucket_of(v)), v) << v;
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+}
+
+TEST(ObsHist, BucketRelativeErrorBounded) {
+  // HDR invariants: bucket_of is monotone, and the bucket upper edge
+  // over-reports any member value by at most 1/16 (one sub-bucket).
+  std::size_t prev = 0;
+  for (std::uint64_t v : {1ull,        15ull,   16ull,        17ull,
+                          100ull,      1000ull, 4096ull,      65535ull,
+                          1ull << 20,  123456789ull, 1ull << 40}) {
+    const std::size_t b = Histogram::bucket_of(v);
+    EXPECT_GE(b, prev) << "bucket_of not monotone at " << v;
+    prev = b;
+    const std::uint64_t upper = Histogram::bucket_upper(b);
+    EXPECT_GE(upper, v);
+    EXPECT_LE(static_cast<double>(upper - v), static_cast<double>(v) / 16.0 + 1)
+        << "relative error too large for " << v;
+  }
+}
+
+TEST(ObsHist, PercentilesWithinHdrError) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  const struct {
+    double q;
+    double exact;
+  } cases[] = {{0.0, 1}, {0.5, 500}, {0.9, 900}, {0.99, 990}, {1.0, 1000}};
+  for (const auto& c : cases) {
+    const double got = h.percentile(c.q);
+    EXPECT_GE(got, c.exact) << "q=" << c.q;
+    EXPECT_LE(got, c.exact * (1.0 + 1.0 / 16.0) + 1) << "q=" << c.q;
+  }
+  EXPECT_DOUBLE_EQ(Histogram().percentile(0.5), 0.0);  // empty -> 0
+}
+
+TEST(ObsHist, ResetZeroesEverything) {
+  Histogram h;
+  h.record(123);
+  h.record(456);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(ObsHist, CountersResetAlsoResetsRegisteredHistograms) {
+  // The base::Counters reset hook (registered on first histogram creation)
+  // must zero histograms too: one reset clears every pvar.
+  Histogram& h = histogram("obs_test.reset_hist");
+  base::counters().add("obs_test.reset_counter", 5);
+  h.record(77);
+  ASSERT_GE(h.count(), 1u);
+
+  base::counters().reset();
+
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(base::counters().value("obs_test.reset_counter"), 0u);
+}
+
+// --- pvars / cvars ---------------------------------------------------------
+
+TEST(ObsTvar, PvarListUnifiesCountersAndHistograms) {
+  base::counters().add("obs_test.pvar_counter", 3);
+  histogram("obs_test.pvar_hist").record(42);
+
+  const auto pvars = pvar_list();
+  ASSERT_TRUE(std::is_sorted(
+      pvars.begin(), pvars.end(),
+      [](const PvarDesc& a, const PvarDesc& b) { return a.name < b.name; }));
+  auto find = [&](const std::string& name) -> const PvarDesc* {
+    for (const auto& p : pvars) {
+      if (p.name == name) return &p;
+    }
+    return nullptr;
+  };
+  const PvarDesc* c = find("obs_test.pvar_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->cls, PvarClass::counter);
+  const PvarDesc* hd = find("obs_test.pvar_hist");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->cls, PvarClass::histogram);
+
+  EXPECT_EQ(pvar_read_counter("obs_test.pvar_counter").value_or(0), 3u);
+  const auto summary = pvar_read_histogram("obs_test.pvar_hist");
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_GE(summary->count, 1u);
+  EXPECT_GE(summary->p99, 42.0);
+
+  EXPECT_FALSE(pvar_read_counter("obs_test.no_such_pvar").has_value());
+  EXPECT_FALSE(pvar_read_histogram("obs_test.no_such_pvar").has_value());
+  EXPECT_FALSE(pvar_reset("obs_test.no_such_pvar"));
+
+  EXPECT_TRUE(pvar_reset("obs_test.pvar_counter"));
+  EXPECT_EQ(pvar_read_counter("obs_test.pvar_counter").value_or(99), 0u);
+  EXPECT_TRUE(pvar_reset("obs_test.pvar_hist"));
+  EXPECT_EQ(pvar_read_histogram("obs_test.pvar_hist")->count, 0u);
+}
+
+TEST(ObsTvar, BuiltinCvarsControlTheTracer) {
+  TracerGuard guard;
+  const auto cvars = cvar_list();
+  auto has = [&](const std::string& name) {
+    return std::any_of(cvars.begin(), cvars.end(),
+                       [&](const CvarDesc& c) { return c.name == name; });
+  };
+  EXPECT_TRUE(has("obs.trace.enabled"));
+  EXPECT_TRUE(has("obs.trace.ring_events"));
+
+  EXPECT_EQ(cvar_read("obs.trace.enabled").value_or("?"), "0");
+  EXPECT_TRUE(cvar_write("obs.trace.enabled", "1"));
+  EXPECT_TRUE(Tracer::instance().enabled());
+  EXPECT_EQ(cvar_read("obs.trace.enabled").value_or("?"), "1");
+  EXPECT_TRUE(cvar_write("obs.trace.enabled", "0"));
+  EXPECT_FALSE(Tracer::instance().enabled());
+
+  EXPECT_TRUE(cvar_write("obs.trace.ring_events", "4096"));
+  EXPECT_EQ(cvar_read("obs.trace.ring_events").value_or("?"), "4096");
+  EXPECT_EQ(Tracer::instance().ring_capacity(), 4096u);
+  EXPECT_FALSE(cvar_write("obs.trace.ring_events", "not_a_number"));
+  EXPECT_FALSE(cvar_write("obs.trace.ring_events", "0"));  // below floor
+  EXPECT_EQ(Tracer::instance().ring_capacity(), 4096u);    // unchanged
+
+  EXPECT_FALSE(cvar_read("obs.no_such_cvar").has_value());
+  EXPECT_FALSE(cvar_write("obs.no_such_cvar", "1"));
+}
+
+// --- JSON schema -----------------------------------------------------------
+
+std::vector<Event> golden_events() {
+  std::vector<Event> evs(4);
+  evs[0] = {"pml.send", "core", 1234567, 0, 8, 3, 1, Phase::begin};
+  evs[1] = {"pml.send", "core", 1240000, 0, 0, 3, 1, Phase::end};
+  evs[2] = {"ft.revoke", "ft", 1300000, 0, 0, 3, 1, Phase::instant};
+  evs[3] = {"fabric.inflight", "fabric", 1,      0xdeadbeef,
+            7,                 3,        2,      Phase::async_begin};
+  return evs;
+}
+
+TEST(ObsJson, TraceFileMatchesGoldenSchema) {
+  std::ostringstream os;
+  write_trace_file(os, golden_events(), /*pid=*/3, /*clock_ns_offset=*/42,
+                   /*evicted=*/1);
+
+  const std::string golden_path =
+      std::string(SESSMPI_OBS_TEST_DATA_DIR) + "/golden_trace.json";
+  std::ifstream is(golden_path);
+  ASSERT_TRUE(is) << "missing golden file " << golden_path;
+  std::stringstream want;
+  want << is.rdbuf();
+  EXPECT_EQ(os.str(), want.str())
+      << "trace JSON schema drifted from tests/obs/golden_trace.json -- "
+         "update the golden only on a deliberate format change";
+}
+
+TEST(ObsJson, ParseRoundTripsTheWriter) {
+  std::ostringstream os;
+  write_trace_file(os, golden_events(), 3, /*clock_ns_offset=*/1000,
+                   /*evicted=*/0);
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "obs_json_rt").string();
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/roundtrip.trace.json";
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << os.str();
+  }
+
+  const auto parsed = parse_trace_file(path);
+  ASSERT_EQ(parsed.size(), 4u);
+  EXPECT_EQ(parsed[0].name, "pml.send");
+  EXPECT_EQ(parsed[0].cat, "core");
+  EXPECT_EQ(parsed[0].ph, 'B');
+  // 1234567 ns + 1000 ns offset = 1235.567 us.
+  EXPECT_NEAR(parsed[0].ts_us, 1235.567, 1e-9);
+  EXPECT_EQ(parsed[0].pid, 3);
+  EXPECT_EQ(parsed[0].arg, 8u);
+  EXPECT_EQ(parsed[2].ph, 'i');
+  EXPECT_TRUE(parsed[3].has_id);
+  EXPECT_EQ(parsed[3].id, 0xdeadbeefu);
+  EXPECT_EQ(parsed[3].ph, 'b');
+}
+
+TEST(ObsJson, ParseRejectsNonTraceFile) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "not_a_trace.json")
+          .string();
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << "{\"counters\": {}}\n";
+  }
+  EXPECT_THROW(parse_trace_file(path), std::exception);
+  EXPECT_THROW(parse_trace_file(path + ".missing"), std::exception);
+}
+
+TEST(ObsJson, RankTracesSplitByTrackAndMergeRebased) {
+  // Synthetic cross-layer trace: two ranks plus one unattributed runtime
+  // event, exactly what a bench --trace run produces.
+  std::vector<Event> evs(5);
+  evs[0] = {"comm.create_from_group", "core", 5000, 0, 2, 0, 1, Phase::begin};
+  evs[1] = {"comm.create_from_group", "core", 9000, 0, 0, 0, 1, Phase::end};
+  evs[2] = {"pmix.fence", "pmix", 6000, 0, 2, 1, 2, Phase::begin};
+  evs[3] = {"pmix.fence", "pmix", 8000, 0, 0, 1, 2, Phase::end};
+  evs[4] = {"fabric.tick", "fabric", 7000, 0, 0, -1, 3, Phase::instant};
+
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "obs_rank_traces")
+          .string();
+  const auto paths = write_rank_traces(dir, "unit", evs);
+  ASSERT_EQ(paths.size(), 3u);  // rank0, rank1, runtime
+  EXPECT_NE(paths[0].find("unit.rank0.trace.json"), std::string::npos);
+  EXPECT_NE(paths[1].find("unit.rank1.trace.json"), std::string::npos);
+  EXPECT_NE(paths[2].find("unit.runtime.trace.json"), std::string::npos);
+
+  const std::string merged_path = dir + "/merged.trace.json";
+  std::size_t merged = 0;
+  {
+    std::ofstream out(merged_path, std::ios::trunc);
+    merged = merge_traces(paths, out);
+  }
+  EXPECT_EQ(merged, evs.size());
+
+  const auto parsed = parse_trace_file(merged_path);
+  ASSERT_EQ(parsed.size(), evs.size());
+  // Earliest event rebased to t=0; order is by timestamp.
+  EXPECT_EQ(parsed[0].name, "comm.create_from_group");
+  EXPECT_NEAR(parsed[0].ts_us, 0.0, 1e-9);
+  EXPECT_NEAR(parsed[4].ts_us, 4.0, 1e-9);  // 9000ns - 5000ns
+  std::set<int> pids;
+  for (const auto& ev : parsed) pids.insert(ev.pid);
+  EXPECT_EQ(pids, (std::set<int>{0, 1, kRuntimeTrackPid}));
+}
+
+// --- C API mirror ----------------------------------------------------------
+
+TEST(ObsCapi, PvarEnumerateReadReset) {
+  using namespace sessmpi::capi;
+  base::counters().add("obs_test.capi_counter", 11);
+  histogram("obs_test.capi_hist").record(500);
+
+  int num = 0;
+  ASSERT_EQ(SESSMPI_T_pvar_get_num(&num), MPI_SUCCESS);
+  ASSERT_GE(num, 2);
+  bool saw_counter = false;
+  bool saw_hist = false;
+  for (int i = 0; i < num; ++i) {
+    char name[128];
+    int cls = -1;
+    ASSERT_EQ(SESSMPI_T_pvar_get_info(i, name, sizeof name, &cls),
+              MPI_SUCCESS);
+    if (std::string(name) == "obs_test.capi_counter") {
+      saw_counter = true;
+      EXPECT_EQ(cls, SESSMPI_T_PVAR_CLASS_COUNTER);
+    }
+    if (std::string(name) == "obs_test.capi_hist") {
+      saw_hist = true;
+      EXPECT_EQ(cls, SESSMPI_T_PVAR_CLASS_HISTOGRAM);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+
+  unsigned long long value = 0;
+  ASSERT_EQ(SESSMPI_T_pvar_read("obs_test.capi_counter", &value), MPI_SUCCESS);
+  EXPECT_EQ(value, 11u);
+  ASSERT_EQ(SESSMPI_T_pvar_read("obs_test.capi_hist", &value), MPI_SUCCESS);
+  EXPECT_GE(value, 1u);  // histogram read-by-value = sample count
+
+  double p = 0;
+  ASSERT_EQ(SESSMPI_T_pvar_read_percentile("obs_test.capi_hist", 0.99, &p),
+            MPI_SUCCESS);
+  EXPECT_GE(p, 500.0);
+  EXPECT_LE(p, 500.0 * 1.07);
+
+  EXPECT_EQ(SESSMPI_T_pvar_reset("obs_test.capi_counter"), MPI_SUCCESS);
+  ASSERT_EQ(SESSMPI_T_pvar_read("obs_test.capi_counter", &value), MPI_SUCCESS);
+  EXPECT_EQ(value, 0u);
+
+  EXPECT_NE(SESSMPI_T_pvar_read("obs_test.no_such", &value), MPI_SUCCESS);
+  EXPECT_NE(SESSMPI_T_pvar_get_info(-1, nullptr, 0, nullptr), MPI_SUCCESS);
+
+  // reset_all goes through counters().reset() -> histogram hook.
+  histogram("obs_test.capi_hist").record(500);
+  EXPECT_EQ(SESSMPI_T_pvar_reset_all(), MPI_SUCCESS);
+  ASSERT_EQ(SESSMPI_T_pvar_read("obs_test.capi_hist", &value), MPI_SUCCESS);
+  EXPECT_EQ(value, 0u);
+}
+
+TEST(ObsCapi, CvarRoundTrip) {
+  using namespace sessmpi::capi;
+  TracerGuard guard;
+  int num = 0;
+  ASSERT_EQ(SESSMPI_T_cvar_get_num(&num), MPI_SUCCESS);
+  ASSERT_GE(num, 2);
+  bool saw_enabled = false;
+  for (int i = 0; i < num; ++i) {
+    char name[128];
+    ASSERT_EQ(SESSMPI_T_cvar_get_info(i, name, sizeof name), MPI_SUCCESS);
+    if (std::string(name) == "obs.trace.enabled") saw_enabled = true;
+  }
+  EXPECT_TRUE(saw_enabled);
+
+  ASSERT_EQ(SESSMPI_T_cvar_write("obs.trace.enabled", "1"), MPI_SUCCESS);
+  char value[16];
+  ASSERT_EQ(SESSMPI_T_cvar_read("obs.trace.enabled", value, sizeof value),
+            MPI_SUCCESS);
+  EXPECT_STREQ(value, "1");
+  EXPECT_TRUE(Tracer::instance().enabled());
+  ASSERT_EQ(SESSMPI_T_cvar_write("obs.trace.enabled", "0"), MPI_SUCCESS);
+
+  EXPECT_NE(SESSMPI_T_cvar_read("obs.no_such", value, sizeof value),
+            MPI_SUCCESS);
+  EXPECT_NE(SESSMPI_T_cvar_write("obs.no_such", "1"), MPI_SUCCESS);
+}
+
+}  // namespace
+}  // namespace sessmpi::obs

@@ -1,0 +1,61 @@
+// trace_merge: fold N per-rank Chrome trace files (written by benches run
+// with --trace, or by tests via obs::write_rank_traces) into one stream
+// that chrome://tracing and ui.perfetto.dev load directly.
+//
+//   trace_merge out/bench_pt2pt.rank0.trace.json out/... [-o merged.json]
+//
+// Each input's `clock_ns_offset` header is applied to its timestamps, the
+// earliest event is rebased to t=0, and process_name metadata maps pid N to
+// the "rank N" track (runtime-thread events land on a separate "runtime"
+// track). Without -o the merged trace goes to stdout.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sessmpi/obs/trace_json.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string output;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: trace_merge <rank-trace.json>... [-o merged.json]\n";
+      return 0;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "trace_merge: no input trace files "
+                 "(usage: trace_merge <rank-trace.json>... [-o merged.json])\n";
+    return 2;
+  }
+
+  try {
+    std::size_t merged = 0;
+    if (output.empty()) {
+      merged = sessmpi::obs::merge_traces(inputs, std::cout);
+    } else {
+      std::ofstream os(output, std::ios::trunc);
+      if (!os) {
+        std::cerr << "trace_merge: cannot open " << output << "\n";
+        return 2;
+      }
+      merged = sessmpi::obs::merge_traces(inputs, os);
+      std::cerr << "trace_merge: " << merged << " events from "
+                << inputs.size() << " file(s) -> " << output << "\n";
+    }
+    if (merged == 0) {
+      std::cerr << "trace_merge: warning: no events in input files\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "trace_merge: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
