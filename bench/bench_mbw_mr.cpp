@@ -14,6 +14,8 @@
 
 #include "common.hpp"
 
+#include "sessmpi/base/buffer_pool.hpp"
+
 namespace sessmpi::bench {
 namespace {
 
@@ -193,14 +195,58 @@ void figure(const char* title, int nprocs) {
   t.print(std::cout);
 }
 
+/// CI regression gate (`--smoke`): one 2-process run at the paper's 8-byte
+/// point, checking the three properties the message-path overhaul bought:
+/// the message rate itself, a zero-copy eager path, and buffer-pool reuse.
+int run_smoke() {
+  constexpr double kRateFloor = 8'000;  // seed main measured ~4.4k msg/s
+  std::vector<double> rates;
+  run_cluster(1, 2, [&](sim::Process& p) {
+    init();
+    Communicator world = comm_world();
+    {
+      RankSamples warm;
+      mbw_kernel(world, 8, false, &warm);
+    }
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      RankSamples t;
+      auto r = mbw_kernel(world, 8, false, &t);
+      if (p.rank() == 0) {
+        rates.push_back(r.msg_rate);
+      }
+    }
+    finalize();
+  });
+  const double rate = median_of(rates);
+  const auto copies = base::counters().value("fabric.payload_copies");
+  const auto pool = base::BufferPool::global().stats();
+  const double hit_rate =
+      pool.hits + pool.misses == 0
+          ? 0.0
+          : static_cast<double>(pool.hits) /
+                static_cast<double>(pool.hits + pool.misses);
+  std::cout << "8-byte message rate: " << base::Table::fmt(rate, 0)
+            << " msg/s (floor " << base::Table::fmt(kRateFloor, 0) << ")\n"
+            << "fabric.payload_copies: " << copies << " (must be 0)\n"
+            << "buffer pool hit rate: " << base::Table::fmt(hit_rate * 100, 1)
+            << "% (floor 50%)\n";
+  print_counters_json("bench_mbw_mr");
+  const bool ok = rate >= kRateFloor && copies == 0 && hit_rate >= 0.5;
+  std::cout << (ok ? "MBW_SMOKE PASS\n" : "MBW_SMOKE FAIL\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace sessmpi::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sessmpi;
   using namespace sessmpi::bench;
   std::cout << "bench_mbw_mr: reproduces Figures 5b/5c (osu_mbw_mr message "
                "rate, MPI_Init vs Sessions)\n";
+  if (flag_present(argc, argv, "--smoke")) {
+    return run_smoke();
+  }
   figure("Figure 5b: 2 processes (1 pair) on one node", 2);
   figure("Figure 5c: 16 processes (8 pairs) on one node", 16);
   std::cout << "\nPaper checkpoints: with 2 processes the barrier performs "

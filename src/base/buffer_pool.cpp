@@ -1,0 +1,82 @@
+#include "sessmpi/base/buffer_pool.hpp"
+
+#include <new>
+
+namespace sessmpi::base {
+
+BufferPool::~BufferPool() { trim(); }
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool;
+  return pool;
+}
+
+std::size_t BufferPool::class_for(std::size_t bytes) noexcept {
+  std::size_t cls = 0;
+  std::size_t cap = kMinBlock;
+  while (cls < kClasses && cap < bytes) {
+    cap <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+void* BufferPool::acquire(std::size_t bytes, std::size_t* capacity) {
+  const std::size_t cls = class_for(bytes);
+  if (cls >= kClasses) {
+    // Oversized: exact allocation, never cached.
+    *capacity = bytes;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return ::operator new(bytes);
+  }
+  *capacity = class_bytes(cls);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_[cls].empty()) {
+      void* block = free_[cls].back();
+      free_[cls].pop_back();
+      cached_bytes_ -= class_bytes(cls);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return block;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(class_bytes(cls));
+}
+
+void BufferPool::release(void* block, std::size_t capacity) noexcept {
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t cls = class_for(capacity);
+  if (cls < kClasses && class_bytes(cls) == capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_[cls].size() < kMaxCachedPerClass) {
+      free_[cls].push_back(block);
+      cached_bytes_ += capacity;
+      return;
+    }
+  }
+  ::operator delete(block);
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.releases = releases_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.cached_bytes = cached_bytes_;
+  return s;
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& list : free_) {
+    for (void* block : list) {
+      ::operator delete(block);
+    }
+    list.clear();
+  }
+  cached_bytes_ = 0;
+}
+
+}  // namespace sessmpi::base

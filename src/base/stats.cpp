@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "sessmpi/base/error.hpp"
+
 namespace sessmpi::base {
 
 Summary summarize(std::vector<double> samples) {
@@ -71,29 +73,108 @@ void Table::print(std::ostream& os) const {
   }
 }
 
-std::atomic<std::uint64_t>* Counters::get(const std::string& name) {
+/// Per-thread shard bindings. A thread lazily claims one shard per Counters
+/// instance; the destructor parks the shards back on their registries'
+/// freelists when the thread exits. The registry outlives worker threads
+/// (the process-wide one is a function-local static, destroyed after the
+/// main thread's thread_locals run).
+namespace detail {
+
+struct TlsShards {
+  struct Entry {
+    Counters* owner;
+    Counters::Shard* shard;
+  };
+  std::vector<Entry> entries;
+  ~TlsShards() {
+    for (const Entry& e : entries) {
+      e.owner->retire_shard(e.shard);
+    }
+  }
+};
+
+thread_local TlsShards tls_shards;
+
+}  // namespace detail
+
+using detail::tls_shards;
+
+void Counters::retire_shard(Shard* shard) {
   std::lock_guard lock(mu_);
-  return &counters_[name];
+  free_shards_.push_back(shard);
+}
+
+Counters::Shard* Counters::local_shard() {
+  for (const auto& e : tls_shards.entries) {
+    if (e.owner == this) {
+      return e.shard;
+    }
+  }
+  Shard* shard = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (!free_shards_.empty()) {
+      shard = free_shards_.back();
+      free_shards_.pop_back();
+    } else {
+      shards_.push_back(std::make_unique<Shard>());
+      shard = shards_.back().get();
+    }
+  }
+  tls_shards.entries.push_back({this, shard});
+  return shard;
+}
+
+std::size_t Counters::index_of(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = index_.try_emplace(name, names_.size());
+  if (inserted) {
+    if (names_.size() >= kMaxCounters) {
+      index_.erase(it);
+      throw Error(ErrClass::intern, "counter registry full: " + name);
+    }
+    names_.push_back(&it->first);
+  }
+  return it->second;
+}
+
+std::uint64_t Counters::fold_locked(std::size_t idx) const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->cells[idx].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+Counters::Handle Counters::handle(const std::string& name) {
+  return Handle(this, index_of(name));
+}
+
+void Counters::Handle::add(std::uint64_t delta) const {
+  owner_->local_shard()->cells[idx_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counters::Handle::value() const {
+  std::lock_guard lock(owner_->mu_);
+  return owner_->fold_locked(idx_);
 }
 
 void Counters::add(const std::string& name, std::uint64_t delta) {
-  get(name)->fetch_add(delta, std::memory_order_relaxed);
+  handle(name).add(delta);
 }
 
 std::uint64_t Counters::value(const std::string& name) const {
   std::lock_guard lock(mu_);
-  auto it = counters_.find(name);
-  return it == counters_.end()
-             ? 0
-             : it->second.load(std::memory_order_relaxed);
+  auto it = index_.find(name);
+  return it == index_.end() ? 0 : fold_locked(it->second);
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Counters::snapshot() const {
   std::lock_guard lock(mu_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
-  out.reserve(counters_.size());
-  for (const auto& [name, v] : counters_) {
-    out.emplace_back(name, v.load(std::memory_order_relaxed));
+  out.reserve(names_.size());
+  for (const auto& [name, idx] : index_) {
+    out.emplace_back(name, fold_locked(idx));
   }
   return out;
 }
@@ -115,8 +196,10 @@ void Counters::print_json(std::ostream& os) const {
 void Counters::reset() {
   {
     std::lock_guard lock(mu_);
-    for (auto& [name, v] : counters_) {
-      v.store(0, std::memory_order_relaxed);
+    for (const auto& shard : shards_) {
+      for (std::size_t idx = 0; idx < names_.size(); ++idx) {
+        shard->cells[idx].store(0, std::memory_order_relaxed);
+      }
     }
   }
   // Hooks run unlocked so they may call back into the registry.
@@ -127,6 +210,17 @@ void Counters::reset() {
   }
   for (const auto& hook : hooks) {
     hook();
+  }
+}
+
+void Counters::reset_one(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return;
+  }
+  for (const auto& shard : shards_) {
+    shard->cells[it->second].store(0, std::memory_order_relaxed);
   }
 }
 

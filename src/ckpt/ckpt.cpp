@@ -50,7 +50,7 @@ void scrub_posted(detail::ProcState& ps,
                   const std::shared_ptr<detail::CommState>& s,
                   const std::vector<detail::RequestPtr>& reqs) {
   std::lock_guard lock(ps.mu);
-  std::erase_if(s->posted, [&](const detail::RequestPtr& p) {
+  s->posted.erase_if([&](const detail::RequestPtr& p) {
     return std::find(reqs.begin(), reqs.end(), p) != reqs.end();
   });
 }

@@ -468,10 +468,17 @@ int SESSMPI_T_pvar_get_info(int index, char* name, int name_len,
     }
     copy_name(vars[static_cast<std::size_t>(index)].name, name, name_len);
     if (var_class != nullptr) {
-      *var_class = vars[static_cast<std::size_t>(index)].cls ==
-                           obs::PvarClass::histogram
-                       ? SESSMPI_T_PVAR_CLASS_HISTOGRAM
-                       : SESSMPI_T_PVAR_CLASS_COUNTER;
+      switch (vars[static_cast<std::size_t>(index)].cls) {
+        case obs::PvarClass::histogram:
+          *var_class = SESSMPI_T_PVAR_CLASS_HISTOGRAM;
+          break;
+        case obs::PvarClass::gauge:
+          *var_class = SESSMPI_T_PVAR_CLASS_GAUGE;
+          break;
+        case obs::PvarClass::counter:
+          *var_class = SESSMPI_T_PVAR_CLASS_COUNTER;
+          break;
+      }
     }
   });
 }
@@ -487,6 +494,10 @@ int SESSMPI_T_pvar_read(const char* name, unsigned long long* value) {
     }
     if (auto h = obs::pvar_read_histogram(name)) {
       *value = h->count;
+      return;
+    }
+    if (auto g = obs::pvar_read_gauge(name)) {
+      *value = *g;
       return;
     }
     throw Error(ErrClass::arg, "unknown pvar");

@@ -217,19 +217,18 @@ Status Communicator::probe(int src, int tag) const {
   bool found = false;
   ps.progress_until([&] {
     std::lock_guard lock(ps.mu);
-    for (const auto& pkt : s->unexpected) {
-      if (detail::tags_match(src, tag, pkt.match.src, pkt.match.tag)) {
-        st.source = pkt.match.src;
-        st.tag = pkt.match.tag;
-        st.count_bytes = pkt.kind == fabric::PacketKind::rndv_rts ||
-                                 pkt.kind == fabric::PacketKind::rndv_rts_ext
-                             ? pkt.advertised_size
-                             : pkt.payload.size();
-        found = true;
-        return true;
-      }
+    const fabric::Packet* pkt = s->unexpected.peek_match(src, tag);
+    if (pkt == nullptr) {
+      return false;
     }
-    return false;
+    st.source = pkt->match.src;
+    st.tag = pkt->match.tag;
+    st.count_bytes = pkt->kind == fabric::PacketKind::rndv_rts ||
+                             pkt->kind == fabric::PacketKind::rndv_rts_ext
+                         ? pkt->advertised_size
+                         : pkt->payload.size();
+    found = true;
+    return true;
   });
   (void)found;
   return st;
@@ -240,20 +239,19 @@ bool Communicator::iprobe(int src, int tag, Status* status) const {
   ProcState& ps = *s->ps;
   ps.progress_pass(/*block=*/false);
   std::lock_guard lock(ps.mu);
-  for (const auto& pkt : s->unexpected) {
-    if (detail::tags_match(src, tag, pkt.match.src, pkt.match.tag)) {
-      if (status != nullptr) {
-        status->source = pkt.match.src;
-        status->tag = pkt.match.tag;
-        status->count_bytes = pkt.kind == fabric::PacketKind::rndv_rts ||
-                                      pkt.kind == fabric::PacketKind::rndv_rts_ext
-                                  ? pkt.advertised_size
-                                  : pkt.payload.size();
-      }
-      return true;
-    }
+  const fabric::Packet* pkt = s->unexpected.peek_match(src, tag);
+  if (pkt == nullptr) {
+    return false;
   }
-  return false;
+  if (status != nullptr) {
+    status->source = pkt->match.src;
+    status->tag = pkt->match.tag;
+    status->count_bytes = pkt->kind == fabric::PacketKind::rndv_rts ||
+                                  pkt->kind == fabric::PacketKind::rndv_rts_ext
+                              ? pkt->advertised_size
+                              : pkt->payload.size();
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------

@@ -29,7 +29,7 @@ void tree_neighbors(int rank, int size, int* parent, std::vector<int>* children)
 }  // namespace
 
 RequestPtr make_ibarrier(ProcState& ps, const std::shared_ptr<CommState>& comm) {
-  auto req = std::make_shared<RequestImpl>();
+  RequestPtr req = ps.make_request();
   req->ps = &ps;
   req->comm = comm.get();
   req->kind = RequestImpl::Kind::nbc;
@@ -116,7 +116,7 @@ void ProcState::advance_nbc_locked() {
       }
       // Retire our still-posted sub-receives so stray tree messages for
       // this operation cannot match them later.
-      std::erase_if(op.comm->posted, [&](const RequestPtr& posted) {
+      op.comm->posted.erase_if([&](const RequestPtr& posted) {
         if (posted == op.parent_recv) {
           return true;
         }

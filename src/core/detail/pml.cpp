@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <limits>
 
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/stats.hpp"
@@ -15,35 +16,209 @@ std::size_t packed_bytes(int count, const Datatype& dt) {
   return static_cast<std::size_t>(count) * dt.size();
 }
 
+constexpr std::uint64_t kNoStamp = std::numeric_limits<std::uint64_t>::max();
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Match queues (structures in state.hpp; ordering proof in DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+void PostedQueues::insert(const RequestPtr& req) {
+  Bin& bin = req->src == any_source ? wildcard_ : bins_[req->src];
+  if (req->tag == any_tag) {
+    bin.any_tag.push_back(req);
+  } else {
+    bin.by_tag[req->tag].push_back(req);
+  }
+  ++size_;
+}
+
+RequestPtr PostedQueues::take_match(int src, int tag) {
+  static const auto bin_hits = base::counter("pml.match_bin_hits");
+  static const auto wildcard_scans = base::counter("pml.wildcard_scans");
+  if (size_ == 0) {
+    return nullptr;
+  }
+
+  // Up to four candidate queues can hold a matching request; each is
+  // stamp-sorted, so the earliest post overall is the min over their heads.
+  std::deque<RequestPtr>* best = nullptr;
+  std::uint64_t best_stamp = kNoStamp;
+  bool best_in_bins = false;
+  std::uint64_t wild_heads = 0;
+
+  const auto consider = [&](std::deque<RequestPtr>* q, bool in_bins) {
+    if (q == nullptr || q->empty()) {
+      return;
+    }
+    if (!in_bins) {
+      ++wild_heads;
+    }
+    const std::uint64_t stamp = q->front()->post_stamp;
+    if (stamp < best_stamp) {
+      best_stamp = stamp;
+      best = q;
+      best_in_bins = in_bins;
+    }
+  };
+
+  const auto queues_of = [&](Bin& bin) {
+    auto tit = bin.by_tag.find(tag);
+    std::deque<RequestPtr>* exact =
+        tit == bin.by_tag.end() ? nullptr : &tit->second;
+    // ANY_TAG posts never match internal (negative) tags.
+    std::deque<RequestPtr>* anytag = tag >= 0 ? &bin.any_tag : nullptr;
+    return std::pair{exact, anytag};
+  };
+
+  auto bit = bins_.find(src);
+  if (bit != bins_.end()) {
+    auto [exact, anytag] = queues_of(bit->second);
+    consider(exact, /*in_bins=*/true);
+    consider(anytag, /*in_bins=*/true);
+  }
+  {
+    auto [exact, anytag] = queues_of(wildcard_);
+    consider(exact, /*in_bins=*/false);
+    consider(anytag, /*in_bins=*/false);
+  }
+  if (wild_heads > 0) {
+    wildcard_scans.add(wild_heads);
+  }
+  if (best == nullptr) {
+    return nullptr;
+  }
+
+  RequestPtr req = std::move(best->front());
+  best->pop_front();
+  --size_;
+  if (best_in_bins) {
+    bin_hits.add();
+  }
+  // Drop emptied exact-tag queues so per-tag map entries don't accumulate.
+  Bin& owner = best_in_bins ? bit->second : wildcard_;
+  if (best != &owner.any_tag && best->empty()) {
+    owner.by_tag.erase(req->tag);
+  }
+  if (best_in_bins && bit->second.empty()) {
+    bins_.erase(bit);
+  }
+  return req;
+}
+
+void UnexpectedQueues::insert(fabric::Packet&& pkt, std::uint64_t stamp) {
+  auto& dq = bins_[pkt.match.src].by_tag[pkt.match.tag];
+  dq.push_back(Stamped{std::move(pkt), stamp});
+  ++size_;
+}
+
+std::optional<UnexpectedQueues::Loc> UnexpectedQueues::locate_match(int src,
+                                                                    int tag) {
+  static const auto wildcard_scans = base::counter("pml.wildcard_scans");
+  if (size_ == 0) {
+    return std::nullopt;
+  }
+
+  std::optional<Loc> best;
+  std::uint64_t best_stamp = kNoStamp;
+  std::uint64_t scanned = 0;
+
+  const auto consider = [&](BinMap::iterator bin, auto tq) {
+    if (tq == bin->second.by_tag.end() || tq->second.empty()) {
+      return;
+    }
+    const std::uint64_t stamp = tq->second.front().stamp;
+    if (stamp < best_stamp) {
+      best_stamp = stamp;
+      best = Loc{bin, tq};
+    }
+  };
+
+  if (src != any_source && tag != any_tag) {
+    // Fully directed: one deque holds every candidate. O(1).
+    auto bit = bins_.find(src);
+    if (bit != bins_.end()) {
+      consider(bit, bit->second.by_tag.find(tag));
+    }
+    return best;
+  }
+
+  // Wildcard receives arbitrate over queue heads: per candidate source,
+  // per stored tag for ANY_TAG (negative tags excluded — internal traffic
+  // never matches a wildcard).
+  const auto consider_bin = [&](BinMap::iterator bit) {
+    if (tag != any_tag) {
+      ++scanned;
+      consider(bit, bit->second.by_tag.find(tag));
+      return;
+    }
+    for (auto tit = bit->second.by_tag.begin(); tit != bit->second.by_tag.end();
+         ++tit) {
+      if (tit->first < 0) {
+        continue;
+      }
+      ++scanned;
+      consider(bit, tit);
+    }
+  };
+
+  if (src != any_source) {
+    auto bit = bins_.find(src);
+    if (bit != bins_.end()) {
+      consider_bin(bit);
+    }
+  } else {
+    for (auto bit = bins_.begin(); bit != bins_.end(); ++bit) {
+      consider_bin(bit);
+    }
+  }
+  if (scanned > 0) {
+    wildcard_scans.add(scanned);
+  }
+  return best;
+}
+
+std::optional<fabric::Packet> UnexpectedQueues::take_match(int src, int tag) {
+  auto loc = locate_match(src, tag);
+  if (!loc) {
+    return std::nullopt;
+  }
+  auto& dq = loc->tq->second;
+  fabric::Packet pkt = std::move(dq.front().pkt);
+  dq.pop_front();
+  --size_;
+  if (dq.empty()) {
+    loc->bin->second.by_tag.erase(loc->tq);
+    if (loc->bin->second.by_tag.empty()) {
+      bins_.erase(loc->bin);
+    }
+  }
+  return pkt;
+}
+
+const fabric::Packet* UnexpectedQueues::peek_match(int src, int tag) const {
+  // locate_match only mutates counters; the structure is untouched.
+  auto loc = const_cast<UnexpectedQueues*>(this)->locate_match(src, tag);
+  return loc ? &loc->tq->second.front().pkt : nullptr;
+}
 
 // ---------------------------------------------------------------------------
 // Matching
 // ---------------------------------------------------------------------------
 
 RequestPtr ProcState::match_posted(CommState& comm, const fabric::Packet& pkt) {
-  for (auto it = comm.posted.begin(); it != comm.posted.end(); ++it) {
-    RequestPtr& req = *it;
-    if (tags_match(req->src, req->tag, pkt.match.src, pkt.match.tag)) {
-      RequestPtr matched = std::move(req);
-      comm.posted.erase(it);
-      return matched;
-    }
-  }
-  return nullptr;
+  return comm.posted.take_match(pkt.match.src, pkt.match.tag);
 }
 
 bool ProcState::match_against_unexpected(CommState& comm,
                                          const RequestPtr& req) {
-  for (auto it = comm.unexpected.begin(); it != comm.unexpected.end(); ++it) {
-    if (tags_match(req->src, req->tag, it->match.src, it->match.tag)) {
-      fabric::Packet pkt = std::move(*it);
-      comm.unexpected.erase(it);
-      deliver(comm, req, std::move(pkt));
-      return true;
-    }
+  auto pkt = comm.unexpected.take_match(req->src, req->tag);
+  if (!pkt) {
+    return false;
   }
-  return false;
+  deliver(comm, req, std::move(*pkt));
+  return true;
 }
 
 void ProcState::handle_incoming(const std::shared_ptr<CommState>& comm,
@@ -52,18 +227,26 @@ void ProcState::handle_incoming(const std::shared_ptr<CommState>& comm,
   // Exactly-once cross-check of the fabric's reliable-delivery guarantee:
   // sends stamp MatchHeader::seq per (comm,peer), so a duplicate or
   // overtaking arrival would show up here as a non-+1 step.
-  if (pkt.match.seq != 0 && pkt.match.src >= 0 &&
-      static_cast<std::size_t>(pkt.match.src) < comm->peers.size()) {
-    auto& peer = comm->peers[static_cast<std::size_t>(pkt.match.src)];
-    if (pkt.match.seq != peer.recv_seq + 1) {
-      base::counters().add("pml.seq_anomalies");
+  static const auto seq_anomalies = base::counter("pml.seq_anomalies");
+  if (pkt.match.seq != 0) {
+    if (pkt.match.src >= 0 &&
+        static_cast<std::size_t>(pkt.match.src) < comm->peers.size()) {
+      auto& peer = comm->peers[static_cast<std::size_t>(pkt.match.src)];
+      if (pkt.match.seq != peer.recv_seq + 1) {
+        seq_anomalies.add();
+      }
+      peer.recv_seq = std::max(peer.recv_seq, pkt.match.seq);
+    } else {
+      // A source outside the communicator's rank range is corruption, not
+      // something to silently skip — it is exactly the kind of anomaly this
+      // check exists to surface.
+      seq_anomalies.add();
     }
-    peer.recv_seq = std::max(peer.recv_seq, pkt.match.seq);
   }
   if (RequestPtr req = match_posted(*comm, pkt)) {
     deliver(*comm, req, std::move(pkt));
   } else {
-    comm->unexpected.push_back(std::move(pkt));
+    comm->unexpected.insert(std::move(pkt), comm->next_match_stamp++);
   }
 }
 
@@ -282,7 +465,7 @@ void ProcState::revoke_comm_locked(const std::shared_ptr<CommState>& comm,
       continue;
     }
     NbcOp& op = *req.nbc;
-    std::erase_if(comm->posted, [&](const RequestPtr& posted) {
+    comm->posted.erase_if([&](const RequestPtr& posted) {
       if (posted == op.parent_recv) {
         return true;
       }
@@ -301,18 +484,16 @@ void ProcState::revoke_comm_locked(const std::shared_ptr<CommState>& comm,
 
   // Pending receives; FT-protocol operations keep working (agreement and
   // shrink must be able to communicate over the revoked communicator).
-  for (auto it = comm->posted.begin(); it != comm->posted.end();) {
-    const RequestPtr& req = *it;
+  comm->posted.erase_if([&](const RequestPtr& req) {
     if (is_ft_tag(req->tag)) {
-      ++it;
-      continue;
+      return false;
     }
     poison(req, req->src, req->tag);
-    it = comm->posted.erase(it);
-  }
+    return true;
+  });
   // Unmatched arrivals: any receive that could match them would be poisoned
   // anyway, so drop them before they can satisfy a post-revoke FT wildcard.
-  std::erase_if(comm->unexpected, [](const fabric::Packet& p) {
+  comm->unexpected.erase_if([](const fabric::Packet& p) {
     return !is_ft_tag(p.match.tag);
   });
   // Rendezvous / synchronous sends parked on a CTS or ACK from a peer that
@@ -386,6 +567,22 @@ void ProcState::revoke_comm_locked(const std::shared_ptr<CommState>& comm,
 // Progress
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Pipelined wire model (DESIGN.md §12): the sender only charges occupancy
+/// (gap + serialization); the one-way latency elapses in flight. The receiver
+/// honors it here — a popped packet is not dispatched before its arrival
+/// deadline, but packets queued behind it have been overlapping their flight
+/// time with ours, which is what lets the windowed message rate approach 1/gap
+/// instead of 1/RTT.
+void wait_for_arrival(const fabric::Packet& pkt) {
+  if (pkt.arrival_ns > 0) {
+    base::precise_delay(pkt.arrival_ns - base::now_ns());
+  }
+}
+
+}  // namespace
+
 void ProcState::progress_pass(bool block) {
   bool any = false;
   for (;;) {
@@ -394,6 +591,7 @@ void ProcState::progress_pass(bool block) {
       break;
     }
     any = true;
+    wait_for_arrival(*pkt);
     std::lock_guard lock(mu);
     dispatch(std::move(*pkt));
   }
@@ -403,6 +601,7 @@ void ProcState::progress_pass(bool block) {
     // idle waiters do not generate wake-up storms at high rank counts.
     auto pkt = proc.endpoint().inbox().pop_wait(std::chrono::milliseconds(5));
     if (pkt) {
+      wait_for_arrival(*pkt);
       std::lock_guard lock(mu);
       dispatch(std::move(*pkt));
     } else {
@@ -429,16 +628,13 @@ void ProcState::sweep_failed_peers_locked() {
     if (!comm || comm->freed) {
       continue;
     }
-    for (auto it = comm->posted.begin(); it != comm->posted.end();) {
-      RequestPtr& req = *it;
-      if (req->src != any_source &&
-          fab.is_failed(comm->global_of(req->src))) {
-        req->finish(failed_status(req->src, req->tag));
-        it = comm->posted.erase(it);
-      } else {
-        ++it;
+    comm->posted.erase_if([&](const RequestPtr& req) {
+      if (req->src == any_source || !fab.is_failed(comm->global_of(req->src))) {
+        return false;
       }
-    }
+      req->finish(failed_status(req->src, req->tag));
+      return true;
+    });
   }
   // Rendezvous / synchronous sends waiting on a dead peer's CTS or ACK.
   for (auto it = send_tokens.begin(); it != send_tokens.end();) {
@@ -497,14 +693,16 @@ RequestPtr ProcState::isend_impl(const std::shared_ptr<CommState>& comm,
   if (dst < 0 || dst >= comm->size()) {
     throw Error(ErrClass::rank, "send destination out of range");
   }
-  auto req = std::make_shared<RequestImpl>();
+  RequestPtr req = make_request();
   req->ps = this;
   req->comm = comm.get();
   req->dst = dst;
 
   const std::size_t bytes = packed_bytes(count, dt);
   OBS_SPAN_ARG("pml.send", "core", bytes);
-  std::vector<std::byte> payload(bytes);
+  // Pack straight into a pooled, refcounted buffer: the fabric's retransmit
+  // window and any local delivery then share these bytes instead of copying.
+  fabric::Payload payload(bytes);
   if (bytes > 0) {
     dt.pack(buf, count, payload.data());
   }
@@ -576,7 +774,7 @@ RequestPtr ProcState::irecv_impl(const std::shared_ptr<CommState>& comm,
   if (src != any_source && (src < 0 || src >= comm->size())) {
     throw Error(ErrClass::rank, "receive source out of range");
   }
-  auto req = std::make_shared<RequestImpl>();
+  RequestPtr req = make_request();
   req->ps = this;
   req->comm = comm.get();
   req->kind = RequestImpl::Kind::recv;
@@ -592,7 +790,8 @@ RequestPtr ProcState::irecv_impl(const std::shared_ptr<CommState>& comm,
     throw Error(ErrClass::comm_revoked, "communicator has been revoked");
   }
   if (!match_against_unexpected(*comm, req)) {
-    comm->posted.push_back(req);
+    req->post_stamp = comm->next_match_stamp++;
+    comm->posted.insert(req);
   }
   return req;
 }

@@ -53,9 +53,13 @@ struct RequestImpl {
   int tag = any_tag;
 
   // Send bookkeeping (rendezvous payload staged until CTS; sync token).
-  std::vector<std::byte> staged;
+  fabric::Payload staged;
   std::uint64_t token = 0;
   int dst = -1;
+
+  /// Monotonic posting order within the owning comm (CommState stamp
+  /// counter); bin-vs-wildcard match arbitration compares these.
+  std::uint64_t post_stamp = 0;
 
   // Matched rendezvous source/tag (set when the RTS matches; the Status is
   // finalized when the bulk data arrives).
@@ -94,6 +98,122 @@ struct NbcOp {
 
 /// Start a nonblocking binomial barrier on `comm` (MPI_Ibarrier).
 RequestPtr make_ibarrier(ProcState& ps, const std::shared_ptr<CommState>& comm);
+
+// ---------------------------------------------------------------------------
+// O(1) matching structures (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+//
+// Both queues replace the historical single posting-ordered deque with
+// per-source bins: a deque per exact tag plus (posted side) a per-source
+// any-tag deque, and a structurally identical wildcard bin for ANY_SOURCE
+// posts. Entries carry a monotonic stamp (CommState::next_match_stamp)
+// assigned in posting/arrival order; matching takes the minimum stamp
+// across the (at most four) candidate queue heads, which is equivalent to
+// scanning one posting-ordered list — every matching entry lives in
+// exactly one candidate queue and each queue is stamp-sorted, so the min
+// over heads is the global earliest match. Expected-depth matching drops
+// from O(posted) to O(1) amortized; wildcard arbitration touches only
+// queue *heads*, never every entry. take_match/peek_match live in pml.cpp
+// so they can feed the pml.match_bin_hits / pml.wildcard_scans counters.
+
+/// Posted receives, binned by source rank and tag.
+class PostedQueues {
+ public:
+  /// `req->post_stamp` must be assigned (monotonic per comm) beforehand.
+  void insert(const RequestPtr& req);
+
+  /// Remove and return the earliest-posted request matching an arrival from
+  /// comm rank `src` with tag `tag`, or nullptr. O(1): compares the stamps
+  /// of up to four candidate queue heads (exact/any-tag x binned/wildcard).
+  RequestPtr take_match(int src, int tag);
+
+  /// Remove every request satisfying `pred` (relative order preserved).
+  template <class Pred>
+  void erase_if(Pred&& pred) {
+    for (auto bit = bins_.begin(); bit != bins_.end();) {
+      prune_bin(bit->second, pred);
+      bit = bit->second.empty() ? bins_.erase(bit) : std::next(bit);
+    }
+    prune_bin(wildcard_, pred);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct Bin {
+    std::unordered_map<int, std::deque<RequestPtr>> by_tag;  ///< exact tag
+    std::deque<RequestPtr> any_tag;                          ///< ANY_TAG posts
+    [[nodiscard]] bool empty() const noexcept {
+      return by_tag.empty() && any_tag.empty();
+    }
+  };
+
+  template <class Pred>
+  void prune_bin(Bin& bin, Pred& pred) {
+    for (auto tit = bin.by_tag.begin(); tit != bin.by_tag.end();) {
+      size_ -= std::erase_if(tit->second, pred);
+      tit = tit->second.empty() ? bin.by_tag.erase(tit) : std::next(tit);
+    }
+    size_ -= std::erase_if(bin.any_tag, pred);
+  }
+
+  std::unordered_map<int, Bin> bins_;  ///< keyed by source comm rank
+  Bin wildcard_;                       ///< ANY_SOURCE posts
+  std::size_t size_ = 0;
+};
+
+/// Unmatched arrivals, binned by source rank and (exact) tag.
+class UnexpectedQueues {
+ public:
+  struct Stamped {
+    fabric::Packet pkt;
+    std::uint64_t stamp = 0;  ///< arrival order within the comm
+  };
+
+  void insert(fabric::Packet&& pkt, std::uint64_t stamp);
+
+  /// Remove and return the earliest-arrived packet a receive posted as
+  /// (src, tag) would match; nullopt if none.
+  std::optional<fabric::Packet> take_match(int src, int tag);
+
+  /// Earliest-arrived matching packet without removing it (probe/iprobe).
+  [[nodiscard]] const fabric::Packet* peek_match(int src, int tag) const;
+
+  /// Remove every packet satisfying `pred` (relative order preserved).
+  template <class Pred>
+  void erase_if(Pred&& pred) {
+    for (auto bit = bins_.begin(); bit != bins_.end();) {
+      Bin& bin = bit->second;
+      for (auto tit = bin.by_tag.begin(); tit != bin.by_tag.end();) {
+        size_ -= std::erase_if(
+            tit->second, [&](const Stamped& s) { return pred(s.pkt); });
+        tit = tit->second.empty() ? bin.by_tag.erase(tit) : std::next(tit);
+      }
+      bit = bin.by_tag.empty() ? bins_.erase(bit) : std::next(bit);
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct Bin {
+    std::unordered_map<int, std::deque<Stamped>> by_tag;
+  };
+  using BinMap = std::unordered_map<int, Bin>;
+
+  /// The queue whose head is the earliest-stamped match for (src, tag);
+  /// feeds both take (erasing) and peek (const) paths.
+  struct Loc {
+    BinMap::iterator bin;
+    std::unordered_map<int, std::deque<Stamped>>::iterator tq;
+  };
+  std::optional<Loc> locate_match(int src, int tag);
+
+  BinMap bins_;  ///< keyed by source comm rank
+  std::size_t size_ = 0;
+};
 
 struct CommState {
   ProcState* ps = nullptr;
@@ -136,8 +256,11 @@ struct CommState {
   };
   std::vector<Peer> peers;  ///< indexed by comm rank
 
-  std::deque<RequestPtr> posted;            ///< posted receives, in order
-  std::deque<fabric::Packet> unexpected;    ///< unmatched arrivals, in order
+  /// Monotonic stamp shared by posted receives and unexpected arrivals
+  /// (each structure only ever compares stamps internally).
+  std::uint64_t next_match_stamp = 1;
+  PostedQueues posted;        ///< posted receives, binned
+  UnexpectedQueues unexpected;  ///< unmatched arrivals, binned
 
   // Wire statistics (Fig. 5 benchmarks read these).
   std::uint64_t ext_headers_sent = 0;
@@ -157,6 +280,75 @@ struct SessionState {
   Info info_obj;  // snapshot of the init info
   Errhandler errh = Errhandler::errors_return();
   mutable AttributeStore attrs;
+};
+
+/// Freelist of uniform-size raw blocks recycled across RequestImpl
+/// shared_ptr control blocks. std::allocate_shared fuses object + control
+/// block into one allocation of a fixed size, so a simple single-size pool
+/// removes the per-message make_shared heap churn on the pt2pt path. Held
+/// by shared_ptr from both the ProcState and every live Request's deleter,
+/// so user-held requests may safely outlive the process they came from.
+struct RequestPool {
+  static constexpr std::size_t kMaxCached = 4096;
+  std::mutex mu;
+  std::size_t block_size = 0;  ///< fixed on first allocation
+  std::vector<void*> blocks;
+  ~RequestPool() {
+    for (void* b : blocks) {
+      ::operator delete(b);
+    }
+  }
+};
+
+template <class T>
+class RequestPoolAlloc {
+ public:
+  using value_type = T;
+
+  explicit RequestPoolAlloc(std::shared_ptr<RequestPool> pool)
+      : pool_(std::move(pool)) {}
+  template <class U>
+  RequestPoolAlloc(const RequestPoolAlloc<U>& other) : pool_(other.pool_) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    {
+      std::lock_guard lock(pool_->mu);
+      if (pool_->block_size == 0) {
+        pool_->block_size = bytes;
+      }
+      if (bytes == pool_->block_size && !pool_->blocks.empty()) {
+        void* b = pool_->blocks.back();
+        pool_->blocks.pop_back();
+        return static_cast<T*>(b);
+      }
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    const std::size_t bytes = n * sizeof(T);
+    {
+      std::lock_guard lock(pool_->mu);
+      if (bytes == pool_->block_size &&
+          pool_->blocks.size() < RequestPool::kMaxCached) {
+        pool_->blocks.push_back(p);
+        return;
+      }
+    }
+    ::operator delete(p);
+  }
+
+  template <class U>
+  [[nodiscard]] bool operator==(const RequestPoolAlloc<U>& other) const noexcept {
+    return pool_ == other.pool_;
+  }
+
+ private:
+  template <class U>
+  friend class RequestPoolAlloc;
+
+  std::shared_ptr<RequestPool> pool_;
 };
 
 struct ProcState {
@@ -179,6 +371,12 @@ struct ProcState {
   std::map<std::pair<base::Rank, std::uint64_t>, RequestPtr> recv_tokens;
   std::uint64_t next_token = 1;
   std::vector<RequestPtr> nbc_live;
+  std::shared_ptr<RequestPool> req_pool = std::make_shared<RequestPool>();
+
+  /// Pool-backed replacement for make_shared<RequestImpl>().
+  RequestPtr make_request() {
+    return std::allocate_shared<RequestImpl>(RequestPoolAlloc<RequestImpl>(req_pool));
+  }
 
   // --- session / world bookkeeping ----------------------------------------
   bool world_init = false;

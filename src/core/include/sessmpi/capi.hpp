@@ -142,11 +142,13 @@ int MPI_Bcast(void* buf, int count, MPI_Datatype dt, int root, MPI_Comm comm);
 
 // --- MPI_T-style introspection (obs pvars/cvars) ------------------------------
 // Performance variables: every base::Counters counter plus every obs
-// histogram, enumerated by index (sorted by name; indices are stable only
-// until a new variable is created). Reading a histogram pvar by value
-// yields its sample count; percentiles go through _read_percentile.
+// histogram and registered gauge, enumerated by index (sorted by name;
+// indices are stable only until a new variable is created). Reading a
+// histogram pvar by value yields its sample count; percentiles go through
+// _read_percentile. Gauges are computed on read; resetting one is a no-op.
 inline constexpr int SESSMPI_T_PVAR_CLASS_COUNTER = 0;
 inline constexpr int SESSMPI_T_PVAR_CLASS_HISTOGRAM = 1;
+inline constexpr int SESSMPI_T_PVAR_CLASS_GAUGE = 2;
 
 int SESSMPI_T_pvar_get_num(int* num);
 int SESSMPI_T_pvar_get_info(int index, char* name, int name_len,

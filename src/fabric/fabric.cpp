@@ -1,11 +1,14 @@
 #include "sessmpi/fabric/fabric.hpp"
 
 #include <algorithm>
+#include <mutex>
 
+#include "sessmpi/base/buffer_pool.hpp"
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/obs/hist.hpp"
 #include "sessmpi/obs/trace.hpp"
+#include "sessmpi/obs/tvar.hpp"
 
 namespace sessmpi::fabric {
 
@@ -38,6 +41,16 @@ Fabric::Fabric(base::Topology topo, base::CostModel cost, ReliabilityConfig rel)
   for (std::size_t i = 0; i < n * n; ++i) {
     flows_.push_back(std::make_unique<Flow>());
   }
+  // Expose the payload slab pool's effectiveness as an MPI_T-style gauge
+  // (percent of acquires served from a freelist). Process-wide, registered
+  // once no matter how many simulated clusters exist.
+  static std::once_flag pool_gauge_once;
+  std::call_once(pool_gauge_once, [] {
+    obs::register_pvar_gauge("fabric.pool_hit_rate", [] {
+      return static_cast<std::uint64_t>(
+          base::BufferPool::global().stats().hit_rate() * 100.0 + 0.5);
+    });
+  });
   pump_ = std::thread([this] { pump_main(); });
 }
 
@@ -79,9 +92,10 @@ void Fabric::send(Packet&& packet) {
   }
   if (is_failed(packet.dst_rank)) {
     // A known-dead destination is not a loss event for the reliability
-    // layer: the packet is charged, counted, and forgotten (no window).
+    // layer: the packet is charged (occupancy only — nothing arrives, so
+    // no flight latency is modeled), counted, and forgotten (no window).
     const std::size_t sz = packet.header_bytes() + packet.payload.size();
-    base::precise_delay(cost_.wire_cost(
+    base::precise_delay(cost_.wire_occupancy(
         topo_.same_node(packet.src_rank, packet.dst_rank),
         packet.payload.size(), packet.header_bytes()));
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -114,7 +128,8 @@ void Fabric::send(Packet&& packet) {
     std::lock_guard lock(f.mu);
     packet.flow.seq = seq = f.next_seq++;
     Flow::Unacked& entry = f.window[seq];
-    entry.pkt = packet;  // retained copy for retransmission
+    entry.pkt = packet;  // retained for retransmission; the refcounted
+                         // Payload makes this a header-only copy (no bytes)
     entry.rto_ns = rto_ns =
         rel_.rto_base_ns + cost_.wire_cost(topo_.same_node(src, dst),
                                            packet.payload.size(),
@@ -157,8 +172,15 @@ bool Fabric::transmit(Packet&& pkt, bool charge_wire) {
   const std::size_t payload = pkt.payload.size();
   const std::size_t sz = header + payload;
   if (charge_wire) {
-    base::precise_delay(cost_.wire_cost(
-        topo_.same_node(pkt.src_rank, pkt.dst_rank), payload, header));
+    // Pipelined LogGP wire model: the sending thread pays only its
+    // occupancy (gap + serialization); the one-way latency elapses "in
+    // flight" — the packet is stamped with its arrival deadline and the
+    // receiver's dispatch loop waits it out. Back-to-back sends therefore
+    // overlap their latencies (message rate ~ 1/gap), matching how real
+    // windowed osu_mbw_mr rates exceed 1/latency.
+    const bool same_node = topo_.same_node(pkt.src_rank, pkt.dst_rank);
+    base::precise_delay(cost_.wire_occupancy(same_node, payload, header));
+    pkt.arrival_ns = base::now_ns() + cost_.wire_latency(same_node);
   }
   if (is_failed(pkt.dst_rank)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -168,7 +190,9 @@ bool Fabric::transmit(Packet&& pkt, bool charge_wire) {
   if (auto filter = drop_filter_.get(); filter && (*filter)(pkt)) {
     chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
     bytes_dropped_.fetch_add(sz, std::memory_order_relaxed);
-    base::counters().add("fabric.chaos.dropped");
+    static const auto chaos_drops_counter =
+        base::counter("fabric.chaos.dropped");
+    chaos_drops_counter.add();
     OBS_INSTANT_ON(pkt.src_rank, "fabric.chaos_drop", "fabric", pkt.flow.seq);
     return false;
   }
@@ -177,7 +201,8 @@ bool Fabric::transmit(Packet&& pkt, bool charge_wire) {
     if (auto filter = reorder_filter_.get(); filter && (*filter)(pkt)) {
       // Reordering injection: hold the packet back one pump tick so later
       // traffic overtakes it on the wire.
-      base::counters().add("fabric.reordered");
+      static const auto reorders_counter = base::counter("fabric.reordered");
+      reorders_counter.add();
       std::lock_guard lock(held_mu_);
       held_.push_back(std::move(pkt));
       return true;
@@ -229,7 +254,8 @@ void Fabric::deliver(Packet&& pkt) {
     // Retransmit-induced duplicate: suppress, but re-arm the ACK so the
     // sender's window entry retires.
     dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
-    base::counters().add("fabric.dup_suppressed");
+    static const auto dups_counter = base::counter("fabric.dup_suppressed");
+    dups_counter.add();
     f.ack_pending = true;
     return;
   }
@@ -273,7 +299,8 @@ void Fabric::flush_ack(Rank src, Rank dst) {
       ack.sack.push_back(seq);
     }
   }
-  base::counters().add("fabric.acks");
+  static const auto acks_counter = base::counter("fabric.acks");
+  acks_counter.add();
   OBS_INSTANT_ON(dst, "fabric.ack.flush", "fabric", ack.flow.ack);
   // ACK wire time is not charged: ACKs model piggybacked / NIC-offloaded
   // reverse traffic, keeping the pump from serializing behind wire delays.
@@ -286,7 +313,9 @@ void Fabric::escalate_unreachable(Rank dst) {
   }
   mark_failed(dst);
   rto_escalations_.fetch_add(1, std::memory_order_relaxed);
-  base::counters().add("fabric.rto_escalations");
+  static const auto escalations_counter =
+      base::counter("fabric.rto_escalations");
+  escalations_counter.add();
   OBS_INSTANT_ON(dst, "fabric.rto_escalate", "fabric",
                  static_cast<std::uint64_t>(dst));
   std::function<void(Rank)> cb;
@@ -374,7 +403,8 @@ bool Fabric::pump_pass() {
       continue;
     }
     retransmits_.fetch_add(1, std::memory_order_relaxed);
-    base::counters().add("fabric.retransmits");
+    static const auto retx_counter = base::counter("fabric.retransmits");
+    retx_counter.add();
     static obs::Histogram& rto_hist = obs::histogram("fabric.rto_backoff_ns");
     rto_hist.record(static_cast<std::uint64_t>(item.rto_ns));
     const Rank s = item.pkt.src_rank;

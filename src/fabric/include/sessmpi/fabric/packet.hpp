@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sessmpi/base/topology.hpp"
+#include "sessmpi/fabric/payload.hpp"
 
 namespace sessmpi::fabric {
 
@@ -76,7 +77,11 @@ struct Packet {
   std::uint64_t token = 0;          ///< rendezvous / sync-send pairing token
   std::uint64_t advertised_size = 0;  ///< rndv_rts: payload size to come
   std::vector<std::uint64_t> sack;  ///< flow_ack: out-of-order seqs held at rx
-  std::vector<std::byte> payload;
+  Payload payload;                  ///< refcounted; copying a Packet shares it
+  std::int64_t arrival_ns = 0;      ///< sim metadata, not modeled wire bytes:
+                                    ///< wall-clock deadline when the packet
+                                    ///< "arrives" (sender charge end + one-way
+                                    ///< latency); receiver dispatch waits on it
 
   [[nodiscard]] bool has_ext_header() const noexcept {
     return kind == PacketKind::eager_ext || kind == PacketKind::rndv_rts_ext;

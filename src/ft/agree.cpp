@@ -83,7 +83,7 @@ void scrub_posted(detail::ProcState& ps,
                   const std::shared_ptr<detail::CommState>& s,
                   const std::vector<detail::RequestPtr>& reqs) {
   std::lock_guard lock(ps.mu);
-  std::erase_if(s->posted, [&](const detail::RequestPtr& p) {
+  s->posted.erase_if([&](const detail::RequestPtr& p) {
     return std::find(reqs.begin(), reqs.end(), p) != reqs.end();
   });
 }
@@ -110,7 +110,7 @@ std::uint64_t Communicator::agree(std::uint64_t contribution) const {
     // Scrub leftovers of completed FT collectives (late result floods):
     // older seq numbers map to strictly greater (less negative) tags.
     const int newest_current = detail::ft_tag(seq, 0);
-    std::erase_if(s->unexpected, [&](const fabric::Packet& p) {
+    s->unexpected.erase_if([&](const fabric::Packet& p) {
       return detail::is_ft_tag(p.match.tag) && p.match.tag > newest_current;
     });
   }

@@ -106,6 +106,19 @@ class Tracer {
   static void set_thread_track(std::int32_t track) noexcept;
   [[nodiscard]] static std::int32_t thread_track() noexcept;
 
+  /// Simulated per-rank clock skew: every event attributed to `track` gets
+  /// `ns` added to its timestamp at emission, modeling unsynchronized node
+  /// clocks. write_rank_traces records the negation as the per-file
+  /// `clock_ns_offset`, which is what tools/trace_merge applies to realign
+  /// the merged timeline — so a skewed run round-trips to an aligned merge.
+  /// Set by sim::Cluster from Options::clock_skew_ns; tracks outside
+  /// [0, kMaxSkewTracks) never skew.
+  static constexpr std::int32_t kMaxSkewTracks = 1024;
+  static void set_track_skew_ns(std::int32_t track, std::int64_t ns) noexcept;
+  [[nodiscard]] static std::int64_t track_skew_ns(std::int32_t track) noexcept;
+  /// Zero every track's skew (a new cluster starts with aligned clocks).
+  static void reset_track_skews() noexcept;
+
   /// Ring capacity (events) for rings created *after* the call.
   void set_ring_capacity(std::size_t events);
   [[nodiscard]] std::size_t ring_capacity() const noexcept;

@@ -18,6 +18,7 @@ namespace sessmpi::obs {
 enum class PvarClass {
   counter,    ///< monotonically increasing event count (base::Counters)
   histogram,  ///< value distribution (obs::Histogram)
+  gauge,      ///< instantaneous computed value (registered callback)
 };
 
 struct PvarDesc {
@@ -46,6 +47,15 @@ std::optional<std::uint64_t> pvar_read_counter(const std::string& name);
 
 /// Histogram summary, or nullopt if no such histogram exists.
 std::optional<HistSummary> pvar_read_histogram(const std::string& name);
+
+/// Gauge pvars expose an instantaneous value computed on read (e.g.
+/// `fabric.pool_hit_rate` in percent). The callback must be thread-safe
+/// and is kept for the process lifetime; re-registering a name replaces it.
+using GaugeFn = std::function<std::uint64_t()>;
+void register_pvar_gauge(const std::string& name, GaugeFn fn);
+
+/// Gauge value, or nullopt if no such gauge exists.
+std::optional<std::uint64_t> pvar_read_gauge(const std::string& name);
 
 /// Reset one pvar (counter to 0 / histogram emptied). False if unknown.
 bool pvar_reset(const std::string& name);

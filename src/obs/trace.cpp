@@ -15,6 +15,10 @@ thread_local std::int32_t tls_track = -1;
 // their events are collected after the run).
 thread_local std::shared_ptr<TraceBuffer> tls_buffer;
 
+// Injected per-track clock skew (relaxed: a torn read is impossible for
+// aligned 64-bit atomics, and skew changes only happen between runs).
+std::atomic<std::int64_t> g_track_skew_ns[Tracer::kMaxSkewTracks]{};
+
 }  // namespace
 
 TraceBuffer::TraceBuffer(std::size_t capacity, std::uint32_t tid)
@@ -47,6 +51,24 @@ void Tracer::set_thread_track(std::int32_t track) noexcept {
 
 std::int32_t Tracer::thread_track() noexcept { return tls_track; }
 
+void Tracer::set_track_skew_ns(std::int32_t track, std::int64_t ns) noexcept {
+  if (track >= 0 && track < kMaxSkewTracks) {
+    g_track_skew_ns[track].store(ns, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t Tracer::track_skew_ns(std::int32_t track) noexcept {
+  return track >= 0 && track < kMaxSkewTracks
+             ? g_track_skew_ns[track].load(std::memory_order_relaxed)
+             : 0;
+}
+
+void Tracer::reset_track_skews() noexcept {
+  for (auto& skew : g_track_skew_ns) {
+    skew.store(0, std::memory_order_relaxed);
+  }
+}
+
 void Tracer::set_ring_capacity(std::size_t events) {
   capacity_.store(std::max<std::size_t>(events, 2),
                   std::memory_order_relaxed);
@@ -71,7 +93,7 @@ void Tracer::emit(const char* name, const char* cat, Phase ph,
   Event ev;
   ev.name = name;
   ev.cat = cat;
-  ev.ts_ns = base::now_ns();
+  ev.ts_ns = base::now_ns() + track_skew_ns(track);
   ev.id = id;
   ev.arg = arg;
   ev.track = track;

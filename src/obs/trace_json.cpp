@@ -110,7 +110,11 @@ std::vector<std::string> write_rank_traces(const std::string& dir,
       throw base::Error(base::ErrClass::other,
                         "cannot open trace file " + path);
     }
-    write_trace_file(os, evs, pid, /*clock_ns_offset=*/0, /*evicted=*/0);
+    // Events on a skewed track carry the skew in their timestamps; the
+    // negation recorded here is what realigns them at merge time.
+    const std::int64_t offset =
+        pid == kRuntimeTrackPid ? 0 : -Tracer::track_skew_ns(pid);
+    write_trace_file(os, evs, pid, offset, /*evicted=*/0);
     paths.push_back(path);
   }
   return paths;

@@ -28,6 +28,16 @@ CvarRegistry& cvar_registry() {
   return r;
 }
 
+struct GaugeRegistry {
+  std::mutex mu;
+  std::map<std::string, GaugeFn> gauges;
+};
+
+GaugeRegistry& gauge_registry() {
+  static GaugeRegistry r;
+  return r;
+}
+
 std::once_flag g_builtins_once;
 
 void ensure_builtin_cvars() {
@@ -68,6 +78,13 @@ std::vector<PvarDesc> pvar_list() {
   for (const auto& [name, h] : histograms()) {
     out.push_back({name, PvarClass::histogram});
   }
+  {
+    auto& reg = gauge_registry();
+    std::lock_guard lk(reg.mu);
+    for (const auto& [name, fn] : reg.gauges) {
+      out.push_back({name, PvarClass::gauge});
+    }
+  }
   std::sort(out.begin(), out.end(),
             [](const PvarDesc& a, const PvarDesc& b) {
               return a.name < b.name;
@@ -98,6 +115,24 @@ std::optional<HistSummary> pvar_read_histogram(const std::string& name) {
   return std::nullopt;
 }
 
+void register_pvar_gauge(const std::string& name, GaugeFn fn) {
+  auto& reg = gauge_registry();
+  std::lock_guard lk(reg.mu);
+  reg.gauges[name] = std::move(fn);
+}
+
+std::optional<std::uint64_t> pvar_read_gauge(const std::string& name) {
+  GaugeFn fn;
+  {
+    auto& reg = gauge_registry();
+    std::lock_guard lk(reg.mu);
+    auto it = reg.gauges.find(name);
+    if (it == reg.gauges.end()) return std::nullopt;
+    fn = it->second;
+  }
+  return fn();
+}
+
 bool pvar_reset(const std::string& name) {
   for (const auto& [n, h] : histograms()) {
     if (n == name) {
@@ -106,10 +141,12 @@ bool pvar_reset(const std::string& name) {
     }
   }
   if (pvar_read_counter(name).has_value()) {
-    base::counters().get(name)->store(0, std::memory_order_relaxed);
+    base::counters().reset_one(name);
     return true;
   }
-  return false;
+  // Gauges are instantaneous computed values; resetting is a no-op but the
+  // name is still known.
+  return pvar_read_gauge(name).has_value();
 }
 
 void pvar_reset_all() { base::counters().reset(); }

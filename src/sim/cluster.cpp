@@ -35,6 +35,16 @@ Cluster::Cluster(Options opts)
   for (Rank r = 0; r < opts.topo.size(); ++r) {
     procs_.push_back(std::make_unique<Process>(*this, r));
   }
+  // Clock skew is a property of the cluster being simulated: start from
+  // aligned clocks, then inject the configured per-rank offsets.
+  obs::Tracer::reset_track_skews();
+  for (std::size_t r = 0;
+       r < opts.clock_skew_ns.size() &&
+       r < static_cast<std::size_t>(opts.topo.size());
+       ++r) {
+    obs::Tracer::set_track_skew_ns(static_cast<std::int32_t>(r),
+                                   opts.clock_skew_ns[r]);
+  }
   // Retry exhaustion in the fabric is a failure detection: surface it
   // through the same PMIx proc_failed announcement as any other death so
   // fault-aware layers (Communicator::get_failed, src/ft) hear about it.

@@ -80,6 +80,14 @@ class Cluster {
     /// shorten the timescales; the defaults fit the calibrated cost model.
     fabric::ReliabilityConfig reliability;
     std::vector<std::pair<std::string, std::vector<pmix::ProcId>>> extra_psets;
+    /// Per-rank simulated clock skew (ns), index = rank; shorter vectors
+    /// leave the remaining ranks unskewed. Applied to trace timestamps at
+    /// emission (obs::Tracer::set_track_skew_ns), so per-rank trace files
+    /// model unsynchronized node clocks; write_rank_traces records the
+    /// compensating clock_ns_offset and tools/trace_merge realigns. Every
+    /// Cluster construction resets all skews first, so collect + write
+    /// traces from a skewed run before constructing the next cluster.
+    std::vector<std::int64_t> clock_skew_ns;
   };
 
   explicit Cluster(Options opts);

@@ -125,13 +125,24 @@ TEST(Fabric, ConcurrentSendersAllDeliver) {
   EXPECT_EQ(f.endpoint(0).inbox().size(), 7u * kPer);
 }
 
-TEST(FabricTiming, WireDelayIsInjected) {
+TEST(FabricTiming, SenderChargesOccupancyNotLatency) {
+  // Pipelined LogGP model: the sender blocks only for the per-message gap
+  // (occupancy); the one-way latency rides on the packet as an arrival
+  // deadline that the receiver honors before dispatch.
   base::CostModel cost = base::CostModel::zero();
-  cost.net_latency_ns = 200'000;  // 200us so it is clearly measurable
+  cost.net_latency_ns = 5'000'000;  // 5ms: must NOT be charged on the sender
+  cost.net_gap_ns = 200'000;        // 200us gap: must be charged on the sender
   Fabric f{base::Topology{2, 1}, cost};
   base::Stopwatch sw;
+  const std::int64_t t0 = base::now_ns();
   f.send(make_packet(0, 1));
-  EXPECT_GE(sw.elapsed_ns(), 200'000);
+  const std::int64_t sender_ns = sw.elapsed_ns();
+  EXPECT_GE(sender_ns, 200'000);
+  EXPECT_LT(sender_ns, 5'000'000);
+  auto got = f.endpoint(1).inbox().pop_wait(std::chrono::seconds(5));
+  ASSERT_TRUE(got.has_value());
+  // Arrival deadline = charge end + one-way latency.
+  EXPECT_GE(got->arrival_ns, t0 + 5'000'000);
 }
 
 }  // namespace

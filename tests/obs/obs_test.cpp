@@ -18,12 +18,15 @@
 #include <thread>
 #include <vector>
 
+#include "sessmpi/base/cost_model.hpp"
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/capi.hpp"
+#include "sessmpi/mpi.hpp"
 #include "sessmpi/obs/hist.hpp"
 #include "sessmpi/obs/trace.hpp"
 #include "sessmpi/obs/trace_json.hpp"
 #include "sessmpi/obs/tvar.hpp"
+#include "sessmpi/sim/cluster.hpp"
 
 namespace sessmpi::obs {
 namespace {
@@ -43,6 +46,7 @@ class TracerGuard {
     t.set_enabled(false);
     t.set_ring_capacity(saved_capacity_);
     t.clear();
+    Tracer::reset_track_skews();
   }
 
  private:
@@ -440,6 +444,84 @@ TEST(ObsJson, RankTracesSplitByTrackAndMergeRebased) {
   for (const auto& ev : parsed) pids.insert(ev.pid);
   EXPECT_EQ(pids, (std::set<int>{0, 1, kRuntimeTrackPid}));
 }
+
+// --- clock skew round trip -------------------------------------------------
+
+#if !defined(SESSMPI_OBS_DISABLED)
+TEST(ObsClockSkew, InjectedSkewRoundTripsThroughMergeAlignment) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+
+  // 1s of skew on rank 1: orders of magnitude above any real scheduling
+  // delay in a zero-cost 2-rank run, so the raw-vs-realigned comparisons
+  // below cannot be confused by noise.
+  constexpr std::int64_t kSkew = 1'000'000'000;
+  sim::Cluster::Options o;
+  o.topo = {1, 2};
+  o.cost = base::CostModel::zero();
+  o.clock_skew_ns = {0, kSkew};
+  {
+    sim::Cluster cluster{o};
+    cluster.run([](sim::Process&) {
+      init();
+      Communicator world = comm_world();
+      world.barrier();
+      OBS_INSTANT("skew.mark", "test");
+      world.barrier();
+      finalize();
+    });
+  }
+  t.set_enabled(false);
+
+  const auto all = t.collect();
+  const auto marks = events_named(all, "skew.mark");
+  ASSERT_EQ(marks.size(), 2u);
+  std::map<int, std::int64_t> raw_ts;
+  for (const Event& ev : marks) raw_ts[ev.track] = ev.ts_ns;
+  ASSERT_TRUE(raw_ts.count(0) == 1 && raw_ts.count(1) == 1);
+  // Raw timestamps diverge by about the injected skew (the marks fire
+  // between two barriers, so their true separation is tiny).
+  EXPECT_GE(raw_ts[1] - raw_ts[0], kSkew / 2);
+
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "obs_skew").string();
+  const auto paths = write_rank_traces(dir, "skew", all);
+  // The skewed rank's file records the compensating offset in its header.
+  bool saw_offset = false;
+  for (const auto& path : paths) {
+    if (path.find("rank1") == std::string::npos) {
+      continue;
+    }
+    std::ifstream is(path);
+    std::string line;
+    std::getline(is, line);
+    EXPECT_NE(line.find("\"clock_ns_offset\": -1000000000"),
+              std::string::npos)
+        << line;
+    saw_offset = true;
+  }
+  EXPECT_TRUE(saw_offset);
+
+  // The merge applies the offsets, realigning the timeline: the two marks
+  // land back within a small fraction of the skew of each other.
+  const std::string merged_path = dir + "/merged.trace.json";
+  {
+    std::ofstream out(merged_path, std::ios::trunc);
+    merge_traces(paths, out);
+  }
+  const auto parsed = parse_trace_file(merged_path);
+  std::map<int, double> aligned_us;
+  for (const auto& ev : parsed) {
+    if (ev.name == "skew.mark") {
+      aligned_us[ev.pid] = ev.ts_us;
+    }
+  }
+  ASSERT_EQ(aligned_us.size(), 2u);
+  EXPECT_LT(std::abs(aligned_us[1] - aligned_us[0]),
+            static_cast<double>(kSkew) / 2 / 1000.0);
+}
+#endif  // !SESSMPI_OBS_DISABLED
 
 // --- C API mirror ----------------------------------------------------------
 
