@@ -14,14 +14,27 @@ using Rank = int;
 struct Topology {
   int num_nodes = 1;
   int procs_per_node = 1;
+  /// Sockets per node; local ranks are split evenly across sockets in
+  /// local-rank-major order (ranks on the same socket are contiguous).
+  /// Only the collective engine's intra-node fan-in shape depends on it.
+  int sockets_per_node = 1;
 
   [[nodiscard]] int size() const noexcept { return num_nodes * procs_per_node; }
   [[nodiscard]] int node_of(Rank r) const noexcept { return r / procs_per_node; }
   [[nodiscard]] int local_rank_of(Rank r) const noexcept {
     return r % procs_per_node;
   }
+  /// Socket index (within the node) hosting rank r.
+  [[nodiscard]] int socket_of(Rank r) const noexcept {
+    const int sockets = sockets_per_node > 0 ? sockets_per_node : 1;
+    const int per_socket = (procs_per_node + sockets - 1) / sockets;
+    return local_rank_of(r) / per_socket;
+  }
   [[nodiscard]] bool same_node(Rank a, Rank b) const noexcept {
     return node_of(a) == node_of(b);
+  }
+  [[nodiscard]] bool same_socket(Rank a, Rank b) const noexcept {
+    return same_node(a, b) && socket_of(a) == socket_of(b);
   }
   [[nodiscard]] bool valid_rank(Rank r) const noexcept {
     return r >= 0 && r < size();

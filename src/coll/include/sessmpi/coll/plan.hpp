@@ -1,0 +1,59 @@
+#pragma once
+
+// Per-communicator topology plan for the hierarchical collective engine.
+// Built lazily from the sim cluster's node/socket layout on the first
+// collective, cached on the CommState, and dropped on revoke — a
+// post-shrink communicator is a fresh CommState, so membership changes
+// always rebuild the plan.
+
+#include <memory>
+#include <vector>
+
+#include "sessmpi/base/topology.hpp"
+#include "sessmpi/coll/shm.hpp"
+
+namespace sessmpi::detail {
+struct CommState;
+struct ProcState;
+}  // namespace sessmpi::detail
+
+namespace sessmpi::coll {
+
+struct Plan {
+  int nranks = 0;
+  int myrank = -1;
+
+  /// Comm ranks grouped by hosting node, node index ascending by physical
+  /// node id; members ascending by comm rank. Identical on every member.
+  std::vector<std::vector<int>> node_members;
+  std::vector<int> leaders;                 ///< lowest comm rank per node
+  std::vector<std::uint8_t> node_contiguous;  ///< comm ranks form one run
+  std::vector<int> node_of;  ///< comm rank -> plan node index
+  std::vector<int> slot_of;  ///< comm rank -> position within its node
+
+  int my_node = 0;
+  int my_slot = 0;
+  int on_node = 1;  ///< members of my node (including me)
+  bool i_am_leader = true;
+  bool multi_member = false;  ///< any node hosts > 1 member
+
+  /// My node's members grouped by socket (socket index ascending, comm
+  /// rank ascending within a socket); the intra-node fold order.
+  std::vector<std::vector<int>> my_sockets;
+
+  /// Tree depth the hierarchy gives this rank's traffic: cross-node level,
+  /// node level, plus a socket level when the node spans sockets.
+  int depth = 1;
+
+  /// Global ranks of my node's members (liveness polling while spinning).
+  std::vector<base::Rank> my_node_globals;
+
+  /// On-node shared region; null when this rank is alone on its node.
+  std::shared_ptr<NodeShared> region;
+};
+
+/// The communicator's cached plan, built under ps.mu on first use.
+std::shared_ptr<const Plan> plan_for(detail::ProcState& ps,
+                                     const std::shared_ptr<detail::CommState>& s);
+
+}  // namespace sessmpi::coll

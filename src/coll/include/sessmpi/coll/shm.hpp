@@ -1,0 +1,110 @@
+#pragma once
+
+// On-node single-copy data movement for the collective engine (DESIGN.md
+// §13). Ranks are threads inside one OS process (sim substitution for the
+// XPMEM/shm segments an XHC-style component maps on real hardware), so a
+// writer can expose its *own* buffer and every on-node reader consumes it
+// directly — no per-edge deep copy, no bounce buffer.
+//
+// Release protocol per slot:
+//   publish:  wait readers_left == 0 (previous ordinal drained), write
+//             src/bytes plainly, store the reader count, then release-store
+//             the ordinal into seq.
+//   consume:  acquire-spin until seq >= wanted ordinal (which orders the
+//             plain src/bytes reads), read through src, then release-
+//             decrement readers_left.
+//   The writer's next publish (or an explicit drain before returning a
+//   user buffer or freeing scratch) acquire-waits readers_left == 0, which
+//   orders every reader's copies before buffer reuse.
+//
+// Ordinals are (coll_seq + 1) * kOpStride + step: strictly increasing
+// across collectives on one communicator, so a late reader can never
+// confuse the previous operation's publication with its own.
+//
+// Poisoning is sticky: every cause (peer death, revoke, cluster abort, an
+// exception escaping a user reduction op) is terminal for the communicator
+// in the ULFM model, so once a region is poisoned all later waits on it
+// fail fast instead of spinning on state a bailed writer will never set.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sessmpi/base/error.hpp"
+
+namespace sessmpi::sim {
+class Cluster;
+}  // namespace sessmpi::sim
+
+namespace sessmpi::coll {
+
+struct alignas(64) Slot {
+  std::atomic<std::uint64_t> seq{0};       ///< last published ordinal
+  std::atomic<std::uint32_t> readers_left{0};
+  const std::byte* src = nullptr;          ///< writer's buffer, read in place
+  std::size_t bytes = 0;                   ///< payload (or slice stride)
+};
+
+/// One shared region per (node, communicator): a slot pair per on-node
+/// member. Channel 0 carries member data publications, channel 1 the
+/// fan-out/release publications, so a fan-in and the following fan-out
+/// never contend for one slot.
+class NodeShared {
+ public:
+  static constexpr int kChannels = 2;
+  static constexpr std::uint64_t kOpStride = 256;
+
+  explicit NodeShared(int nmembers) : slots_(static_cast<std::size_t>(nmembers) * kChannels) {}
+
+  [[nodiscard]] Slot& slot(int member, int channel) {
+    return slots_[static_cast<std::size_t>(member) * kChannels +
+                  static_cast<std::size_t>(channel)];
+  }
+
+  /// First poisoner wins; later causes keep the original class.
+  void poison(ErrClass cls) noexcept {
+    int expected = 0;
+    poison_.compare_exchange_strong(expected, static_cast<int>(cls),
+                                    std::memory_order_release,
+                                    std::memory_order_relaxed);
+  }
+  [[nodiscard]] ErrClass poisoned() const noexcept {
+    return static_cast<ErrClass>(poison_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<Slot> slots_;
+  std::atomic<int> poison_{0};  ///< 0 (= ErrClass::success) while healthy
+};
+
+/// Registry key: one region per node per communicator. Sessions-derived
+/// communicators key by exCID (globally agreed, unique per live comm);
+/// World-model/consensus communicators key by local CID, which is
+/// symmetric across members by construction, and whose slot cannot be
+/// recycled until every member freed the previous communicator — at which
+/// point the old region's last strong reference is gone and the weak entry
+/// has expired, so aliasing is impossible.
+struct RegionKey {
+  int node = 0;
+  std::uint64_t excid_hi = 0;
+  std::uint64_t excid_lo = 0;
+  std::uint32_t cid = 0;
+
+  friend bool operator<(const RegionKey& a, const RegionKey& b) noexcept {
+    if (a.node != b.node) return a.node < b.node;
+    if (a.excid_hi != b.excid_hi) return a.excid_hi < b.excid_hi;
+    if (a.excid_lo != b.excid_lo) return a.excid_lo < b.excid_lo;
+    return a.cid < b.cid;
+  }
+};
+
+/// Attach to (creating on demand) the shared region for `key`. The
+/// registry lives in the cluster's opaque coll_arena slot and holds only
+/// weak references: regions die with the last attached plan, like real shm
+/// segments unmapped by their final process.
+std::shared_ptr<NodeShared> attach_region(sim::Cluster& cluster,
+                                          const RegionKey& key, int nmembers);
+
+}  // namespace sessmpi::coll

@@ -1,0 +1,40 @@
+#include "sessmpi/coll/shm.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "sessmpi/sim/cluster.hpp"
+
+namespace sessmpi::coll {
+
+namespace {
+
+struct RegionRegistry {
+  std::map<RegionKey, std::weak_ptr<NodeShared>> regions;
+};
+
+}  // namespace
+
+std::shared_ptr<NodeShared> attach_region(sim::Cluster& cluster,
+                                          const RegionKey& key, int nmembers) {
+  std::lock_guard lock(cluster.coll_arena_mu);
+  if (!cluster.coll_arena) {
+    cluster.coll_arena = std::make_shared<RegionRegistry>();
+  }
+  auto& reg = *std::static_pointer_cast<RegionRegistry>(cluster.coll_arena);
+  // Sweep entries whose region died with its last communicator, so a
+  // long-lived cluster churning communicators stays bounded.
+  for (auto it = reg.regions.begin(); it != reg.regions.end();) {
+    it = it->second.expired() ? reg.regions.erase(it) : std::next(it);
+  }
+  std::weak_ptr<NodeShared>& wk = reg.regions[key];
+  if (auto live = wk.lock()) {
+    return live;
+  }
+  auto fresh = std::make_shared<NodeShared>(nmembers);
+  wk = fresh;
+  return fresh;
+}
+
+}  // namespace sessmpi::coll

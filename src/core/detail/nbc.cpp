@@ -80,6 +80,17 @@ void ProcState::advance_nbc_locked() {
     NbcOp& op = *req.nbc;
     bool finished = false;
 
+    // Schedule-driven NBC (src/coll): the closure owns the whole state
+    // machine, including failure handling.
+    if (op.advance) {
+      if (op.advance(*this, req)) {
+        it = nbc_live.erase(it);
+      } else {
+        ++it;
+      }
+      continue;
+    }
+
     // A failed peer completes sub-requests with rte_proc_failed (sweep) or
     // a poison marker (tree propagation); either way the barrier aborts at
     // this rank and the abort floods the remaining tree edges so no

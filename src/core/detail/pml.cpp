@@ -445,6 +445,10 @@ void ProcState::revoke_comm_locked(const std::shared_ptr<CommState>& comm,
     return;  // idempotent: also terminates the re-flood recursion
   }
   comm->revoked = true;
+  // Membership is about to change (shrink/respawn): drop the cached
+  // collective plan + shared region so a survivor cannot rendezvous with a
+  // dead member's slot. The post-shrink comm rebuilds lazily.
+  comm->coll_plan.reset();
   base::counters().add("ft.comms_revoked");
   OBS_INSTANT_ARG("ft.revoked", "ft", flood ? 1 : 0);
 

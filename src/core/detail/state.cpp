@@ -169,6 +169,7 @@ void ProcState::unregister_comm(CommState& comm) {
     return;
   }
   comm.freed = true;
+  comm.coll_plan.reset();
   comm.attrs.clear();
   cid_alloc.release(comm.cid);
   if (comm.cid < comm_by_cid.size()) {

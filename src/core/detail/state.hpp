@@ -94,6 +94,11 @@ struct NbcOp {
   /// One byte of receive capacity per tree edge: normal tree messages are
   /// empty; a 1-byte payload is the failure poison marker.
   std::vector<std::byte> scratch;
+
+  /// Generic schedule hook (src/coll NBC schedules: ibcast, iallreduce).
+  /// When set, advance_nbc_locked calls this instead of the barrier state
+  /// machine (mu held); return true once the request was finished.
+  std::function<bool(ProcState&, RequestImpl&)> advance;
 };
 
 /// Start a nonblocking binomial barrier on `comm` (MPI_Ibarrier).
@@ -265,6 +270,13 @@ struct CommState {
   // Wire statistics (Fig. 5 benchmarks read these).
   std::uint64_t ext_headers_sent = 0;
   std::uint64_t fast_headers_sent = 0;
+
+  // --- collective engine (src/coll) ----------------------------------------
+  /// Cached topology plan + on-node shared region, both opaque here so core
+  /// has no compile-time dependency on coll. Built lazily on the first
+  /// collective, dropped on revoke (membership change invalidation) — a
+  /// post-shrink communicator is a new CommState and rebuilds from scratch.
+  std::shared_ptr<void> coll_plan;
 
   [[nodiscard]] base::Rank global_of(int commrank) const {
     return grp.global_of(commrank);

@@ -103,6 +103,13 @@ class Communicator {
   void barrier() const;
   Request ibarrier() const;
   void bcast(void* buf, int count, const Datatype& dt, int root) const;
+  /// MPI_Ibcast: schedule-driven (topology-aware tree over pt2pt edges),
+  /// advanced by the progress engine.
+  Request ibcast(void* buf, int count, const Datatype& dt, int root) const;
+  /// MPI_Iallreduce. Non-commutative ops use a rank-ordered chain so the
+  /// reduction order matches the blocking path exactly.
+  Request iallreduce(const void* sendbuf, void* recvbuf, int count,
+                     const Datatype& dt, const Op& op) const;
   void reduce(const void* sendbuf, void* recvbuf, int count, const Datatype& dt,
               const Op& op, int root) const;
   void allreduce(const void* sendbuf, void* recvbuf, int count,

@@ -36,6 +36,17 @@ enum class CidMethod {
   excid,      ///< 128-bit extended CID from PGCID + derivation subfields
 };
 
+namespace detail {
+/// Storage whose address is the MPI_IN_PLACE sentinel. Never dereferenced.
+inline constexpr char in_place_sentinel = 0;
+}  // namespace detail
+
+/// MPI_IN_PLACE analogue: pass as the send buffer of reduce/allreduce (any
+/// rank) or gather at the root, or as the receive buffer of scatter at the
+/// root, to use the output buffer's contents as that rank's contribution.
+inline const void* const in_place =
+    static_cast<const void*>(&detail::in_place_sentinel);
+
 /// Messages with packed size <= this are sent eagerly; larger payloads use
 /// the rendezvous protocol (RTS/CTS/DATA).
 inline constexpr std::size_t kEagerLimit = 4096;

@@ -301,7 +301,14 @@ void Fabric::flush_ack(Rank src, Rank dst) {
   }
   static const auto acks_counter = base::counter("fabric.acks");
   acks_counter.add();
-  OBS_INSTANT_ON(dst, "fabric.ack.flush", "fabric", ack.flow.ack);
+  // v = cumulative ack; v2 = SACK summary, count<<48 | lowest held seq
+  // (48 bits of seq is plenty for a sim run; 0 = no out-of-order ranges).
+  [[maybe_unused]] const std::uint64_t sack_ranges =
+      ack.sack.empty() ? 0
+                       : (static_cast<std::uint64_t>(ack.sack.size()) << 48) |
+                             (ack.sack.front() & 0xFFFFFFFFFFFFull);
+  OBS_INSTANT_ON2(dst, "fabric.ack.flush", "fabric", ack.flow.ack,
+                  sack_ranges);
   // ACK wire time is not charged: ACKs model piggybacked / NIC-offloaded
   // reverse traffic, keeping the pump from serializing behind wire delays.
   transmit(std::move(ack), /*charge_wire=*/false);
@@ -415,7 +422,10 @@ bool Fabric::pump_pass() {
     // under the owning fabric.inflight span.
     [[maybe_unused]] const std::uint64_t trace_id =
         flow_trace_id(s, d, item.seq);
-    OBS_ASYNC_BEGIN(s, "fabric.retransmit", "fabric", trace_id, item.seq);
+    [[maybe_unused]] const std::uint64_t retx_bytes =
+        item.pkt.payload.size() + item.pkt.header_bytes();
+    OBS_ASYNC_BEGIN2(s, "fabric.retransmit", "fabric", trace_id, item.seq,
+                     retx_bytes);
     transmit(std::move(item.pkt), /*charge_wire=*/true);
     OBS_ASYNC_END(s, "fabric.retransmit", "fabric", trace_id);
     arm_entry(s, d, item.seq, item.rto_ns);

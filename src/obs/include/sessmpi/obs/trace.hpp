@@ -50,6 +50,7 @@ struct Event {
   std::int64_t ts_ns = 0;   ///< base::now_ns() at emission
   std::uint64_t id = 0;     ///< async correlation id (async_* phases only)
   std::uint64_t arg = 0;    ///< one numeric payload (bytes, seq, ...)
+  std::uint64_t arg2 = 0;   ///< second payload ("v2"; 0 = omitted)
   std::int32_t track = -1;  ///< merged-trace pid: rank, or -1 = runtime
   std::uint32_t tid = 0;    ///< writer thread ordinal (allocation order)
   Phase phase = Phase::instant;
@@ -129,9 +130,10 @@ class Tracer {
   void instant(const char* name, const char* cat, std::uint64_t arg = 0);
   /// Instant attributed to an explicit track (for runtime threads).
   void instant_on(std::int32_t track, const char* name, const char* cat,
-                  std::uint64_t arg = 0);
+                  std::uint64_t arg = 0, std::uint64_t arg2 = 0);
   void async_begin(std::int32_t track, const char* name, const char* cat,
-                   std::uint64_t id, std::uint64_t arg = 0);
+                   std::uint64_t id, std::uint64_t arg = 0,
+                   std::uint64_t arg2 = 0);
   void async_instant(std::int32_t track, const char* name, const char* cat,
                      std::uint64_t id, std::uint64_t arg = 0);
   void async_end(std::int32_t track, const char* name, const char* cat,
@@ -151,7 +153,7 @@ class Tracer {
   Tracer() = default;
   TraceBuffer& local_buffer();
   void emit(const char* name, const char* cat, Phase ph, std::int32_t track,
-            std::uint64_t id, std::uint64_t arg);
+            std::uint64_t id, std::uint64_t arg, std::uint64_t arg2 = 0);
 
   mutable std::mutex mu_;  ///< guards buffers_ (registration + collection)
   std::vector<std::shared_ptr<TraceBuffer>> buffers_;
@@ -197,7 +199,9 @@ class Span {
 #define OBS_INSTANT(name, cat) ((void)0)
 #define OBS_INSTANT_ARG(name, cat, arg) ((void)0)
 #define OBS_INSTANT_ON(track, name, cat, arg) ((void)0)
+#define OBS_INSTANT_ON2(track, name, cat, arg, arg2) ((void)0)
 #define OBS_ASYNC_BEGIN(track, name, cat, id, arg) ((void)0)
+#define OBS_ASYNC_BEGIN2(track, name, cat, id, arg, arg2) ((void)0)
 #define OBS_ASYNC_INSTANT(track, name, cat, id, arg) ((void)0)
 #define OBS_ASYNC_END(track, name, cat, id) ((void)0)
 
@@ -216,8 +220,13 @@ class Span {
   ::sessmpi::obs::Tracer::instance().instant(name, cat, arg)
 #define OBS_INSTANT_ON(track, name, cat, arg) \
   ::sessmpi::obs::Tracer::instance().instant_on(track, name, cat, arg)
+#define OBS_INSTANT_ON2(track, name, cat, arg, arg2) \
+  ::sessmpi::obs::Tracer::instance().instant_on(track, name, cat, arg, arg2)
 #define OBS_ASYNC_BEGIN(track, name, cat, id, arg) \
   ::sessmpi::obs::Tracer::instance().async_begin(track, name, cat, id, arg)
+#define OBS_ASYNC_BEGIN2(track, name, cat, id, arg, arg2)                 \
+  ::sessmpi::obs::Tracer::instance().async_begin(track, name, cat, id, arg, \
+                                                 arg2)
 #define OBS_ASYNC_INSTANT(track, name, cat, id, arg) \
   ::sessmpi::obs::Tracer::instance().async_instant(track, name, cat, id, arg)
 #define OBS_ASYNC_END(track, name, cat, id) \

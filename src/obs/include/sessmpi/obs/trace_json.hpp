@@ -62,6 +62,7 @@ struct ParsedEvent {
   std::uint32_t tid = 0;
   std::uint64_t id = 0;
   std::uint64_t arg = 0;
+  std::uint64_t arg2 = 0;
   bool has_id = false;
 };
 

@@ -89,13 +89,15 @@ TraceBuffer& Tracer::local_buffer() {
 }
 
 void Tracer::emit(const char* name, const char* cat, Phase ph,
-                  std::int32_t track, std::uint64_t id, std::uint64_t arg) {
+                  std::int32_t track, std::uint64_t id, std::uint64_t arg,
+                  std::uint64_t arg2) {
   Event ev;
   ev.name = name;
   ev.cat = cat;
   ev.ts_ns = base::now_ns() + track_skew_ns(track);
   ev.id = id;
   ev.arg = arg;
+  ev.arg2 = arg2;
   ev.track = track;
   ev.phase = ph;
   TraceBuffer& buf = local_buffer();
@@ -119,15 +121,16 @@ void Tracer::instant(const char* name, const char* cat, std::uint64_t arg) {
 }
 
 void Tracer::instant_on(std::int32_t track, const char* name, const char* cat,
-                        std::uint64_t arg) {
+                        std::uint64_t arg, std::uint64_t arg2) {
   if (!enabled()) return;
-  emit(name, cat, Phase::instant, track, 0, arg);
+  emit(name, cat, Phase::instant, track, 0, arg, arg2);
 }
 
 void Tracer::async_begin(std::int32_t track, const char* name, const char* cat,
-                         std::uint64_t id, std::uint64_t arg) {
+                         std::uint64_t id, std::uint64_t arg,
+                         std::uint64_t arg2) {
   if (!enabled()) return;
-  emit(name, cat, Phase::async_begin, track, id, arg);
+  emit(name, cat, Phase::async_begin, track, id, arg, arg2);
 }
 
 void Tracer::async_instant(std::int32_t track, const char* name,

@@ -63,8 +63,10 @@ void write_event_json(std::ostream& os, const Event& ev, int pid_override) {
                   static_cast<unsigned long long>(ev.id));
     os << ",\"id\":\"" << idbuf << "\"";
   }
-  if (ev.arg != 0) {
-    os << ",\"args\":{\"v\":" << ev.arg << "}";
+  if (ev.arg != 0 || ev.arg2 != 0) {
+    os << ",\"args\":{\"v\":" << ev.arg;
+    if (ev.arg2 != 0) os << ",\"v2\":" << ev.arg2;
+    os << "}";
   }
   if (ev.phase == Phase::instant) {
     os << ",\"s\":\"t\"";  // thread-scoped instant (draws as a tick)
@@ -193,6 +195,8 @@ std::vector<ParsedEvent> parse_trace_file(const std::string& path) {
       ev.id = std::stoull(*id, nullptr, 0);
     }
     ev.arg = static_cast<std::uint64_t>(find_number_value(line, "v").value_or(0));
+    ev.arg2 =
+        static_cast<std::uint64_t>(find_number_value(line, "v2").value_or(0));
     out.push_back(std::move(ev));
   }
   if (!saw_events_array) {
@@ -244,7 +248,11 @@ std::size_t merge_traces(const std::vector<std::string>& files,
                     static_cast<unsigned long long>(ev.id));
       out << ",\"id\":\"" << idbuf << "\"";
     }
-    if (ev.arg != 0) out << ",\"args\":{\"v\":" << ev.arg << "}";
+    if (ev.arg != 0 || ev.arg2 != 0) {
+      out << ",\"args\":{\"v\":" << ev.arg;
+      if (ev.arg2 != 0) out << ",\"v2\":" << ev.arg2;
+      out << "}";
+    }
     if (ev.ph == 'i') out << ",\"s\":\"t\"";
     out << "}";
   }

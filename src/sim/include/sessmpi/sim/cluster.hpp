@@ -135,6 +135,13 @@ class Cluster {
   static Process& current();
   [[nodiscard]] static Process* current_ptr() noexcept;
 
+  /// Opaque cluster-wide slot for the collective engine's on-node shared
+  /// region registry (the sim analogue of a per-node shm segment namespace).
+  /// Created on demand by src/coll under coll_arena_mu; dies with the
+  /// cluster, exactly like real shm segments die with the node.
+  std::shared_ptr<void> coll_arena;
+  std::mutex coll_arena_mu;
+
   friend class ProcessAdopter;
 
  private:

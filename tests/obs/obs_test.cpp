@@ -342,12 +342,24 @@ TEST(ObsTvar, BuiltinCvarsControlTheTracer) {
 // --- JSON schema -----------------------------------------------------------
 
 std::vector<Event> golden_events() {
-  std::vector<Event> evs(4);
-  evs[0] = {"pml.send", "core", 1234567, 0, 8, 3, 1, Phase::begin};
-  evs[1] = {"pml.send", "core", 1240000, 0, 0, 3, 1, Phase::end};
-  evs[2] = {"ft.revoke", "ft", 1300000, 0, 0, 3, 1, Phase::instant};
-  evs[3] = {"fabric.inflight", "fabric", 1,      0xdeadbeef,
-            7,                 3,        2,      Phase::async_begin};
+  // Field order: {name, cat, ts_ns, id, arg, arg2, track, tid, phase}.
+  std::vector<Event> evs(6);
+  evs[0] = {"pml.send", "core", 1234567, 0, 8, 0, 3, 1, Phase::begin};
+  evs[1] = {"pml.send", "core", 1240000, 0, 0, 0, 3, 1, Phase::end};
+  evs[2] = {"ft.revoke", "ft", 1300000, 0, 0, 0, 3, 1, Phase::instant};
+  evs[3] = {"fabric.inflight", "fabric", 1, 0xdeadbeef,
+            7,                 0,        3, 2,
+            Phase::async_begin};
+  // Two-arg events (satellite: flow-level trace polish): a retransmit span
+  // carrying bytes in v2, and an ack flush carrying the SACK summary in v2.
+  evs[4] = {"fabric.retransmit", "fabric", 2000, 0xdeadbeef,
+            7,                   4150,     3,    2,
+            Phase::async_begin};
+  evs[5] = {"fabric.ack.flush", "fabric",
+            2100,               0,
+            41,                 (3ull << 48) | 55,
+            3,                  2,
+            Phase::instant};
   return evs;
 }
 
@@ -381,7 +393,7 @@ TEST(ObsJson, ParseRoundTripsTheWriter) {
   }
 
   const auto parsed = parse_trace_file(path);
-  ASSERT_EQ(parsed.size(), 4u);
+  ASSERT_EQ(parsed.size(), 6u);
   EXPECT_EQ(parsed[0].name, "pml.send");
   EXPECT_EQ(parsed[0].cat, "core");
   EXPECT_EQ(parsed[0].ph, 'B');
@@ -389,10 +401,17 @@ TEST(ObsJson, ParseRoundTripsTheWriter) {
   EXPECT_NEAR(parsed[0].ts_us, 1235.567, 1e-9);
   EXPECT_EQ(parsed[0].pid, 3);
   EXPECT_EQ(parsed[0].arg, 8u);
+  EXPECT_EQ(parsed[0].arg2, 0u);
   EXPECT_EQ(parsed[2].ph, 'i');
   EXPECT_TRUE(parsed[3].has_id);
   EXPECT_EQ(parsed[3].id, 0xdeadbeefu);
   EXPECT_EQ(parsed[3].ph, 'b');
+  // v/v2 pairs round-trip: retransmit carries seq + bytes, ack flush
+  // carries cumulative ack + SACK summary.
+  EXPECT_EQ(parsed[4].arg, 7u);
+  EXPECT_EQ(parsed[4].arg2, 4150u);
+  EXPECT_EQ(parsed[5].arg, 41u);
+  EXPECT_EQ(parsed[5].arg2, (3ull << 48) | 55);
 }
 
 TEST(ObsJson, ParseRejectsNonTraceFile) {
@@ -411,11 +430,13 @@ TEST(ObsJson, RankTracesSplitByTrackAndMergeRebased) {
   // Synthetic cross-layer trace: two ranks plus one unattributed runtime
   // event, exactly what a bench --trace run produces.
   std::vector<Event> evs(5);
-  evs[0] = {"comm.create_from_group", "core", 5000, 0, 2, 0, 1, Phase::begin};
-  evs[1] = {"comm.create_from_group", "core", 9000, 0, 0, 0, 1, Phase::end};
-  evs[2] = {"pmix.fence", "pmix", 6000, 0, 2, 1, 2, Phase::begin};
-  evs[3] = {"pmix.fence", "pmix", 8000, 0, 0, 1, 2, Phase::end};
-  evs[4] = {"fabric.tick", "fabric", 7000, 0, 0, -1, 3, Phase::instant};
+  evs[0] = {"comm.create_from_group", "core", 5000, 0, 2, 0,
+            0,                        1,      Phase::begin};
+  evs[1] = {"comm.create_from_group", "core", 9000, 0, 0, 0,
+            0,                        1,      Phase::end};
+  evs[2] = {"pmix.fence", "pmix", 6000, 0, 2, 0, 1, 2, Phase::begin};
+  evs[3] = {"pmix.fence", "pmix", 8000, 0, 0, 0, 1, 2, Phase::end};
+  evs[4] = {"fabric.tick", "fabric", 7000, 0, 0, 0, -1, 3, Phase::instant};
 
   const std::string dir =
       (std::filesystem::path(::testing::TempDir()) / "obs_rank_traces")
