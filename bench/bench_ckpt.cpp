@@ -1,8 +1,15 @@
 // Checkpoint/restart cost benchmark (src/ckpt): coordinated save and
 // restore time vs dataset size, with the redundancy levels broken out —
 // local snapshot only, + partner copy (SCR PARTNER), + filesystem spill.
-// Also times a full failure-recovery cycle: kill a rank, shrink, restore
-// with partner rebuild.
+// Also times a full failure-recovery cycle (kill a rank, shrink, restore
+// with partner rebuild), compares the redundancy bytes of the erasure
+// schemes against the full partner copy, and measures how much of the
+// async drain the rank thread actually overlaps with compute.
+//
+// `--smoke` turns the last two into CI gates: RS(8,2) must spend at most
+// 0.5x the partner copy's redundancy bytes (the whole point of erasure
+// sets — the true ratio is m/k = 0.25), and the drain overlap must stay
+// >= 50% when compute outlasts the modeled filesystem write.
 //
 // No paper figure corresponds to this table (checkpointing is follow-on
 // work layered over the Sessions/ULFM machinery); EXPERIMENTS.md carries
@@ -10,12 +17,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
 #include "sessmpi/ckpt/ckpt.hpp"
 #include "sessmpi/ft/ft.hpp"
+#include "sessmpi/prte/simfs.hpp"
 
 namespace sessmpi::bench {
 namespace {
@@ -122,6 +131,88 @@ double measure_recovery_cycle(std::size_t bytes) {
   return cycle_t.mean();
 }
 
+/// Redundancy bytes + save time of one scheme over 10 ranks (one full
+/// RS(8,2) set when k + m == 10). Redundancy comes from the counter the
+/// save path maintains, normalized to one save across all ranks.
+struct SchemeRow {
+  double save_us = 0;
+  std::uint64_t redundancy = 0;  ///< bytes per save, summed over ranks
+};
+
+SchemeRow measure_scheme(ckpt::Scheme scheme, int k, int m,
+                         std::size_t bytes) {
+  SchemeRow row;
+  const std::uint64_t red_before =
+      base::counters().value("ckpt.redundancy_bytes");
+  RankSamples save_t;
+  run_cluster(2, 5, [&](sim::Process& p) {
+    Session s = Session::init(Info::null(), Errhandler::errors_return());
+    Communicator comm = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "ckptred", Info::null(),
+        Errhandler::errors_return());
+    std::vector<std::uint8_t> data(bytes, static_cast<std::uint8_t>(p.rank()));
+    ckpt::Config cfg;
+    cfg.scheme = scheme;
+    cfg.partner_offset = 5;  // cross-node partner (partner scheme only)
+    cfg.set_data = k;
+    cfg.set_parity = m;
+    ckpt::Checkpointer ck("benchred", cfg);
+    ck.register_dataset("data", data.data(), data.size());
+    comm.barrier();
+    save_t.add(time_saves(ck, comm));
+    comm.free();
+    s.finalize();
+  });
+  row.save_us = save_t.mean();
+  row.redundancy =
+      (base::counters().value("ckpt.redundancy_bytes") - red_before) /
+      static_cast<std::uint64_t>(kIters);
+  return row;
+}
+
+/// Async-drain overlap: save with the SimFs slowed to `delay_ns_per_byte`,
+/// "compute" for `compute_ms`, then fence. busy = drainer write time,
+/// fence = time save()'s caller actually blocked; overlap = 1 - fence/busy.
+struct OverlapRow {
+  double overlap = 1.0;
+  double busy_ms = 0;
+  double fence_ms = 0;
+};
+
+OverlapRow measure_drain_overlap(std::size_t bytes,
+                                 std::int64_t delay_ns_per_byte,
+                                 int compute_ms) {
+  RankSamples ov;
+  RankSamples busy;
+  RankSamples fence;
+  run_cluster(1, 4, [&](sim::Process& p) {
+    Session s = Session::init(Info::null(), Errhandler::errors_return());
+    Communicator comm = Communicator::create_from_group(
+        s.group_from_pset("mpi://world"), "ckptdrain", Info::null(),
+        Errhandler::errors_return());
+    p.cluster().fs().set_write_delay_ns_per_byte(delay_ns_per_byte);
+    std::vector<std::uint8_t> data(bytes, static_cast<std::uint8_t>(p.rank()));
+    ckpt::Config cfg;
+    cfg.spill_to_fs = true;
+    cfg.spill_chunk_bytes = 4096;
+    ckpt::Checkpointer ck("benchdrain", cfg);
+    ck.register_dataset("data", data.data(), data.size());
+    comm.barrier();
+    ck.save(comm);  // returns with the spill still draining in background
+    std::this_thread::sleep_for(std::chrono::milliseconds(compute_ms));
+    ck.drain_fence();
+    const auto b = static_cast<double>(ck.drain_busy_ns());
+    const auto f = static_cast<double>(ck.drain_fence_wait_ns());
+    ov.add(b > 0 ? 1.0 - f / b : 1.0);
+    busy.add(b / 1e6);
+    fence.add(f / 1e6);
+    comm.barrier();
+    comm.free();
+    s.finalize();
+  });
+  return {ov.mean(), busy.mean(), fence.mean()};
+}
+
 }  // namespace
 }  // namespace sessmpi::bench
 
@@ -131,8 +222,71 @@ int main(int argc, char** argv) {
   using namespace sessmpi;
   using namespace sessmpi::bench;
   using base::Table;
+  const bool smoke = flag_present(argc, argv, "--smoke");
   std::cout << "bench_ckpt: coordinated checkpoint/restart cost "
                "(SCR-style levels over the ULFM layer)\n";
+
+  // Redundancy-scheme comparison: 10 ranks, one save, bytes of redundant
+  // state created per save across the allocation. Partner stores a full
+  // copy (1.0x payload per rank); RS(k, m) stores m/k of it.
+  constexpr std::size_t kRedBytes = std::size_t{1} << 16;
+  const auto partner_row =
+      measure_scheme(ckpt::Scheme::partner, 0, 0, kRedBytes);
+  const auto xor_row =
+      measure_scheme(ckpt::Scheme::xor_parity, 7, 1, kRedBytes);
+  const auto rs_row =
+      measure_scheme(ckpt::Scheme::reed_solomon, 8, 2, kRedBytes);
+  print_header(
+      "Redundancy bytes per save vs scheme (10 ranks, 64 KiB/rank)",
+      "'redundancy' counts bytes of partner copies / parity chunks created "
+      "per coordinated save, summed over ranks (counter "
+      "ckpt.redundancy_bytes). XOR(7,1) and RS(8,2) trade a bounded "
+      "failure budget per redundancy set for an m/k-sized footprint; the "
+      "2-rank tail set of XOR(7,1) degrades to duplication.");
+  {
+    Table rt({"scheme", "redundancy (B/save)", "vs partner", "save (us)"});
+    const auto ratio = [&](const SchemeRow& r) {
+      return partner_row.redundancy == 0
+                 ? 0.0
+                 : static_cast<double>(r.redundancy) /
+                       static_cast<double>(partner_row.redundancy);
+    };
+    rt.add_row({"partner", std::to_string(partner_row.redundancy),
+                Table::fmt(1.0, 2), Table::fmt(partner_row.save_us, 1)});
+    rt.add_row({"xor(7,1)", std::to_string(xor_row.redundancy),
+                Table::fmt(ratio(xor_row), 2), Table::fmt(xor_row.save_us, 1)});
+    rt.add_row({"rs(8,2)", std::to_string(rs_row.redundancy),
+                Table::fmt(ratio(rs_row), 2), Table::fmt(rs_row.save_us, 1)});
+    rt.print(std::cout);
+  }
+
+  // Drain overlap: 64 KiB spills against a ~131 us/chunk modeled
+  // filesystem while the rank "computes" past the drain's finish line.
+  const auto ov = measure_drain_overlap(std::size_t{1} << 16, 2000, 200);
+  std::cout << "\nAsync drain overlap: " << Table::fmt(ov.overlap * 100, 1)
+            << "% of " << Table::fmt(ov.busy_ms, 1)
+            << " ms of modeled spill I/O hidden behind compute ("
+            << Table::fmt(ov.fence_ms, 2) << " ms spent blocked in the "
+            << "pre-vote fence)\n";
+
+  if (smoke) {
+    const bool red_pass = rs_row.redundancy * 2 <= partner_row.redundancy;
+    const bool ov_pass = ov.overlap >= 0.5;
+    std::cout << "CKPT_SMOKE " << (red_pass && ov_pass ? "PASS" : "FAIL")
+              << " (rs(8,2)/partner redundancy = "
+              << Table::fmt(partner_row.redundancy == 0
+                                ? 1.0
+                                : static_cast<double>(rs_row.redundancy) /
+                                      static_cast<double>(
+                                          partner_row.redundancy),
+                            2)
+              << ", budget 0.50; drain overlap = "
+              << Table::fmt(ov.overlap * 100, 1) << "%, floor 50%)\n";
+    print_counters_json("bench_ckpt");
+    flush_trace(trace_dir, "bench_ckpt");
+    return red_pass && ov_pass ? 0 : 1;
+  }
+
   print_header(
       "Checkpoint save/restore time vs dataset size (8 ranks, 2 nodes)",
       "us per operation, calibrated cost model. 'local' = snapshot + "

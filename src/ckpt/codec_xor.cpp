@@ -1,0 +1,76 @@
+// XOR (RAID-5, m = 1) redundancy-set codec + the set partition shared by
+// both codecs (see include/sessmpi/ckpt/codec.hpp for the stripe layout).
+
+#include <algorithm>
+
+#include "sessmpi/base/error.hpp"
+#include "sessmpi/base/gf256.hpp"
+#include "sessmpi/ckpt/codec.hpp"
+
+namespace sessmpi::ckpt {
+
+SetLayout set_layout(int n, int comm_rank, int k, int m) {
+  if (k < 1 || m < 0) {
+    throw Error(ErrClass::arg, "ckpt: redundancy set needs k >= 1, m >= 0");
+  }
+  const int g = k + m;
+  SetLayout s;
+  s.first = (comm_rank / g) * g;
+  s.size = std::min(g, n - s.first);
+  // Tail set: keep as many parities as the membership supports.
+  s.parity = std::min(m, s.size - 1);
+  s.data = s.size - s.parity;
+  return s;
+}
+
+namespace {
+
+/// m = 1: parity is the XOR of the stripe's data chunks; one missing data
+/// chunk is parity XOR the surviving data chunks.
+class XorCodec final : public SetCodec {
+ public:
+  explicit XorCodec(int k) : SetCodec(k, 1) {}
+
+  void encode(int /*pi*/, const std::byte* const* data, std::size_t len,
+              std::byte* out) const override {
+    std::fill(out, out + len, std::byte{0});
+    for (int j = 0; j < k(); ++j) {
+      base::gf256::mul_add(out, data[j], len, 1);
+    }
+  }
+
+  bool reconstruct(std::byte* const* data, const bool* data_ok,
+                   const std::byte* const* parity,
+                   std::size_t len) const override {
+    int missing = -1;
+    for (int j = 0; j < k(); ++j) {
+      if (!data_ok[j]) {
+        if (missing != -1) {
+          return false;  // two losses beat RAID-5
+        }
+        missing = j;
+      }
+    }
+    if (missing == -1) {
+      return true;
+    }
+    if (parity[0] == nullptr) {
+      return false;
+    }
+    std::copy(parity[0], parity[0] + len, data[missing]);
+    for (int j = 0; j < k(); ++j) {
+      if (j != missing) {
+        base::gf256::mul_add(data[missing], data[j], len, 1);
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SetCodec> make_xor_codec(int k) {
+  return std::make_unique<XorCodec>(k);
+}
+
+}  // namespace sessmpi::ckpt

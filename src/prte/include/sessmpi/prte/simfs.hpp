@@ -5,7 +5,10 @@
 // Lustre mount the runtime nodes share). Thread-safe; costs are charged by
 // the MPI layer, not here.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -16,6 +19,11 @@ namespace sessmpi::prte {
 
 class SimFs {
  public:
+  /// Fault-injection hook for `try_write`: return true to fail that write
+  /// (transient I/O error — nothing is written). Installed by the sim's
+  /// chaos layer or directly by tests; must be thread-safe.
+  using FaultFn = std::function<bool(const std::string& path,
+                                     std::size_t offset, std::size_t n)>;
   /// Create the file if absent; returns false if it already existed.
   bool create(const std::string& path);
   [[nodiscard]] bool exists(const std::string& path) const;
@@ -28,6 +36,26 @@ class SimFs {
   /// Write `n` bytes at `offset`, extending the file as needed.
   void write(const std::string& path, std::size_t offset, const void* data,
              std::size_t n);
+
+  /// Fault-injectable write: consults the installed fault hook first and
+  /// returns false (writing nothing) when it fires. Retryable — callers
+  /// own the retry/backoff policy (src/ckpt's drain pipeline).
+  bool try_write(const std::string& path, std::size_t offset, const void* data,
+                 std::size_t n);
+
+  /// Install (or clear, with nullptr) the write fault hook.
+  void set_fault_fn(FaultFn fn);
+
+  /// Modeled write bandwidth as a per-byte delay: writers that simulate
+  /// I/O time (the checkpoint drainer) sleep delay * bytes per write.
+  /// Stored here because it is a property of the filesystem, not of any
+  /// one writer; 0 (default) = infinitely fast.
+  void set_write_delay_ns_per_byte(std::int64_t ns) noexcept {
+    write_delay_ns_per_byte_.store(ns, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t write_delay_ns_per_byte() const noexcept {
+    return write_delay_ns_per_byte_.load(std::memory_order_relaxed);
+  }
   /// Read up to `n` bytes at `offset`; returns bytes actually read
   /// (0 at/after EOF). Throws nothing; unknown paths read 0 bytes.
   std::size_t read(const std::string& path, std::size_t offset, void* data,
@@ -38,6 +66,9 @@ class SimFs {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::vector<std::byte>> files_;
+  mutable std::mutex fault_mu_;  ///< guards fault_fn_ (swap vs call)
+  FaultFn fault_fn_;
+  std::atomic<std::int64_t> write_delay_ns_per_byte_{0};
 };
 
 }  // namespace sessmpi::prte

@@ -44,6 +44,25 @@ void SimFs::write(const std::string& path, std::size_t offset,
   std::memcpy(bytes.data() + offset, data, n);
 }
 
+bool SimFs::try_write(const std::string& path, std::size_t offset,
+                      const void* data, std::size_t n) {
+  FaultFn fn;
+  {
+    std::lock_guard lock(fault_mu_);
+    fn = fault_fn_;
+  }
+  if (fn && fn(path, offset, n)) {
+    return false;
+  }
+  write(path, offset, data, n);
+  return true;
+}
+
+void SimFs::set_fault_fn(FaultFn fn) {
+  std::lock_guard lock(fault_mu_);
+  fault_fn_ = std::move(fn);
+}
+
 std::size_t SimFs::read(const std::string& path, std::size_t offset,
                         void* data, std::size_t n) const {
   std::lock_guard lock(mu_);

@@ -139,9 +139,13 @@ ChaosMonkey::ChaosMonkey(Cluster& cluster, ChaosPolicy policy)
       policy_(policy),
       schedule_(policy, cluster.topology()),
       drop_stream_(std::make_shared<std::atomic<std::uint64_t>>(0)),
-      reorder_stream_(std::make_shared<std::atomic<std::uint64_t>>(0)) {
+      reorder_stream_(std::make_shared<std::atomic<std::uint64_t>>(0)),
+      fs_fault_stream_(std::make_shared<std::atomic<std::uint64_t>>(0)) {
   if (policy_.reorder_fraction < 0.0 || policy_.reorder_fraction > 1.0) {
     throw base::Error(base::ErrClass::arg, "reorder_fraction outside [0, 1]");
+  }
+  if (policy_.fs_fault_fraction < 0.0 || policy_.fs_fault_fraction > 1.0) {
+    throw base::Error(base::ErrClass::arg, "fs_fault_fraction outside [0, 1]");
   }
   set_drop_fraction(policy_.drop_fraction);
   if (policy_.reorder_fraction > 0.0) {
@@ -149,6 +153,28 @@ ChaosMonkey::ChaosMonkey(Cluster& cluster, ChaosPolicy policy)
     cluster_.fabric().set_reorder_filter(seeded_fraction_filter(
         reorder_stream_, policy_.seed ^ 0x5eedca11u,
         policy_.reorder_fraction));
+  }
+  if (policy_.fs_fault_fraction > 0.0) {
+    cluster_.fs().set_fault_fn(
+        [counter = fs_fault_stream_, seed = policy_.seed ^ 0xf5fa017ull,
+         frac = policy_.fs_fault_fraction](const std::string&, std::size_t,
+                                           std::size_t) {
+          std::uint64_t state =
+              seed ^ (counter->fetch_add(1, std::memory_order_relaxed) *
+                      0x9e3779b97f4a7c15ull);
+          const std::uint64_t z = splitmix64(state);
+          if (static_cast<double>(z >> 11) * 0x1.0p-53 < frac) {
+            base::counters().add("sim.chaos.fs_faults");
+            return true;
+          }
+          return false;
+        });
+  }
+}
+
+ChaosMonkey::~ChaosMonkey() {
+  if (policy_.fs_fault_fraction > 0.0) {
+    cluster_.fs().set_fault_fn(nullptr);
   }
 }
 

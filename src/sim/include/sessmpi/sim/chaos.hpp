@@ -49,6 +49,12 @@ struct ChaosPolicy {
   /// overtakes them (reordering injection); the fabric's receive-side
   /// reorder buffer restores per-flow order before delivery.
   double reorder_fraction = 0.0;
+
+  /// Fraction of fault-aware SimFs writes (SimFs::try_write — the
+  /// checkpoint drain pipeline) that fail with a transient I/O error,
+  /// seeded like the packet filters. The drainer's retry/backoff absorbs
+  /// any fraction below 1.
+  double fs_fault_fraction = 0.0;
 };
 
 /// The precomputed (step -> victims) map.
@@ -74,6 +80,9 @@ class ChaosSchedule {
 class ChaosMonkey {
  public:
   ChaosMonkey(Cluster& cluster, ChaosPolicy policy);
+  /// Clears the SimFs fault hook it installed (the fabric filters die with
+  /// the cluster, but the fs outlives chaos experiments that share one).
+  ~ChaosMonkey();
 
   /// Rank-side step boundary. Returns true if `proc` survives step `step`;
   /// returns false — after executing the scheduled death — when the rank is
@@ -104,6 +113,7 @@ class ChaosMonkey {
   /// the installed filters so swapping never rewinds the streams.
   std::shared_ptr<std::atomic<std::uint64_t>> drop_stream_;
   std::shared_ptr<std::atomic<std::uint64_t>> reorder_stream_;
+  std::shared_ptr<std::atomic<std::uint64_t>> fs_fault_stream_;
 };
 
 }  // namespace sessmpi::sim

@@ -196,6 +196,29 @@ TEST(Ckpt, RestoreWithNoCommittedEpochFailsCleanly) {
   });
 }
 
+TEST(Ckpt, SelfPartneringOffsetRejected) {
+  world_run(1, 4, [](sim::Process& p) {
+    const int me = static_cast<int>(p.rank());
+    std::vector<std::uint8_t> data = payload(me, 1, 16);
+    ckpt::Config cfg;
+    cfg.partner_offset = 8;  // 8 mod 4 == 0: every rank would partner itself
+    ckpt::Checkpointer ck("selfpartner", cfg);
+    ck.register_dataset("data", data.data(), data.size());
+    try {
+      ck.save(comm_world());
+      FAIL() << "self-partnering save must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrClass::arg);
+    }
+    EXPECT_EQ(ck.last_committed(), 0u);
+    comm_world().barrier();  // the rejection is local and leaves comm usable
+    // A corrected offset makes the same checkpointer functional again.
+    ck.set_partner_offset(1);
+    EXPECT_EQ(ck.save(comm_world()), 1u);
+    EXPECT_EQ(ck.last_committed(), 1u);
+  });
+}
+
 TEST(Ckpt, PartnerRebuildAdoptsDeadRanksShard) {
   constexpr int kRanks = 4;
   const std::uint64_t rebuilds_before =
@@ -298,6 +321,10 @@ TEST(Ckpt, FilesystemSpillRecoversWhenOwnerAndPartnerBothDie) {
     ckpt::Checkpointer ck("spill", cfg);
     ck.register_dataset("data", data.data(), data.size());
     ck.save(comm_world());
+    // The spill drains asynchronously; fence so the deaths below can't race
+    // an in-flight write (the test wants the durable-spill path, not the
+    // cancelled-drain path).
+    EXPECT_TRUE(ck.drain_fence());
     saved.fetch_add(1);
 
     if (me == 1 || me == 2) {

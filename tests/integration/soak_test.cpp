@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -27,7 +28,9 @@
 #include "../core/harness.hpp"
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/ckpt/ckpt.hpp"
+#include "sessmpi/ckpt/planner.hpp"
 #include "sessmpi/ft/ft.hpp"
+#include "sessmpi/obs/tvar.hpp"
 #include "sessmpi/obs/trace.hpp"
 #include "sessmpi/obs/trace_json.hpp"
 #include "sessmpi/sim/chaos.hpp"
@@ -59,6 +62,11 @@ struct SoakParams {
   int kill_every = 0;  ///< cooperative periodic rank kills (0 = off)
   int max_kills = 0;
   std::vector<std::pair<int, int>> kill_node_at;  ///< (step, node)
+  /// In-memory redundancy under test (partner by default; the erasure
+  /// schemes group ranks into (set_data + set_parity) redundancy sets).
+  ckpt::Scheme scheme = ckpt::Scheme::partner;
+  int set_data = 4;
+  int set_parity = 2;
 };
 
 /// What the workload observed, for cross-run comparison.
@@ -72,6 +80,7 @@ struct SoakRecord {
     std::vector<std::uint8_t> own;   ///< own dataset after the restore
     std::vector<ckpt::Shard> adopted;
     int from_fs = 0;
+    int from_parity = 0;
   };
   std::vector<Restore> restores;
   std::map<int, std::uint64_t> final_iter;  ///< survivors only
@@ -121,6 +130,9 @@ void soak_body(sim::Cluster& cluster, sim::ChaosMonkey& monkey,
     // Partner on another node when there is one (survives node failure);
     // the filesystem spill is the copy of last resort either way.
     cfg.partner_offset = prm.nodes > 1 ? prm.ppn : 1;
+    cfg.scheme = prm.scheme;
+    cfg.set_data = prm.set_data;
+    cfg.set_parity = prm.set_parity;
     cfg.spill_to_fs = true;
     ckpt::Checkpointer ck("soak", cfg);
     ck.register_dataset("data", data.data(), data.size());
@@ -180,12 +192,25 @@ void soak_body(sim::Cluster& cluster, sim::ChaosMonkey& monkey,
           Communicator shrunk = comm.shrink();
           comm.free();
           comm = shrunk;
+          // A shrink can leave the partner offset a multiple of the new
+          // size (self-partnering, which save() rejects): fall back to the
+          // nearest-neighbour partner for the post-recovery epochs.
+          if (comm.size() > 1 &&
+              ck.config().partner_offset % comm.size() == 0) {
+            ck.set_partner_offset(1);
+          }
           const ckpt::RestoreResult res = ck.restore(comm);
+          // Feed the interval planner: every survived failure is an MTBF
+          // observation (save costs flow in from inside ck.save()).
+          ckpt::planner().note_failure(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count());
           EXPECT_EQ(iter, res.epoch * kSaveEvery);
           EXPECT_EQ(data, state_of(g, iter));  // bitwise rewind
           std::lock_guard lk(rec.mu);
           rec.restores.push_back(
-              {g, res.epoch, data, res.adopted, res.from_fs});
+              {g, res.epoch, data, res.adopted, res.from_fs, res.from_parity});
         } catch (const Error&) {
           if (p.failed()) {
             return;
@@ -443,6 +468,151 @@ TEST(Soak, GoldenBitwiseRestoreAfterNodeKill) {
   EXPECT_GE(base::counters().value("ckpt.partner_rebuilds") +
                 base::counters().value("ckpt.fs_rebuilds"),
             fs_rebuilds_before + 4);
+}
+
+TEST(Soak, GoldenBitwiseRsParityRestoreAfterTwoKillsInOneSet) {
+  // Erasure acceptance scenario: RS(4, 2) redundancy sets over 8 ranks
+  // spread 2-per-node (set 0 = ranks 0..5, tail set = ranks 6..7). Killing
+  // node 1 takes ranks 2 and 3 — two simultaneous deaths *inside one set*,
+  // exactly the code's tolerance — and both shards must decode bitwise
+  // from parity alone: zero partner copies exist, and the spill must stay
+  // untouched.
+  SoakParams golden_prm;
+  golden_prm.nodes = 4;
+  golden_prm.ppn = 2;
+  golden_prm.iters = 9;
+  golden_prm.scheme = ckpt::Scheme::reed_solomon;
+  SoakRecord golden;
+  {
+    sim::Cluster cluster{soak_opts(golden_prm)};
+    sim::ChaosMonkey monkey{cluster, sim::ChaosPolicy{}};
+    soak_body(cluster, monkey, golden_prm, golden);
+  }
+  for (int g = 0; g < 8; ++g) {
+    ASSERT_EQ(golden.final_iter.at(g), 9u);
+    for (std::uint64_t e = 1; e <= 3; ++e) {
+      ASSERT_EQ(golden.saved.count({g, e}), 1u);
+    }
+  }
+  EXPECT_TRUE(golden.restores.empty());
+
+  SoakParams faulty_prm = golden_prm;
+  faulty_prm.seed = 2027;
+  faulty_prm.kill_node_at = {{5, 1}};  // ranks 2 and 3, between epochs 1 and 2
+  SoakRecord faulty;
+  const std::uint64_t partner_before =
+      base::counters().value("ckpt.partner_rebuilds");
+  const std::uint64_t parity_before =
+      base::counters().value("ckpt.parity_rebuilds");
+  {
+    sim::Cluster cluster{soak_opts(faulty_prm)};
+    sim::ChaosMonkey monkey{cluster, soak_policy(faulty_prm)};
+    soak_body(cluster, monkey, faulty_prm, faulty);
+    EXPECT_EQ(monkey.schedule().victims().size(), 2u);
+    EXPECT_TRUE(cluster.fabric().is_failed(2));
+    EXPECT_TRUE(cluster.fabric().is_failed(3));
+  }
+
+  // The 6 survivors resumed and completed all iterations, and everything
+  // they ever committed matches the golden run bitwise.
+  for (const int g : {0, 1, 4, 5, 6, 7}) {
+    ASSERT_EQ(faulty.final_iter.count(g), 1u);
+    EXPECT_EQ(faulty.final_iter.at(g), 9u);
+  }
+  for (const auto& [key, bytes] : faulty.saved) {
+    ASSERT_EQ(golden.saved.count(key), 1u);
+    EXPECT_EQ(bytes, golden.saved.at(key))
+        << "rank " << key.first << " epoch " << key.second;
+  }
+
+  std::map<int, const SoakRecord::Restore*> last_restore;
+  for (const auto& r : faulty.restores) {
+    last_restore[r.global] = &r;
+  }
+  ASSERT_EQ(last_restore.size(), 6u);
+  int adopted_total = 0;
+  int from_fs_total = 0;
+  int from_parity_total = 0;
+  for (const auto& entry : last_restore) {
+    const SoakRecord::Restore& r = *entry.second;
+    EXPECT_EQ(r.epoch, 1u);
+    EXPECT_EQ(r.own, golden.saved.at({r.global, r.epoch}));
+    from_fs_total += r.from_fs;
+    from_parity_total += r.from_parity;
+    for (const auto& shard : r.adopted) {
+      EXPECT_TRUE(shard.owner == 2 || shard.owner == 3);
+      if (shard.dataset != "data") {
+        continue;
+      }
+      ++adopted_total;
+      const auto& want = golden.saved.at({static_cast<int>(shard.owner), 1u});
+      ASSERT_EQ(shard.bytes.size(), want.size());
+      EXPECT_EQ(std::memcmp(shard.bytes.data(), want.data(), want.size()), 0)
+          << "adopted shard of rank " << shard.owner;
+    }
+  }
+  EXPECT_EQ(adopted_total, 2);
+  EXPECT_EQ(from_parity_total, 2);  // both decoded from set parity
+  EXPECT_EQ(from_fs_total, 0);      // the spill stayed untouched
+  // The headline acceptance check: parity-only recovery, no partner copies.
+  EXPECT_EQ(base::counters().value("ckpt.partner_rebuilds"), partner_before);
+  EXPECT_GE(base::counters().value("ckpt.parity_rebuilds"),
+            parity_before + 2);
+}
+
+TEST(Soak, PlannerAbFixedVsPlannedCadence) {
+  // Failure-rate-driven interval planning, A/B'd against a fixed cadence.
+  // Phase 1: one kill-matrix run under chaos feeds the planner — every
+  // survived failure lands a note_failure() (soak_body) and every save
+  // reports its measured cost from inside ck.save().
+  ckpt::planner().reset();
+  ASSERT_TRUE(obs::cvar_write("ckpt.interval.mode", "fixed"));
+  ASSERT_TRUE(obs::cvar_write("ckpt.interval.fixed_ns", "0"));
+  ASSERT_TRUE(obs::cvar_write("ckpt.planner.model", "young"));
+
+  SoakParams prm;
+  prm.nodes = 1;
+  prm.ppn = 6;
+  prm.iters = 12;
+  prm.seed = 23;
+  prm.kill_every = 4;
+  prm.max_kills = 2;
+  run_soak(prm);
+
+  EXPECT_GE(ckpt::planner().failures(), 2u);
+  ASSERT_GT(ckpt::planner().mtbf_ns(), 0);
+  ASSERT_GT(ckpt::planner().save_cost_ns(), 0);
+  const std::int64_t planned = ckpt::planner().planned_interval_ns();
+  ASSERT_GT(planned, 0);
+  EXPECT_EQ(planned,
+            ckpt::IntervalPlanner::young(ckpt::planner().save_cost_ns(),
+                                         ckpt::planner().mtbf_ns()));
+
+  // Phase 2: drive should_save() over one simulated horizon in both modes.
+  // With the fixed interval pinned at 4x the planned one, the planned
+  // cadence must fire substantially more often — the measured failure rate,
+  // not the static knob, is setting the checkpoint frequency.
+  const std::int64_t horizon = planned * 64;
+  const std::int64_t dt = planned / 8 > 0 ? planned / 8 : 1;
+  ASSERT_TRUE(obs::cvar_write("ckpt.interval.fixed_ns",
+                              std::to_string(planned * 4)));
+  ckpt::Checkpointer fixed_ck("ab-fixed");
+  int fixed_fires = 0;
+  for (std::int64_t t = 0; t < horizon; t += dt) {
+    fixed_fires += fixed_ck.should_save(t) ? 1 : 0;
+  }
+  ASSERT_TRUE(obs::cvar_write("ckpt.interval.mode", "planned"));
+  ckpt::Checkpointer planned_ck("ab-planned");
+  int planned_fires = 0;
+  for (std::int64_t t = 0; t < horizon; t += dt) {
+    planned_fires += planned_ck.should_save(t) ? 1 : 0;
+  }
+  EXPECT_GE(fixed_fires, 2);
+  EXPECT_GT(planned_fires, 2 * fixed_fires);
+
+  ASSERT_TRUE(obs::cvar_write("ckpt.interval.mode", "fixed"));
+  ASSERT_TRUE(obs::cvar_write("ckpt.interval.fixed_ns", "0"));
+  ckpt::planner().reset();
 }
 
 }  // namespace

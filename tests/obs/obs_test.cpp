@@ -343,7 +343,7 @@ TEST(ObsTvar, BuiltinCvarsControlTheTracer) {
 
 std::vector<Event> golden_events() {
   // Field order: {name, cat, ts_ns, id, arg, arg2, track, tid, phase}.
-  std::vector<Event> evs(6);
+  std::vector<Event> evs(10);
   evs[0] = {"pml.send", "core", 1234567, 0, 8, 0, 3, 1, Phase::begin};
   evs[1] = {"pml.send", "core", 1240000, 0, 0, 0, 3, 1, Phase::end};
   evs[2] = {"ft.revoke", "ft", 1300000, 0, 0, 0, 3, 1, Phase::instant};
@@ -360,6 +360,17 @@ std::vector<Event> golden_events() {
             41,                 (3ull << 48) | 55,
             3,                  2,
             Phase::instant};
+  // Checkpoint spans: the encode (snapshot + redundancy) duration span on
+  // the rank thread, and the async drain span the background drainer
+  // closes — id = ((track+1) << 32) | epoch, v = epoch, v2 = blob bytes.
+  evs[6] = {"ckpt.encode", "ckpt", 3000000, 0, 0, 0, 3, 1, Phase::begin};
+  evs[7] = {"ckpt.encode", "ckpt", 3400000, 0, 0, 0, 3, 1, Phase::end};
+  evs[8] = {"ckpt.drain", "ckpt", 3500000, (4ull << 32) | 7,
+            7,            4242,   3,       2,
+            Phase::async_begin};
+  evs[9] = {"ckpt.drain", "ckpt", 4000000, (4ull << 32) | 7,
+            0,            0,      3,       2,
+            Phase::async_end};
   return evs;
 }
 
@@ -393,7 +404,7 @@ TEST(ObsJson, ParseRoundTripsTheWriter) {
   }
 
   const auto parsed = parse_trace_file(path);
-  ASSERT_EQ(parsed.size(), 6u);
+  ASSERT_EQ(parsed.size(), 10u);
   EXPECT_EQ(parsed[0].name, "pml.send");
   EXPECT_EQ(parsed[0].cat, "core");
   EXPECT_EQ(parsed[0].ph, 'B');
@@ -412,6 +423,19 @@ TEST(ObsJson, ParseRoundTripsTheWriter) {
   EXPECT_EQ(parsed[4].arg2, 4150u);
   EXPECT_EQ(parsed[5].arg, 41u);
   EXPECT_EQ(parsed[5].arg2, (3ull << 48) | 55);
+  // Checkpoint spans: encode is a plain duration pair with no args, and
+  // the drain async pair round-trips the ((track+1)<<32)|epoch id plus
+  // the epoch/bytes payload on the open edge.
+  EXPECT_EQ(parsed[6].ph, 'B');
+  EXPECT_FALSE(parsed[6].has_id);
+  EXPECT_EQ(parsed[7].ph, 'E');
+  EXPECT_EQ(parsed[8].ph, 'b');
+  EXPECT_TRUE(parsed[8].has_id);
+  EXPECT_EQ(parsed[8].id, (4ull << 32) | 7);
+  EXPECT_EQ(parsed[8].arg, 7u);
+  EXPECT_EQ(parsed[8].arg2, 4242u);
+  EXPECT_EQ(parsed[9].ph, 'e');
+  EXPECT_EQ(parsed[9].id, (4ull << 32) | 7);
 }
 
 TEST(ObsJson, ParseRejectsNonTraceFile) {
