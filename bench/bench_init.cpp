@@ -58,6 +58,134 @@ InitResult measure(int nodes, int ppn) {
   return r;
 }
 
+// --- 4k-16k scale cells (ISSUE: 10k-rank init scalability) ---------------
+//
+// One cell = one (nodes, ppn, sched, modex) configuration, timed over the
+// sessions-only path: Session_init + Group_from_pset + create_from_group,
+// then a one-neighbour ring exchange — the minimal "active peers" pattern
+// the lazy modex is sized for (each rank resolves exactly one endpoint) —
+// and a barrier. The world-model half of Figure 3 is deliberately skipped:
+// at 16k ranks an eager world modex is the O(n^2) behaviour this PR
+// removes, not a baseline worth waiting for.
+//
+// Cells are meant to run as separate invocations (--scale-nodes=N): VmHWM
+// is a process-lifetime high-water mark, so per-cell memory is only
+// meaningful when each cell owns the process.
+
+struct ScaleCell {
+  int nodes = 0, ppn = 0;
+  std::string sched, modex;
+  double sess_total_ms = 0, sess_handle_ms = 0, sess_comm_ms = 0;
+  double wall_s = 0;
+  std::uint64_t lazy_fetches = 0, cache_hits = 0, fiber_switches = 0;
+  long hwm_kib = 0;   // peak RSS: pages actually touched
+  long peak_kib = 0;  // peak address space: includes reserved rank stacks
+};
+
+ScaleCell scale_run(int nodes, int ppn, const std::string& sched,
+                    const std::string& modex) {
+  ScaleCell cell;
+  cell.nodes = nodes;
+  cell.ppn = ppn;
+  cell.sched = sched;
+  cell.modex = modex;
+  const auto fetches0 =
+      obs::pvar_read_counter("pmix.modex_lazy_fetches").value_or(0);
+  const auto hits0 =
+      obs::pvar_read_counter("pmix.modex_cache_hits").value_or(0);
+  const auto switches0 =
+      obs::pvar_read_counter("sim.fiber_switches").value_or(0);
+
+  RankSamples total, handle, comm_create;
+  base::Stopwatch wall;
+  run_cluster(nodes, ppn, [&](sim::Process&) {
+    base::Stopwatch sw;
+    Session s = Session::init();
+    const double t_handle = sw.elapsed_ms();
+    Group g = s.group_from_pset("mpi://world");
+    Communicator c = Communicator::create_from_group(g, "scale_init");
+    const double t_total = sw.elapsed_ms();
+    handle.add(t_handle);
+    comm_create.add(t_total - t_handle);
+    total.add(t_total);
+
+    const int n = c.size();
+    const int me = c.rank();
+    std::int32_t token = me, from_left = -1;
+    c.sendrecv(&token, 1, Datatype::int32(), (me + 1) % n, 7, &from_left, 1,
+               Datatype::int32(), (me + n - 1) % n, 7);
+    if (from_left != (me + n - 1) % n) {
+      throw Error(ErrClass::other, "scale ring token mismatch");
+    }
+    c.barrier();
+    c.free();
+    s.finalize();
+  });
+
+  cell.wall_s = wall.elapsed_ms() / 1000.0;
+  cell.sess_total_ms = total.mean();
+  cell.sess_handle_ms = handle.mean();
+  cell.sess_comm_ms = comm_create.mean();
+  cell.lazy_fetches =
+      obs::pvar_read_counter("pmix.modex_lazy_fetches").value_or(0) - fetches0;
+  cell.cache_hits =
+      obs::pvar_read_counter("pmix.modex_cache_hits").value_or(0) - hits0;
+  cell.fiber_switches =
+      obs::pvar_read_counter("sim.fiber_switches").value_or(0) - switches0;
+  cell.hwm_kib = read_proc_status_kib("VmHWM");
+  cell.peak_kib = read_proc_status_kib("VmPeak");
+  return cell;
+}
+
+void print_scale_cell(const ScaleCell& c) {
+  const long n = static_cast<long>(c.nodes) * c.ppn;
+  std::cout << "SCALE_RESULT {\"bench\": \"bench_init\", \"nodes\": "
+            << c.nodes << ", \"ppn\": " << c.ppn << ", \"ranks\": " << n
+            << ", \"sched\": \"" << c.sched << "\", \"modex\": \"" << c.modex
+            << "\", \"sess_total_ms\": " << base::Table::fmt(c.sess_total_ms)
+            << ", \"sess_handle_ms\": " << base::Table::fmt(c.sess_handle_ms)
+            << ", \"sess_comm_ms\": " << base::Table::fmt(c.sess_comm_ms)
+            << ", \"wall_s\": " << base::Table::fmt(c.wall_s)
+            << ", \"modex_lazy_fetches\": " << c.lazy_fetches
+            << ", \"modex_cache_hits\": " << c.cache_hits
+            << ", \"fiber_switches\": " << c.fiber_switches
+            << ", \"vm_hwm_kib\": " << c.hwm_kib
+            << ", \"vm_peak_kib\": " << c.peak_kib << "}\n";
+}
+
+// CI gate: 4096 ranks, fibers + lazy modex, under a wall-clock budget, and
+// the lazy modex must stay O(active peers): the ring + barrier touch a
+// handful of endpoints per rank, so total fetches must sit in [n, 8n] —
+// orders of magnitude below the n^2 of a full modex.
+int smoke(int argc, char** argv) {
+  constexpr int kNodes = 64, kPpn = 64;
+  const double budget_s =
+      std::strtod(arg_value(argc, argv, "--budget=").value_or("120").c_str(),
+                  nullptr);
+  obs::cvar_write("sim.scheduler", "fibers");
+  obs::cvar_write("pmix.modex", "lazy");
+  const ScaleCell c = scale_run(kNodes, kPpn, "fibers", "lazy");
+  print_scale_cell(c);
+  const std::uint64_t n = static_cast<std::uint64_t>(kNodes) * kPpn;
+  bool ok = true;
+  if (c.wall_s > budget_s) {
+    std::cout << "SMOKE FAIL: wall " << base::Table::fmt(c.wall_s)
+              << "s exceeds budget " << budget_s << "s\n";
+    ok = false;
+  }
+  if (c.lazy_fetches < n || c.lazy_fetches > 8 * n) {
+    std::cout << "SMOKE FAIL: modex_lazy_fetches=" << c.lazy_fetches
+              << " outside [n, 8n] = [" << n << ", " << 8 * n
+              << "] (n^2 would be " << n * n << ")\n";
+    ok = false;
+  }
+  std::cout << (ok ? "SMOKE PASS" : "SMOKE FAIL") << ": " << n
+            << " ranks in " << base::Table::fmt(c.wall_s) << "s, "
+            << c.lazy_fetches << " lazy fetches (n=" << n << ", n^2 would be "
+            << n * n << "), peak RSS " << c.hwm_kib / 1024 << " MiB\n";
+  return ok ? 0 : 1;
+}
+
 void figure(const char* name, int ppn, const std::vector<int>& node_counts) {
   print_header(name,
                "osu_init-style startup cost, " + std::to_string(ppn) +
@@ -87,6 +215,28 @@ int main(int argc, char** argv) {
       sessmpi::bench::trace_dir_from_args(argc, argv);
   using namespace sessmpi;
   using namespace sessmpi::bench;
+  const auto [sched, modex] = apply_mode_flags(argc, argv);
+
+  if (flag_present(argc, argv, "--smoke")) {
+    std::cout << "bench_init --smoke: 4096-rank Session_init gate "
+                 "(fibers + lazy modex)\n";
+    const int rc = smoke(argc, argv);
+    print_counters_json("bench_init_smoke");
+    return rc;
+  }
+
+  if (auto nodes_arg = arg_value(argc, argv, "--scale-nodes=")) {
+    const int nodes = std::atoi(nodes_arg->c_str());
+    const int ppn =
+        std::atoi(arg_value(argc, argv, "--scale-ppn=").value_or("64").c_str());
+    std::cout << "bench_init scale cell: " << nodes << " nodes x " << ppn
+              << " ppn, sched=" << sched << ", modex=" << modex << "\n";
+    print_scale_cell(scale_run(nodes, ppn, sched, modex));
+    print_counters_json("bench_init_scale");
+    flush_trace(trace_dir, "bench_init_scale");
+    return 0;
+  }
+
   std::cout << "bench_init: reproduces Figure 3 (MPI startup overhead)\n";
   figure("Figure 3a: 1 MPI process per node", 1, {1, 2, 4, 8, 16});
   figure("Figure 3b: 28 MPI processes per node", 28, {1, 2, 4});

@@ -54,11 +54,13 @@ SessionCosts measure(int nodes, int ppn) {
 }  // namespace
 }  // namespace sessmpi::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sessmpi;
   using namespace sessmpi::bench;
+  const auto [sched, modex] = apply_mode_flags(argc, argv);
   std::cout << "bench_session_overhead: Session_init cost decomposition "
-               "(§III-B5 restructuring)\n";
+               "(§III-B5 restructuring), sched="
+            << sched << ", modex=" << modex << "\n";
   print_header("Session_init cost by position in the init cycle",
                "ms per Session_init; overlapping sessions share the live "
                "subsystems via reference counting.");
@@ -67,7 +69,17 @@ int main() {
   struct Shape {
     int nodes, ppn;
   };
-  for (Shape sh : {Shape{1, 8}, Shape{2, 8}, Shape{2, 28}}) {
+  // Default shapes mirror the paper table; `--scale-nodes=N [--scale-ppn=P]`
+  // swaps in one large cell so the sweep driver can push this ablation to
+  // 4k-16k ranks alongside bench_init.
+  std::vector<Shape> shapes{{1, 8}, {2, 8}, {2, 28}};
+  if (auto nodes_arg = arg_value(argc, argv, "--scale-nodes=")) {
+    shapes = {{std::atoi(nodes_arg->c_str()),
+               std::atoi(arg_value(argc, argv, "--scale-ppn=")
+                             .value_or("64")
+                             .c_str())}};
+  }
+  for (Shape sh : shapes) {
     const auto c = measure(sh.nodes, sh.ppn);
     t.add_row({std::to_string(sh.nodes), std::to_string(sh.ppn),
                base::Table::fmt(c.first_ms), base::Table::fmt(c.nth_ms, 4),

@@ -4,13 +4,16 @@
 // clusters, cross-rank timing collection, and paper-style table output.
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sessmpi/base/clock.hpp"
@@ -18,7 +21,10 @@
 #include "sessmpi/mpi.hpp"
 #include "sessmpi/obs/trace.hpp"
 #include "sessmpi/obs/trace_json.hpp"
+#include "sessmpi/obs/tvar.hpp"
+#include "sessmpi/pmix/client.hpp"
 #include "sessmpi/sim/cluster.hpp"
+#include "sessmpi/sim/scheduler.hpp"
 
 namespace sessmpi::bench {
 
@@ -87,6 +93,58 @@ inline void print_counters_json(const std::string& bench_name) {
             << "\", \"counters\": ";
   base::counters().print_json(std::cout);
   std::cout << "}\n";
+}
+
+/// Value of a `--key=value` argument, or nullopt.
+inline std::optional<std::string> arg_value(int argc, char** argv,
+                                            const char* prefix) {
+  const std::size_t len = std::strlen(prefix);
+  std::optional<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      out = argv[i] + len;
+    }
+  }
+  return out;
+}
+
+/// Apply `--sched=threads|fibers` and `--modex=eager|lazy` (if present) to
+/// the `sim.scheduler` / `pmix.modex` cvars, so one bench binary can be
+/// invoked once per sweep cell. Returns the effective {sched, modex} pair.
+inline std::pair<std::string, std::string> apply_mode_flags(int argc,
+                                                            char** argv) {
+  sim::register_scheduler_cvar();
+  pmix::register_modex_cvar();
+  if (auto v = arg_value(argc, argv, "--sched=")) {
+    if (!obs::cvar_write("sim.scheduler", *v)) {
+      std::cerr << "bad --sched=" << *v << " (threads|fibers)\n";
+      std::exit(2);
+    }
+  }
+  if (auto v = arg_value(argc, argv, "--modex=")) {
+    if (!obs::cvar_write("pmix.modex", *v)) {
+      std::cerr << "bad --modex=" << *v << " (eager|lazy)\n";
+      std::exit(2);
+    }
+  }
+  return {obs::cvar_read("sim.scheduler").value_or("?"),
+          obs::cvar_read("pmix.modex").value_or("?")};
+}
+
+/// Peak RSS ("VmHWM") or current RSS ("VmRSS") in KiB from
+/// /proc/self/status; 0 if unavailable (non-Linux). VmHWM is monotone over
+/// the process lifetime, so memory-density cells run as separate
+/// invocations.
+inline long read_proc_status_kib(const char* key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  const std::size_t len = std::strlen(key);
+  while (std::getline(in, line)) {
+    if (line.compare(0, len, key) == 0) {
+      return std::strtol(line.c_str() + len + 1, nullptr, 10);
+    }
+  }
+  return 0;
 }
 
 /// True if `name` appears among the args.

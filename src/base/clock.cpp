@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "sessmpi/base/yield.hpp"
+
 namespace sessmpi::base {
 
 void precise_delay(std::int64_t delay_ns) noexcept {
@@ -9,6 +11,15 @@ void precise_delay(std::int64_t delay_ns) noexcept {
     return;
   }
   const auto deadline = Clock::now() + Nanos(delay_ns);
+  if (cooperative()) {
+    // Fiber mode: sleeping would park the scheduler worker (and every fiber
+    // queued on it) for the whole modeled delay — yield instead so other
+    // ranks' delays overlap on the same core.
+    while (Clock::now() < deadline) {
+      try_yield();
+    }
+    return;
+  }
   if (delay_ns > kSpinThresholdNs) {
     // Sleep for all but the final spin window. sleep_for may overshoot by a
     // scheduler quantum; that is acceptable for the millisecond-scale costs

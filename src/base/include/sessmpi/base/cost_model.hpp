@@ -59,6 +59,10 @@ struct CostModel {
 
   // --- PMIx server-side costs ---------------------------------------------
   std::int64_t srv_rpc_ns = 400'000;            ///< client<->local-server RPC
+  std::int64_t modex_per_peer_ns = 150'000;     ///< unpack/store one peer's
+                                                ///< endpoint blob (eager modex
+                                                ///< pays this n times at init;
+                                                ///< lazy pays per first contact)
   std::int64_t fence_base_ns = 8'000'000;       ///< server all-to-all, base
   std::int64_t fence_per_node_ns = 4'000'000;   ///< per log2(servers) step
   std::int64_t group_construct_base_ns = 16'000'000; ///< PGCID group construct, base
@@ -140,6 +144,7 @@ struct CostModel {
     m.world_objects_init_ns = m.session_resource_init_ns = 0;
     m.session_handle_ns = 0;
     m.srv_rpc_ns = 0;
+    m.modex_per_peer_ns = 0;
     m.fence_base_ns = m.fence_per_node_ns = 0;
     m.group_construct_base_ns = m.group_construct_per_node_ns = 0;
     m.group_destruct_base_ns = 0;

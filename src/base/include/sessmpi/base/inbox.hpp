@@ -4,11 +4,15 @@
 // of every simulated process endpoint. Producers are other rank threads (and
 // runtime threads); the consumer is the owning rank's progress engine.
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "sessmpi/base/clock.hpp"
+#include "sessmpi/base/yield.hpp"
 
 namespace sessmpi::base {
 
@@ -35,9 +39,25 @@ class Inbox {
     return item;
   }
 
-  /// Blocking pop with timeout. Returns nullopt on timeout.
+  /// Blocking pop with timeout. Returns nullopt on timeout. Under a
+  /// cooperative scheduler the wait polls with yields instead of parking
+  /// the worker thread on the condition variable.
   template <typename Rep, typename Period>
   std::optional<T> pop_wait(std::chrono::duration<Rep, Period> timeout) {
+    if (cooperative()) {
+      const std::int64_t deadline =
+          now_ns() +
+          std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count();
+      for (;;) {
+        if (auto item = try_pop()) {
+          return item;
+        }
+        if (now_ns() >= deadline) {
+          return std::nullopt;
+        }
+        try_yield();
+      }
+    }
     std::unique_lock lock(mu_);
     if (!cv_.wait_for(lock, timeout, [&] { return !items_.empty(); })) {
       return std::nullopt;

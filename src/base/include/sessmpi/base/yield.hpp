@@ -1,0 +1,34 @@
+#pragma once
+
+// Cooperative-scheduling hook (DESIGN.md §15). When rank bodies run as
+// fibers on a task-pool scheduler (sim.scheduler=fibers) instead of one OS
+// thread each, every blocking point in the stack — modeled delays, inbox
+// waits, PMIx collective waits, shm spins — must hand the worker thread
+// back to the scheduler instead of sleeping it, or a handful of parked
+// fibers would stall thousands of runnable ones.
+//
+// The hook is thread-local: a scheduler worker installs it before resuming
+// a fiber and clears it when the fiber suspends, so code running on plain
+// OS threads (thread mode, the fabric pump, the ckpt drain worker) is
+// entirely unaffected. Blocking sites ask `cooperative()` and replace
+// their sleep/condition-wait with a `try_yield()` polling loop.
+
+namespace sessmpi::base {
+
+/// Called by `try_yield()` while a cooperative scheduler is driving the
+/// current thread. Must suspend the current fiber and return when it is
+/// next resumed.
+using YieldFn = void (*)(void*);
+
+/// Install/clear the cooperative yield hook for the current thread.
+void set_yield_hook(YieldFn fn, void* ctx) noexcept;
+void clear_yield_hook() noexcept;
+
+/// True while a cooperative scheduler drives the current thread.
+[[nodiscard]] bool cooperative() noexcept;
+
+/// Yield: to the cooperative scheduler when one is installed, otherwise to
+/// the OS (`std::this_thread::yield`). Safe to call from any thread.
+void try_yield() noexcept;
+
+}  // namespace sessmpi::base

@@ -1,0 +1,32 @@
+#include "sessmpi/base/yield.hpp"
+
+#include <thread>
+
+namespace sessmpi::base {
+
+namespace {
+thread_local YieldFn tls_yield_fn = nullptr;
+thread_local void* tls_yield_ctx = nullptr;
+}  // namespace
+
+void set_yield_hook(YieldFn fn, void* ctx) noexcept {
+  tls_yield_fn = fn;
+  tls_yield_ctx = ctx;
+}
+
+void clear_yield_hook() noexcept {
+  tls_yield_fn = nullptr;
+  tls_yield_ctx = nullptr;
+}
+
+bool cooperative() noexcept { return tls_yield_fn != nullptr; }
+
+void try_yield() noexcept {
+  if (tls_yield_fn != nullptr) {
+    tls_yield_fn(tls_yield_ctx);
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace sessmpi::base

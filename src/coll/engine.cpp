@@ -31,6 +31,7 @@
 
 #include "detail/state.hpp"
 #include "sessmpi/base/stats.hpp"
+#include "sessmpi/base/yield.hpp"
 #include "sessmpi/coll/plan.hpp"
 #include "sessmpi/coll/shm.hpp"
 #include "sessmpi/comm.hpp"
@@ -264,7 +265,7 @@ void spin(const Ctx& c, Pred&& ready) {
     if ((i & 1023u) == 1023u) {
       c.ps.progress_pass(false);  // keep floods/notices flowing while parked
     }
-    std::this_thread::yield();
+    base::try_yield();  // scheduler-aware: fibers hand the worker back
   }
 }
 

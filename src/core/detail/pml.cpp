@@ -229,9 +229,8 @@ void ProcState::handle_incoming(const std::shared_ptr<CommState>& comm,
   // overtaking arrival would show up here as a non-+1 step.
   static const auto seq_anomalies = base::counter("pml.seq_anomalies");
   if (pkt.match.seq != 0) {
-    if (pkt.match.src >= 0 &&
-        static_cast<std::size_t>(pkt.match.src) < comm->peers.size()) {
-      auto& peer = comm->peers[static_cast<std::size_t>(pkt.match.src)];
+    if (pkt.match.src >= 0 && pkt.match.src < comm->size()) {
+      auto& peer = comm->peer_at(pkt.match.src);
       if (pkt.match.seq != peer.recv_seq + 1) {
         seq_anomalies.add();
       }
@@ -331,7 +330,7 @@ void ProcState::dispatch(fabric::Packet&& pkt) {
         return;
       }
       std::shared_ptr<CommState> comm = it->second;
-      auto& peer = comm->peers[static_cast<std::size_t>(pkt.match.src)];
+      auto& peer = comm->peer_at(pkt.match.src);
       peer.remote_cid = pkt.ext.sender_cid;
       if (!peer.ack_sent) {
         peer.ack_sent = true;
@@ -353,8 +352,7 @@ void ProcState::dispatch(fabric::Packet&& pkt) {
       const ExCid id{pkt.ext.excid_hi, pkt.ext.excid_lo};
       auto it = comm_by_excid.find(id);
       if (it != comm_by_excid.end()) {
-        it->second->peers[static_cast<std::size_t>(pkt.match.src)].remote_cid =
-            pkt.ext.sender_cid;
+        it->second->peer_at(pkt.match.src).remote_cid = pkt.ext.sender_cid;
       }
       return;
     }
@@ -691,12 +689,40 @@ void ProcState::progress_until(const std::function<bool()>& done) {
 // Point-to-point primitives
 // ---------------------------------------------------------------------------
 
+void ProcState::resolve_endpoint(const std::shared_ptr<CommState>& comm,
+                                 int dst) {
+  {
+    std::lock_guard lock(mu);
+    if (comm->peer_at(dst).endpoint_resolved) {
+      return;
+    }
+  }
+  const base::Rank global = comm->global_of(dst);
+  if (global != proc.rank()) {
+    auto v = pmix().peer_info(global, "pml.endpoint");
+    if (!v.ok()) {
+      if (v.error() == ErrClass::rte_proc_failed) {
+        // Negative cache: the peer died before it ever published. Escalate
+        // instead of letting the first send block forever on a void peer.
+        throw Error(ErrClass::rte_proc_failed,
+                    "peer failed before first contact (modex)");
+      }
+      throw Error(v.error(), "peer endpoint resolution failed");
+    }
+  }
+  std::lock_guard lock(mu);
+  comm->peer_at(dst).endpoint_resolved = true;
+}
+
 RequestPtr ProcState::isend_impl(const std::shared_ptr<CommState>& comm,
                                  const void* buf, int count, const Datatype& dt,
                                  int dst, int tag, bool sync) {
   if (dst < 0 || dst >= comm->size()) {
     throw Error(ErrClass::rank, "send destination out of range");
   }
+  // Lazy modex: first contact with this peer fetches its endpoint blob
+  // (cache hit ever after; eager mode pre-populated the cache at init).
+  resolve_endpoint(comm, dst);
   RequestPtr req = make_request();
   req->ps = this;
   req->comm = comm.get();
@@ -723,7 +749,7 @@ RequestPtr ProcState::isend_impl(const std::shared_ptr<CommState>& comm,
     if (comm->revoked && !is_ft_tag(tag)) {
       throw Error(ErrClass::comm_revoked, "communicator has been revoked");
     }
-    auto& peer = comm->peers[static_cast<std::size_t>(dst)];
+    auto& peer = comm->peer_at(dst);
     pkt.match.seq = ++peer.send_seq;
     const bool need_ext = comm->uses_excid && peer.remote_cid < 0;
     if (need_ext) {

@@ -58,6 +58,12 @@ void ProcState::ensure_subsystems_defined() {
                        failure_notices.insert(ev.about);
                      }
                    });
+               // Publish our endpoint blob the moment the client exists:
+               // lazy-modex peers resolve it on first contact without any
+               // fence, so Session_init stays local (DESIGN.md §15).
+               proc.pmix_client->put(
+                   "pml.endpoint", static_cast<std::uint64_t>(proc.rank()));
+               proc.pmix_client->commit();
              },
              [this] { proc.pmix_client.reset(); }, {"mca"});
   reg.define("pml",
@@ -135,8 +141,8 @@ std::shared_ptr<CommState> ProcState::register_comm(
   comm->excid_space = space;
   comm->uses_excid = uses_excid;
   comm->method = method;
-  comm->peers.resize(static_cast<std::size_t>(grp.size()));
-  comm->acked.resize(static_cast<std::size_t>(grp.size()), 0);
+  // peers/acked are sparse (populated on contact / acknowledgement), so a
+  // 16k-member comm costs nothing per rank until traffic actually flows.
 
   if (comm_by_cid.size() <= cid) {
     comm_by_cid.resize(cid + 1);

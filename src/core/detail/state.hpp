@@ -238,7 +238,7 @@ struct CommState {
   bool revoked = false;         ///< revoke() observed: non-FT ops poisoned
   std::uint32_t ft_seq = 0;     ///< FT collective ordinal (agree/shrink tags)
   std::uint32_t ckpt_seq = 0;   ///< checkpoint collective ordinal (src/ckpt)
-  std::vector<std::uint8_t> acked;  ///< per comm rank: failure acknowledged
+  std::set<int> acked;          ///< comm ranks whose failure was acknowledged
 
   /// Revocation observers: hooks attached to this communicator that fire
   /// exactly once, on the thread that first observes the revocation (local
@@ -251,6 +251,7 @@ struct CommState {
   struct Peer {
     int remote_cid = -1;   ///< peer's local CID once learned (ACK/ext header)
     bool ack_sent = false; ///< we already told this peer our CID
+    bool endpoint_resolved = false;  ///< lazy-modex first-contact fetch done
     /// Per-(comm,peer) wire sequence numbers (MatchHeader::seq). The fabric's
     /// reliability sublayer guarantees exactly-once in-order delivery per
     /// (src,dst) flow; the matching engine cross-checks that guarantee by
@@ -259,7 +260,16 @@ struct CommState {
     std::uint32_t send_seq = 0;
     std::uint32_t recv_seq = 0;
   };
-  std::vector<Peer> peers;  ///< indexed by comm rank
+  /// Sparse peer table keyed by comm rank, populated on first contact. A
+  /// 16k-member communicator whose rank only ever talks to a few neighbors
+  /// holds a handful of entries — the dense n-entry vector per rank was
+  /// O(n^2) memory host-wide, the other half of the eager-modex problem.
+  std::unordered_map<int, Peer> peers;
+  Peer& peer_at(int r) { return peers[r]; }
+  [[nodiscard]] const Peer* peer_if(int r) const {
+    auto it = peers.find(r);
+    return it == peers.end() ? nullptr : &it->second;
+  }
 
   /// Monotonic stamp shared by posted receives and unexpected arrivals
   /// (each structure only ever compares stamps internally).
@@ -404,6 +414,12 @@ struct ProcState {
   /// runtime told *us*, which is what get_failed() reports).
   std::set<base::Rank> failure_notices;
 
+  /// Memoized pset->group resolution (DESIGN.md §15), keyed by the runtime
+  /// failure epoch at resolution time: a re-query after a failure rebuilds
+  /// (fault-aware membership), steady-state repeats are O(1) and every rank
+  /// shares the runtime's single snapshot vector via Group::of_shared.
+  std::map<std::string, std::pair<std::uint64_t, Group>> pset_groups;
+
   // --- access ----------------------------------------------------------------
   /// ProcState of a simulated process (created on demand).
   static ProcState& of(sim::Process& p);
@@ -430,6 +446,11 @@ struct ProcState {
   void dispatch(fabric::Packet&& pkt);
 
   // --- pt2pt primitives (comm ranks; callers hold no lock) -----------------
+  /// Lazy modex (DESIGN.md §15): make sure dst's endpoint blob has been
+  /// fetched and cached; first contact pays one dmodex get, repeats are
+  /// free. Throws Error(rte_proc_failed) if the peer died before it ever
+  /// published (negative cache) so a send cannot hang on a void peer.
+  void resolve_endpoint(const std::shared_ptr<CommState>& comm, int dst);
   RequestPtr isend_impl(const std::shared_ptr<CommState>& comm, const void* buf,
                         int count, const Datatype& dt, int dst, int tag,
                         bool sync);

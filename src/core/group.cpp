@@ -10,21 +10,76 @@ const Group& Group::empty() {
   return g;
 }
 
+Group::Group(std::shared_ptr<const std::vector<base::Rank>> m)
+    : members_(std::move(m)) {
+  const std::vector<base::Rank>& v = *members_;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] <= v[i - 1]) {
+      sorted_ = contig_ = false;
+      break;
+    }
+    if (v[i] != v[i - 1] + 1) {
+      contig_ = false;
+    }
+  }
+}
+
 Group Group::of(std::vector<base::Rank> members) {
-  std::set<base::Rank> unique(members.begin(), members.end());
-  if (unique.size() != members.size()) {
-    throw Error(ErrClass::group, "duplicate ranks in group");
+  // Strictly increasing input (world, pset snapshots, shrink survivors) is
+  // duplicate-free by construction; only unordered input pays the set-based
+  // dedupe check.
+  bool increasing = true;
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    if (members[i] <= members[i - 1]) {
+      increasing = false;
+      break;
+    }
+  }
+  if (!increasing) {
+    std::set<base::Rank> unique(members.begin(), members.end());
+    if (unique.size() != members.size()) {
+      throw Error(ErrClass::group, "duplicate ranks in group");
+    }
   }
   return Group{std::make_shared<const std::vector<base::Rank>>(std::move(members))};
+}
+
+Group Group::of_shared(
+    std::shared_ptr<const std::vector<base::Rank>> members) {
+  if (!members) {
+    throw Error(ErrClass::group, "null member vector");
+  }
+  Group g{std::move(members)};
+  if (!g.sorted_) {
+    std::set<base::Rank> unique(g.members_->begin(), g.members_->end());
+    if (unique.size() != g.members_->size()) {
+      throw Error(ErrClass::group, "duplicate ranks in group");
+    }
+  }
+  return g;
 }
 
 int Group::size() const noexcept { return static_cast<int>(members_->size()); }
 
 int Group::rank_of(base::Rank global) const noexcept {
-  auto it = std::find(members_->begin(), members_->end(), global);
-  return it == members_->end()
-             ? -1
-             : static_cast<int>(std::distance(members_->begin(), it));
+  const std::vector<base::Rank>& v = *members_;
+  if (v.empty()) {
+    return -1;
+  }
+  if (contig_) {
+    const base::Rank off = global - v.front();
+    return off >= 0 && off < static_cast<base::Rank>(v.size())
+               ? static_cast<int>(off)
+               : -1;
+  }
+  if (sorted_) {
+    auto it = std::lower_bound(v.begin(), v.end(), global);
+    return it != v.end() && *it == global
+               ? static_cast<int>(std::distance(v.begin(), it))
+               : -1;
+  }
+  auto it = std::find(v.begin(), v.end(), global);
+  return it == v.end() ? -1 : static_cast<int>(std::distance(v.begin(), it));
 }
 
 base::Rank Group::global_of(int r) const {

@@ -22,6 +22,13 @@ class Group {
   /// groups from sessions or communicators).
   static Group of(std::vector<base::Rank> members);
 
+  /// Adopt an existing shared member vector without copying. This is the
+  /// 10k-rank path: every rank resolving the same pset shares ONE runtime
+  /// snapshot vector instead of holding a private n-entry copy (n ranks x
+  /// n members would be O(n^2) memory host-wide). Duplicate members throw,
+  /// exactly as in of().
+  static Group of_shared(std::shared_ptr<const std::vector<base::Rank>> members);
+
   [[nodiscard]] int size() const noexcept;
   /// This process's rank within the group, or -1 if not a member
   /// (MPI_UNDEFINED analogue). `global` is the caller's global rank.
@@ -55,9 +62,13 @@ class Group {
   [[nodiscard]] Compare compare(const Group& other) const;
 
  private:
-  explicit Group(std::shared_ptr<const std::vector<base::Rank>> m)
-      : members_(std::move(m)) {}
+  explicit Group(std::shared_ptr<const std::vector<base::Rank>> m);
   std::shared_ptr<const std::vector<base::Rank>> members_;
+  // Shape flags (computed once at construction) feed rank_of fast paths:
+  // contiguous groups (world, pset snapshots) answer in O(1), sorted ones
+  // in O(log n); only arbitrarily-ordered groups pay the linear scan.
+  bool sorted_ = true;  ///< members strictly increasing
+  bool contig_ = true;  ///< members[i] == members[0] + i
 };
 
 }  // namespace sessmpi

@@ -121,11 +121,44 @@ Info Session::pset_info(const std::string& name) const {
 
 Group Session::group_from_pset(const std::string& name) const {
   const auto& s = checked(state_);
-  auto members = s->ps->pmix().query_pset_membership(name);
-  if (!members.ok()) {
-    s->errh.raise(ErrClass::arg, "unknown process set: " + name);
+  detail::ProcState& ps = *s->ps;
+  pmix::PmixClient& cli = ps.pmix();
+
+  // Memoized per failure epoch (DESIGN.md §15): a repeat resolution of the
+  // same pset is O(1) and skips the server RPC entirely; any accepted
+  // failure bumps the runtime epoch, so the fault-aware contract — re-query
+  // the pset after a failure, get the survivors — is preserved.
+  const std::uint64_t epoch = cli.runtime().failure_epoch();
+  {
+    std::lock_guard lock(ps.mu);
+    auto it = ps.pset_groups.find(name);
+    if (it != ps.pset_groups.end() && it->second.first == epoch) {
+      return it->second.second;
+    }
   }
-  return Group::of(members.value());
+
+  std::optional<Group> group;
+  if (name == pmix::kPsetSelf || name == pmix::kPsetShared) {
+    // Client-side builtins: small, node-local membership; no shared
+    // snapshot exists for them.
+    auto members = cli.query_pset_membership(name);
+    if (!members.ok()) {
+      s->errh.raise(ErrClass::arg, "unknown process set: " + name);
+    }
+    group = Group::of(std::move(members.value()));
+  } else {
+    // Runtime psets: adopt the runtime's shared snapshot vector, so 16k
+    // ranks resolving "world" hold one members vector between them.
+    auto snap = cli.pset_snapshot(name);
+    if (!snap.ok()) {
+      s->errh.raise(ErrClass::arg, "unknown process set: " + name);
+    }
+    group = Group::of_shared(snap.value());
+  }
+
+  std::lock_guard lock(ps.mu);
+  ps.pset_groups.insert_or_assign(name, std::make_pair(epoch, *group));
+  return *group;
 }
 
 ThreadLevel Session::thread_level() const { return checked(state_)->level; }

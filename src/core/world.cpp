@@ -15,20 +15,25 @@ using detail::ProcState;
 namespace detail {
 
 void init_world_objects(ProcState& ps) {
-  // Endpoint discovery: publish our connectivity blob and fence over the
-  // allocation with data collection (add_procs is local-only in modern Open
-  // MPI (§III-B1); the fence is what remains globally synchronizing).
+  // Endpoint discovery: our blob was published when the pmix subsystem came
+  // up (add_procs is local-only in modern Open MPI (§III-B1); the fence is
+  // what remains globally synchronizing). Under eager modex the fence
+  // collects data and every peer blob is prefetched behind it — the classic
+  // full modex, O(n) per rank. Under lazy modex (the default) the fence is
+  // a pure barrier and blobs are fetched on first contact (DESIGN.md §15).
   pmix::PmixClient& client = ps.pmix();
-  client.put("pml.endpoint", static_cast<std::uint64_t>(ps.proc.rank()));
-  client.commit();
+  const bool eager = pmix::modex_mode() == pmix::ModexMode::eager;
   const auto& topo = ps.proc.cluster().topology();
   std::vector<pmix::ProcId> world_procs(static_cast<std::size_t>(topo.size()));
   for (int i = 0; i < topo.size(); ++i) {
     world_procs[static_cast<std::size_t>(i)] = i;
   }
-  auto st = client.fence(world_procs, /*collect_data=*/true);
+  auto st = client.fence(world_procs, /*collect_data=*/eager);
   if (!st.ok()) {
     throw Error(st.cls, "world modex fence failed");
+  }
+  if (eager) {
+    client.prefetch_peer_info(world_procs, "pml.endpoint");
   }
 
   std::vector<base::Rank> everyone = world_procs;

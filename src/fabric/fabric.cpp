@@ -6,6 +6,7 @@
 #include "sessmpi/base/buffer_pool.hpp"
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/stats.hpp"
+#include "sessmpi/base/yield.hpp"
 #include "sessmpi/obs/hist.hpp"
 #include "sessmpi/obs/trace.hpp"
 #include "sessmpi/obs/tvar.hpp"
@@ -33,13 +34,9 @@ Fabric::Fabric(base::Topology topo, base::CostModel cost, ReliabilityConfig rel)
       failed_(static_cast<std::size_t>(topo.size())) {
   const auto n = static_cast<std::size_t>(topo_.size());
   endpoints_.reserve(n);
-  flows_.reserve(n * n);
   for (std::size_t i = 0; i < n; ++i) {
     endpoints_.push_back(std::make_unique<Endpoint>());
     failed_[i].store(false, std::memory_order_relaxed);
-  }
-  for (std::size_t i = 0; i < n * n; ++i) {
-    flows_.push_back(std::make_unique<Flow>());
   }
   // Expose the payload slab pool's effectiveness as an MPI_T-style gauge
   // (percent of acquires served from a freelist). Process-wide, registered
@@ -59,6 +56,50 @@ Fabric::~Fabric() {
   if (pump_.joinable()) {
     pump_.join();
   }
+}
+
+namespace {
+inline std::uint64_t flow_key(Rank src, Rank dst) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+}  // namespace
+
+Fabric::Flow& Fabric::flow(Rank src, Rank dst) {
+  const std::uint64_t key = flow_key(src, dst);
+  FlowShard& shard = flow_shards_[key % kFlowShards];
+  {
+    std::lock_guard lock(shard.mu);
+    auto it = shard.flows.find(key);
+    if (it != shard.flows.end()) {
+      return *it->second;
+    }
+  }
+  auto fresh = std::make_unique<Flow>(src, dst);
+  Flow* raw = fresh.get();
+  {
+    std::lock_guard lock(shard.mu);
+    auto [it, inserted] = shard.flows.emplace(key, std::move(fresh));
+    if (!inserted) {
+      return *it->second;  // lost the creation race
+    }
+  }
+  std::lock_guard lock(active_mu_);
+  active_.push_back(raw);
+  return *raw;
+}
+
+Fabric::Flow* Fabric::flow_if_exists(Rank src, Rank dst) noexcept {
+  const std::uint64_t key = flow_key(src, dst);
+  FlowShard& shard = flow_shards_[key % kFlowShards];
+  std::lock_guard lock(shard.mu);
+  auto it = shard.flows.find(key);
+  return it == shard.flows.end() ? nullptr : it->second.get();
+}
+
+std::vector<Fabric::Flow*> Fabric::active_flows() const {
+  std::lock_guard lock(active_mu_);
+  return active_;
 }
 
 Endpoint& Fabric::endpoint(Rank r) {
@@ -116,10 +157,9 @@ void Fabric::send(Packet&& packet) {
   // dropped), and ACK state that exists only in flight is exactly what
   // causes spurious retransmits. The pump's explicit flow_ack is the
   // ground truth; the piggyback just retires windows earlier for free.
-  {
-    Flow& rev = flow(dst, src);
-    std::lock_guard lock(rev.mu);
-    packet.flow.ack = rev.cum_delivered;
+  if (Flow* rev = flow_if_exists(dst, src)) {
+    std::lock_guard lock(rev->mu);
+    packet.flow.ack = rev->cum_delivered;
   }
   std::uint64_t seq = 0;
   std::int64_t rto_ns = 0;
@@ -279,10 +319,11 @@ void Fabric::deliver(Packet&& pkt) {
 // Pump: batched ACKs, timeout-driven retransmission, escalation
 // ---------------------------------------------------------------------------
 
-void Fabric::flush_ack(Rank src, Rank dst) {
+void Fabric::flush_ack(Flow& f) {
+  const Rank src = f.src;
+  const Rank dst = f.dst;
   Packet ack;
   {
-    Flow& f = flow(src, dst);
     std::lock_guard lock(f.mu);
     if (!f.ack_pending) {
       return;
@@ -336,7 +377,6 @@ void Fabric::escalate_unreachable(Rank dst) {
 }
 
 bool Fabric::pump_pass() {
-  const int n = topo_.size();
   const std::int64_t now = base::now_ns();
   const std::uint64_t pass = pump_passes_.load(std::memory_order_relaxed);
   bool busy = false;
@@ -359,46 +399,47 @@ bool Fabric::pump_pass() {
     deliver(std::move(p));
   }
 
-  for (Rank s = 0; s < n; ++s) {
-    for (Rank d = 0; d < n; ++d) {
-      Flow& f = flow(s, d);
-      bool escalate = false;
-      {
-        std::lock_guard lock(f.mu);
-        if (is_failed(d) || is_failed(s)) {
-          // A dead endpoint ends the flow: a crashed process neither
-          // retransmits nor fills receive-window gaps.
-          f.window.clear();
-          f.reorder.clear();
-          f.ack_pending = false;
+  // Only flows that have ever carried traffic exist: the scan is O(active
+  // peer pairs) per tick, not O(topo.size()^2).
+  const std::vector<Flow*> flows = active_flows();
+  for (Flow* fp : flows) {
+    Flow& f = *fp;
+    bool escalate = false;
+    {
+      std::lock_guard lock(f.mu);
+      if (is_failed(f.dst) || is_failed(f.src)) {
+        // A dead endpoint ends the flow: a crashed process neither
+        // retransmits nor fills receive-window gaps.
+        f.window.clear();
+        f.reorder.clear();
+        f.ack_pending = false;
+        continue;
+      }
+      for (auto& [seq, entry] : f.window) {
+        // Expiry needs the wall RTO AND two completed passes since the
+        // entry was (re)armed: every pass flushes every flow's ACKs, so
+        // anything delivered before the previous pass has been acked and
+        // erased by now — what's left is genuinely lost, not merely
+        // waiting on a starved pump.
+        if (!entry.deadline.expired(now) || pass < entry.armed_pass + 2) {
           continue;
         }
-        for (auto& [seq, entry] : f.window) {
-          // Expiry needs the wall RTO AND two completed passes since the
-          // entry was (re)armed: every pass flushes every flow's ACKs, so
-          // anything delivered before the previous pass has been acked and
-          // erased by now — what's left is genuinely lost, not merely
-          // waiting on a starved pump.
-          if (!entry.deadline.expired(now) || pass < entry.armed_pass + 2) {
-            continue;
-          }
-          if (entry.retries >= rel_.max_retries) {
-            escalate = true;
-            break;
-          }
-          ++entry.retries;
-          entry.rto_ns = std::min(entry.rto_ns * 2, rel_.rto_cap_ns);
-          // Parked while the copy below waits its turn on the wire; the
-          // retransmit loop re-arms it once its transmit returns.
-          entry.deadline.arm_never();
-          to_retransmit.push_back({entry.pkt, seq, entry.rto_ns});
+        if (entry.retries >= rel_.max_retries) {
+          escalate = true;
+          break;
         }
-        busy = busy || !f.window.empty() || !f.reorder.empty() ||
-               f.ack_pending;
+        ++entry.retries;
+        entry.rto_ns = std::min(entry.rto_ns * 2, rel_.rto_cap_ns);
+        // Parked while the copy below waits its turn on the wire; the
+        // retransmit loop re-arms it once its transmit returns.
+        entry.deadline.arm_never();
+        to_retransmit.push_back({entry.pkt, seq, entry.rto_ns});
       }
-      if (escalate) {
-        to_escalate.push_back(d);
-      }
+      busy = busy || !f.window.empty() || !f.reorder.empty() ||
+             f.ack_pending;
+    }
+    if (escalate) {
+      to_escalate.push_back(f.dst);
     }
   }
 
@@ -431,10 +472,8 @@ bool Fabric::pump_pass() {
     arm_entry(s, d, item.seq, item.rto_ns);
   }
 
-  for (Rank s = 0; s < n; ++s) {
-    for (Rank d = 0; d < n; ++d) {
-      flush_ack(s, d);
-    }
+  for (Flow* fp : flows) {
+    flush_ack(*fp);
   }
   pump_passes_.fetch_add(1, std::memory_order_relaxed);
   return busy || !held.empty();
@@ -456,7 +495,8 @@ bool Fabric::quiesce(std::chrono::nanoseconds timeout) {
       busy = !held_.empty();
     }
     if (!busy) {
-      busy = std::any_of(flows_.begin(), flows_.end(), [](const auto& f) {
+      const std::vector<Flow*> flows = active_flows();
+      busy = std::any_of(flows.begin(), flows.end(), [](const Flow* f) {
         std::lock_guard lock(f->mu);
         return !f->window.empty() || !f->reorder.empty() || f->ack_pending;
       });
@@ -467,13 +507,17 @@ bool Fabric::quiesce(std::chrono::nanoseconds timeout) {
     if (base::now_ns() >= deadline) {
       return false;
     }
-    std::this_thread::sleep_for(std::chrono::nanoseconds(rel_.tick_ns));
+    if (base::cooperative()) {
+      base::try_yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(rel_.tick_ns));
+    }
   }
 }
 
 std::uint64_t Fabric::unacked() const {
   std::uint64_t total = 0;
-  for (const auto& f : flows_) {
+  for (const Flow* f : active_flows()) {
     std::lock_guard lock(f->mu);
     total += f->window.size();
   }

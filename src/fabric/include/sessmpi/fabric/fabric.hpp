@@ -18,6 +18,7 @@
 // arrivals in a reorder buffer, so the pt2pt matching engine above never
 // sees a duplicate or an overtaking message.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -25,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "sessmpi/base/backoff.hpp"
@@ -191,7 +193,10 @@ class Fabric {
   /// the pump). One mutex guards both; it is never held across a wire
   /// delay, another flow's mutex, or an inbox wait.
   struct Flow {
-    std::mutex mu;
+    Flow(Rank s, Rank d) : src(s), dst(d) {}
+    const Rank src;
+    const Rank dst;
+    mutable std::mutex mu;
     // --- tx (packets src -> dst) ---
     std::uint64_t next_seq = 1;
     struct Unacked {
@@ -214,11 +219,17 @@ class Fabric {
     bool ack_pending = false;  ///< new data since the last ACK we emitted
   };
 
-  Flow& flow(Rank src, Rank dst) noexcept {
-    return *flows_[static_cast<std::size_t>(src) *
-                       static_cast<std::size_t>(topo_.size()) +
-                   static_cast<std::size_t>(dst)];
-  }
+  /// Get-or-create the (src,dst) flow. Flows materialize on first touch:
+  /// preallocating topo.size()^2 of them costs tens of GB at 16k ranks,
+  /// while real traffic touches O(active peer pairs). Created flows are
+  /// never destroyed before the Fabric, so the returned reference (and the
+  /// pointers in active_) stay valid for the fabric's lifetime.
+  Flow& flow(Rank src, Rank dst);
+  /// Lookup without materializing (piggyback-ACK reads of the reverse
+  /// flow: if it never existed, there is nothing to acknowledge).
+  Flow* flow_if_exists(Rank src, Rank dst) noexcept;
+  /// Stable snapshot of every materialized flow (pump/quiesce iteration).
+  std::vector<Flow*> active_flows() const;
 
   /// Put `pkt` on the wire: charge the cost model on the calling thread,
   /// apply failure/chaos/reorder filters, and deliver on survival. Returns
@@ -235,10 +246,10 @@ class Fabric {
   /// Start the RTO clock on window entry `seq` after its transmit returned
   /// (no-op when the entry was acknowledged mid-wire).
   void arm_entry(Rank src, Rank dst, std::uint64_t seq, std::int64_t rto_ns);
-  /// Emit one flow_ack for flow (src,dst) if it has unacknowledged
-  /// deliveries. ACK wire time is not charged: ACKs model piggybacked /
-  /// NIC-offloaded reverse traffic (DESIGN.md §9).
-  void flush_ack(Rank src, Rank dst);
+  /// Emit one flow_ack for `f` if it has unacknowledged deliveries. ACK
+  /// wire time is not charged: ACKs model piggybacked / NIC-offloaded
+  /// reverse traffic (DESIGN.md §9).
+  void flush_ack(Flow& f);
   void pump_main();
   /// One pump pass over every flow; returns true if any state remains.
   bool pump_pass();
@@ -248,7 +259,19 @@ class Fabric {
   base::CostModel cost_;
   ReliabilityConfig rel_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  std::vector<std::unique_ptr<Flow>> flows_;  ///< topo.size()^2, row = src
+  /// Lazy flow table, sharded by (src,dst) hash to keep first-touch
+  /// creation off a single global lock. Values are heap-owned so Flow*
+  /// stays stable across rehashes.
+  static constexpr std::size_t kFlowShards = 64;
+  struct FlowShard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Flow>> flows;
+  };
+  std::array<FlowShard, kFlowShards> flow_shards_;
+  /// Append-only registry of every materialized flow; the pump iterates
+  /// this instead of all topo.size()^2 (src,dst) pairs.
+  mutable std::mutex active_mu_;
+  std::vector<Flow*> active_;
   std::vector<std::atomic<bool>> failed_;
   FilterSlot drop_filter_;
   FilterSlot reorder_filter_;

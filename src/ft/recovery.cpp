@@ -52,8 +52,7 @@ std::vector<int> Communicator::ack_failed() const {
   std::vector<int> newly;
   std::lock_guard lock(ps.mu);
   for (int r : failed) {
-    if (s->acked[static_cast<std::size_t>(r)] == 0) {
-      s->acked[static_cast<std::size_t>(r)] = 1;
+    if (s->acked.insert(r).second) {
       newly.push_back(r);
     }
   }

@@ -1,14 +1,25 @@
 #include "sessmpi/pmix/client.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_set>
 
 #include "sessmpi/base/clock.hpp"
+#include "sessmpi/base/stats.hpp"
+#include "sessmpi/base/yield.hpp"
 #include "sessmpi/obs/hist.hpp"
 #include "sessmpi/obs/trace.hpp"
+#include "sessmpi/obs/tvar.hpp"
 
 namespace sessmpi::pmix {
 
 namespace {
+
+std::atomic<int>& modex_flag() {
+  static std::atomic<int> mode{1};  // 0 = eager, 1 = lazy (the default)
+  return mode;
+}
 
 /// FNV-1a over the participant list: disambiguates concurrent collectives
 /// that share a tag but involve different process subsets.
@@ -21,19 +32,50 @@ std::uint64_t signature(const std::vector<ProcId>& procs) {
   return h;
 }
 
-/// Number of distinct nodes spanned by `procs`.
+/// Number of distinct nodes spanned by `procs`. Single O(n) pass — the
+/// find-per-proc variant was O(n * nodes), which dominated 16k-rank fences.
 int nodes_spanned(const base::Topology& topo, const std::vector<ProcId>& procs) {
-  std::vector<int> nodes;
+  std::unordered_set<int> nodes;
+  nodes.reserve(64);
   for (ProcId p : procs) {
-    const int n = topo.node_of(p);
-    if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
-      nodes.push_back(n);
-    }
+    nodes.insert(topo.node_of(p));
   }
   return static_cast<int>(nodes.size());
 }
 
 }  // namespace
+
+void register_modex_cvar() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    obs::register_cvar(
+        "pmix.modex",
+        "endpoint exchange: \"lazy\" (fetch-on-first-contact with per-rank "
+        "cache, default) or \"eager\" (full n-peer prefetch at init)",
+        [] {
+          return modex_flag().load(std::memory_order_acquire) == 0
+                     ? std::string("eager")
+                     : std::string("lazy");
+        },
+        [](const std::string& v) {
+          if (v == "eager") {
+            modex_flag().store(0, std::memory_order_release);
+            return true;
+          }
+          if (v == "lazy") {
+            modex_flag().store(1, std::memory_order_release);
+            return true;
+          }
+          return false;
+        });
+  });
+}
+
+ModexMode modex_mode() {
+  register_modex_cvar();
+  return modex_flag().load(std::memory_order_acquire) == 0 ? ModexMode::eager
+                                                           : ModexMode::lazy;
+}
 
 PmixClient::PmixClient(PmixRuntime& runtime, ProcId self)
     : runtime_(runtime), self_(self) {
@@ -91,6 +133,101 @@ base::Result<Value> PmixClient::get_immediate(ProcId proc,
   return *v;
 }
 
+base::Result<Value> PmixClient::peer_info(ProcId proc, const std::string& key,
+                                          base::Nanos timeout) {
+  static const auto cache_hits = base::counter("pmix.modex_cache_hits");
+  static const auto lazy_fetches = base::counter("pmix.modex_lazy_fetches");
+  {
+    std::lock_guard lock(modex_mu_);
+    if (peer_negative_.contains(proc)) {
+      cache_hits.add();
+      return base::ErrClass::rte_proc_failed;
+    }
+    auto pit = peer_cache_.find(proc);
+    if (pit != peer_cache_.end()) {
+      auto kit = pit->second.find(key);
+      if (kit != pit->second.end()) {
+        cache_hits.add();
+        return kit->second;
+      }
+    }
+  }
+
+  // Miss: one dmodex fetch. Delays are charged outside modex_mu_ so a
+  // cooperative yield never parks the cache lock.
+  OBS_SPAN("pmix.modex.lazy_fetch", "pmix");
+  lazy_fetches.add();
+  runtime_.server_of(self_).rpc_delay();
+  if (runtime_.topology().node_of(proc) != runtime_.topology().node_of(self_)) {
+    base::precise_delay(runtime_.cost().net_latency_ns);
+  }
+  base::precise_delay(runtime_.cost().modex_per_peer_ns);
+
+  const std::int64_t deadline =
+      base::now_ns() +
+      std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count();
+  for (;;) {
+    auto v = runtime_.datastore().get_immediate(proc, key);
+    if (v) {
+      std::lock_guard lock(modex_mu_);
+      peer_cache_[proc][key] = *v;
+      return *v;
+    }
+    // Checked after the lookup so a fetch racing the failure notice keeps
+    // any value it found (sends to it are then simply dropped, as before
+    // lazy modex); a dead peer whose blobs were never found — or were
+    // already purged by the notice — resolves to proc_failed.
+    if (runtime_.is_failed(proc)) {
+      std::lock_guard lock(modex_mu_);
+      peer_negative_.insert(proc);
+      return base::ErrClass::rte_proc_failed;
+    }
+    if (base::now_ns() >= deadline) {
+      return base::ErrClass::rte_timeout;
+    }
+    if (base::cooperative()) {
+      base::try_yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+void PmixClient::prefetch_peer_info(const std::vector<ProcId>& procs,
+                                    const std::string& key) {
+  OBS_SPAN_ARG("pmix.modex.prefetch", "pmix", procs.size());
+  // One RPC covers the bulk transfer; the per-peer unpack cost is what
+  // makes eager modex O(n) per rank.
+  runtime_.server_of(self_).rpc_delay();
+  std::int64_t uncached = 0;
+  for (ProcId p : procs) {
+    {
+      std::lock_guard lock(modex_mu_);
+      auto pit = peer_cache_.find(p);
+      if (pit != peer_cache_.end() && pit->second.contains(key)) {
+        continue;
+      }
+    }
+    auto v = runtime_.datastore().get_immediate(p, key);
+    if (v) {
+      std::lock_guard lock(modex_mu_);
+      peer_cache_[p][key] = *v;
+      ++uncached;
+    }
+  }
+  base::precise_delay(runtime_.cost().modex_per_peer_ns * uncached);
+}
+
+base::Result<std::shared_ptr<const std::vector<ProcId>>>
+PmixClient::pset_snapshot(const std::string& name) {
+  runtime_.server_of(self_).rpc_delay();
+  try {
+    return runtime_.pset_snapshot(name);
+  } catch (const base::Error&) {
+    return base::ErrClass::rte_not_found;
+  }
+}
+
 CollectiveEngine::Outcome PmixClient::hier_collective(
     const std::string& op_tag, const std::vector<ProcId>& participants,
     std::optional<base::Nanos> timeout,
@@ -113,19 +250,20 @@ CollectiveEngine::Outcome PmixClient::hier_collective(
     }
   }
   {
-    std::vector<int> seen;
+    // One O(n) pass: lowest participant per node. The previous rescan-per-
+    // new-node shape was O(n * nodes) — minutes of host time per collective
+    // at 16k participants.
+    std::unordered_map<int, ProcId> lowest_by_node;
+    lowest_by_node.reserve(64);
     for (ProcId p : participants) {
-      const int n = topo.node_of(p);
-      if (std::find(seen.begin(), seen.end(), n) == seen.end()) {
-        seen.push_back(n);
-        ProcId lowest = p;
-        for (ProcId q : participants) {
-          if (topo.node_of(q) == n && q < lowest) {
-            lowest = q;
-          }
-        }
-        delegates.push_back(lowest);
+      auto [it, inserted] = lowest_by_node.try_emplace(topo.node_of(p), p);
+      if (!inserted && p < it->second) {
+        it->second = p;
       }
+    }
+    delegates.reserve(lowest_by_node.size());
+    for (const auto& [node, lowest] : lowest_by_node) {
+      delegates.push_back(lowest);
     }
     std::sort(delegates.begin(), delegates.end());
   }

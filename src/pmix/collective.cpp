@@ -2,21 +2,59 @@
 
 #include <algorithm>
 
+#include "sessmpi/base/yield.hpp"
+
 namespace sessmpi::pmix {
 
 namespace {
 /// Poll slice while waiting: bounds how stale the failure oracle can be.
-/// Completion itself is notify-driven; this only schedules failure checks,
-/// so it is kept long to avoid wake-up storms at high rank counts.
+/// Completion itself is notify-driven (or, under a cooperative scheduler,
+/// observed through the lock-free `done` flag); this only schedules
+/// failure checks, so it is kept long to avoid wake-up storms at high rank
+/// counts.
 constexpr base::Nanos kPollSlice{10'000'000};  // 10 ms
 }  // namespace
 
-CollectiveEngine::CollectiveEngine(FailureOracle is_failed)
-    : is_failed_(std::move(is_failed)) {}
+CollectiveEngine::CollectiveEngine(FailureOracle is_failed, EpochFn failure_epoch)
+    : is_failed_(std::move(is_failed)), failure_epoch_(std::move(failure_epoch)) {}
 
 std::size_t CollectiveEngine::active_ops() const {
   std::lock_guard lock(mu_);
   return ops_.size();
+}
+
+bool CollectiveEngine::try_abort_locked(
+    const std::string& key, const std::shared_ptr<Op>& op,
+    const std::optional<base::Clock::time_point>& deadline) {
+  if (op->completed) {
+    return false;
+  }
+  const bool timed_out = deadline && base::Clock::now() >= *deadline;
+  bool peer_failed = false;
+  if (is_failed_) {
+    // With an epoch source the O(participants) scan runs only when a new
+    // failure was actually reported since the last scan of this op.
+    bool scan = true;
+    if (failure_epoch_) {
+      const std::uint64_t epoch = failure_epoch_();
+      scan = epoch != op->checked_epoch;
+      op->checked_epoch = epoch;
+    }
+    if (scan) {
+      peer_failed = std::any_of(op->participants.begin(),
+                                op->participants.end(), is_failed_);
+    }
+  }
+  if (!timed_out && !peer_failed) {
+    return false;
+  }
+  op->completed = true;
+  op->status = base::RtStatus::fail(peer_failed ? base::ErrClass::rte_proc_failed
+                                                : base::ErrClass::rte_timeout);
+  aborted_[key] = op->status.cls;
+  op->done.store(true, std::memory_order_release);
+  op->cv.notify_all();
+  return true;
 }
 
 CollectiveEngine::Outcome CollectiveEngine::arrive(
@@ -34,6 +72,9 @@ CollectiveEngine::Outcome CollectiveEngine::arrive(
   if (!slot) {
     slot = std::make_shared<Op>();
     slot->participants = participants;
+    // A participant may have died before the op existed: the sentinel
+    // differs from every real epoch, forcing one initial full scan.
+    slot->checked_epoch = ~0ull;
   }
   std::shared_ptr<Op> op = slot;
   if (op->participants != participants) {
@@ -45,32 +86,45 @@ CollectiveEngine::Outcome CollectiveEngine::arrive(
     op->completed = true;
     op->status = base::RtStatus::success();
     op->value = on_complete ? on_complete() : 0;
+    op->done.store(true, std::memory_order_release);
     op->cv.notify_all();
   } else {
     const auto deadline =
         timeout ? std::optional{base::Clock::now() + *timeout} : std::nullopt;
-    while (!op->completed) {
-      auto slice_end = base::Clock::now() + kPollSlice;
-      if (deadline && *deadline < slice_end) {
-        slice_end = *deadline;
+    if (base::cooperative()) {
+      // Fiber mode: never park the worker on the condition variable (that
+      // would strand every other fiber queued on it). Poll the lock-free
+      // completion flag, yielding between probes, and take the engine lock
+      // only at slice boundaries to run the abort checks.
+      while (!op->done.load(std::memory_order_acquire)) {
+        auto slice_end = base::Clock::now() + kPollSlice;
+        if (deadline && *deadline < slice_end) {
+          slice_end = *deadline;
+        }
+        lock.unlock();
+        while (!op->done.load(std::memory_order_acquire) &&
+               base::Clock::now() < slice_end) {
+          base::try_yield();
+        }
+        lock.lock();
+        if (try_abort_locked(key, op, deadline)) {
+          break;
+        }
       }
-      op->cv.wait_until(lock, slice_end);
-      if (op->completed) {
-        break;
-      }
-      // Abort paths. Only one thread performs the abort (completed flag).
-      const bool timed_out = deadline && base::Clock::now() >= *deadline;
-      const bool peer_failed =
-          is_failed_ && std::any_of(op->participants.begin(),
-                                    op->participants.end(), is_failed_);
-      if (timed_out || peer_failed) {
-        op->completed = true;
-        op->status = base::RtStatus::fail(peer_failed
-                                              ? base::ErrClass::rte_proc_failed
-                                              : base::ErrClass::rte_timeout);
-        aborted_[key] = op->status.cls;
-        op->cv.notify_all();
-        break;
+    } else {
+      while (!op->completed) {
+        auto slice_end = base::Clock::now() + kPollSlice;
+        if (deadline && *deadline < slice_end) {
+          slice_end = *deadline;
+        }
+        op->cv.wait_until(lock, slice_end);
+        if (op->completed) {
+          break;
+        }
+        // Abort paths. Only one thread performs the abort (completed flag).
+        if (try_abort_locked(key, op, deadline)) {
+          break;
+        }
       }
     }
   }

@@ -1,5 +1,7 @@
 #include "sessmpi/pmix/datastore.hpp"
 
+#include "sessmpi/base/yield.hpp"
+
 namespace sessmpi::pmix {
 
 void Datastore::put(ProcId proc, const std::string& key, Value value) {
@@ -41,8 +43,21 @@ std::optional<Value> Datastore::get_immediate(ProcId proc,
 
 std::optional<Value> Datastore::get(ProcId proc, const std::string& key,
                                     base::Nanos timeout) {
-  std::unique_lock lock(mu_);
   const auto deadline = base::Clock::now() + timeout;
+  if (base::cooperative()) {
+    // Fiber mode: poll under a short lock and yield unlocked — a
+    // condition-variable wait would park the scheduler worker.
+    for (;;) {
+      if (auto v = get_immediate(proc, key)) {
+        return v;
+      }
+      if (base::Clock::now() >= deadline) {
+        return std::nullopt;
+      }
+      base::try_yield();
+    }
+  }
+  std::unique_lock lock(mu_);
   for (;;) {
     auto pit = published_.find(proc);
     if (pit != published_.end()) {

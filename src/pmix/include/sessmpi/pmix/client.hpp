@@ -12,8 +12,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sessmpi/base/result.hpp"
@@ -26,6 +30,18 @@ struct GroupResult {
   ProcId leader = -1;
   std::vector<ProcId> members;
 };
+
+/// Modex strategy (`pmix.modex` cvar). eager = every rank prefetches every
+/// peer's endpoint blob behind the init fence (O(n) per rank, O(n^2) across
+/// the job — the classic full modex); lazy = endpoint blobs are fetched on
+/// first contact only and cached (O(active peers); DESIGN.md §15).
+enum class ModexMode { eager, lazy };
+
+/// Current mode from the `pmix.modex` cvar ("eager" | "lazy"; default lazy).
+[[nodiscard]] ModexMode modex_mode();
+
+/// Idempotent registration of the `pmix.modex` cvar.
+void register_modex_cvar();
 
 class PmixClient {
  public:
@@ -52,6 +68,30 @@ class PmixClient {
   /// waiting for the key to appear. Used by ckpt restore to probe a dead
   /// peer's committed-epoch metadata without a 5 s stall per dead rank.
   base::Result<Value> get_immediate(ProcId proc, const std::string& key);
+
+  // --- lazy modex (DESIGN.md §15) -----------------------------------------
+  /// Cached peer-info lookup: the per-rank modex cache answers repeats for
+  /// free (counter pmix.modex_cache_hits); a miss performs one lazy fetch
+  /// (counter pmix.modex_lazy_fetches, cost modex_per_peer_ns + RPC) and
+  /// waits — yielding under the cooperative scheduler — for the peer to
+  /// publish. A peer that died before ever publishing lands in the negative
+  /// cache and every call returns rte_proc_failed immediately, so a first
+  /// send to a dead rank escalates instead of hanging.
+  base::Result<Value> peer_info(ProcId proc, const std::string& key,
+                                base::Nanos timeout = std::chrono::seconds(2));
+  /// Eager-modex bulk prefetch: populate the cache for every `proc` (callers
+  /// guarantee all of them have already committed, e.g. behind the world
+  /// fence). Charges modex_per_peer_ns per uncached peer.
+  void prefetch_peer_info(const std::vector<ProcId>& procs,
+                          const std::string& key);
+
+  /// Shared pset-membership snapshot (one RPC): all ranks resolving the
+  /// same pset in the same failure epoch share ONE members vector owned by
+  /// the runtime — the O(n^2)-memory killer at 10k ranks. Fails with
+  /// rte_not_found for unknown psets; mpi://self and mpi://shared are
+  /// resolved client-side by query_pset_membership instead.
+  base::Result<std::shared_ptr<const std::vector<ProcId>>> pset_snapshot(
+      const std::string& name);
 
   // --- fence ---------------------------------------------------------------
   /// Collective barrier over `procs` (must contain self). Events queued for
@@ -123,6 +163,12 @@ class PmixClient {
   PmixRuntime& runtime_;
   ProcId self_;
   std::map<std::string, std::uint64_t> seq_;
+
+  // Lazy-modex caches. Guarded by modex_mu_ (per-rank; held only for map
+  // access, never across a modeled delay or scheduler yield).
+  std::mutex modex_mu_;
+  std::unordered_map<ProcId, std::map<std::string, Value>> peer_cache_;
+  std::unordered_set<ProcId> peer_negative_;  ///< died before first publish
 };
 
 }  // namespace sessmpi::pmix

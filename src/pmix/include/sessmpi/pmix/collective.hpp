@@ -10,6 +10,7 @@
 // both map the PMIx directives described in paper §III-A ("support a
 // time-out feature to avoid deadlock due to a non-responsive participant").
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -32,7 +33,12 @@ class CollectiveEngine {
   /// terminated without departing its collectives.
   using FailureOracle = std::function<bool(ProcId)>;
 
-  explicit CollectiveEngine(FailureOracle is_failed);
+  /// Monotonic failure-epoch source. When provided, the per-participant
+  /// failure scan while waiting only runs after the epoch moved — the
+  /// steady-state liveness check is O(1) instead of O(participants).
+  using EpochFn = std::function<std::uint64_t()>;
+
+  explicit CollectiveEngine(FailureOracle is_failed, EpochFn failure_epoch = {});
 
   struct Outcome {
     base::RtStatus status;
@@ -59,13 +65,24 @@ class CollectiveEngine {
     std::vector<ProcId> participants;
     std::size_t arrived = 0;
     std::size_t departed = 0;
-    bool completed = false;
+    bool completed = false;  ///< guarded by mu_
+    /// Lock-free mirror of `completed` so cooperative waiters can poll
+    /// without re-acquiring the engine mutex on every yield.
+    std::atomic<bool> done{false};
+    /// Failure epoch at the last participant scan (oracle gating).
+    std::uint64_t checked_epoch = 0;
     base::RtStatus status = base::RtStatus::success();
     std::uint64_t value = 0;
     std::condition_variable cv;
   };
 
+  /// Run the timeout/failure abort checks for `op` (mu_ held). Returns
+  /// true if the op was aborted by this call.
+  bool try_abort_locked(const std::string& key, const std::shared_ptr<Op>& op,
+                        const std::optional<base::Clock::time_point>& deadline);
+
   FailureOracle is_failed_;
+  EpochFn failure_epoch_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Op>> ops_;
   /// Keys of aborted operations and their error class; consulted by late

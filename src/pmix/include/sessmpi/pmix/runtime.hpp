@@ -115,6 +115,23 @@ class PmixRuntime {
   [[nodiscard]] bool is_failed(ProcId proc) const;
   [[nodiscard]] std::vector<ProcId> failed_procs() const;
 
+  /// Monotonic failure epoch: bumped once per accepted failure report.
+  /// Caches keyed on (thing, epoch) — pset snapshots, memoized pset->group
+  /// resolutions, collective failure-oracle gates — revalidate only when
+  /// this moves, making steady-state liveness checks O(1).
+  [[nodiscard]] std::uint64_t failure_epoch() const noexcept {
+    return failure_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Shared, failure-filtered membership snapshot for a named pset. All
+  /// askers at the same failure epoch receive the SAME vector (one
+  /// allocation per (pset, epoch), not one per rank — the difference
+  /// between O(n) and O(n^2) memory at 16k ranks). Throws rte_bad_param on
+  /// an unknown pset. kPsetSelf/kPsetShared are per-asker and must be
+  /// resolved by the client, not here.
+  [[nodiscard]] std::shared_ptr<const std::vector<ProcId>> pset_snapshot(
+      const std::string& name);
+
  private:
   base::Topology topo_;
   base::CostModel cost_;
@@ -129,6 +146,15 @@ class PmixRuntime {
   std::atomic<std::uint64_t> next_pgcid_{1};
   mutable std::mutex failed_mu_;
   std::vector<ProcId> failed_;
+  /// Dense O(1) lock-free mirror of failed_ (hot-path is_failed checks).
+  std::unique_ptr<std::atomic<bool>[]> failed_flags_;
+  std::atomic<std::uint64_t> failure_epoch_{0};
+  struct PsetSnapshot {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const std::vector<ProcId>> members;
+  };
+  std::mutex snap_mu_;
+  std::map<std::string, PsetSnapshot> pset_snaps_;
 };
 
 /// Per-node PMIx server. Local client RPCs serialize through the server,
@@ -149,7 +175,11 @@ class PmixServer {
  private:
   PmixRuntime& runtime_;
   int node_;
-  std::mutex rpc_mu_;
+  /// Lock-free serialization: each RPC reserves [start, start+cost) on the
+  /// server timeline via CAS and waits out its own slot. Equivalent wall
+  /// time to a mutex held across the delay, but never blocks a cooperative
+  /// scheduler worker on another rank's modeled delay.
+  std::atomic<std::int64_t> next_free_ns_{0};
   std::atomic<std::uint64_t> rpcs_{0};
 };
 

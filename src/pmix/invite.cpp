@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "sessmpi/base/clock.hpp"
+#include "sessmpi/base/yield.hpp"
+
 namespace sessmpi::pmix {
 
 base::RtStatus InviteBoard::open(const std::string& name, ProcId initiator,
@@ -79,7 +82,23 @@ base::Result<InviteStatus> InviteBoard::finalize(
         it->second.responses.begin(), it->second.responses.end(),
         [](const auto& kv) { return kv.second != InviteResponse::pending; });
   };
-  if (timeout) {
+  if (base::cooperative()) {
+    // Fiber mode: yield-poll instead of parking the scheduler worker.
+    const auto deadline =
+        timeout ? std::optional{base::Clock::now() + *timeout} : std::nullopt;
+    while (!answered()) {
+      if (deadline && base::Clock::now() >= *deadline) {
+        break;
+      }
+      lock.unlock();
+      base::try_yield();
+      lock.lock();
+      it = entries_.find(name);
+      if (it == entries_.end()) {
+        return base::ErrClass::rte_not_found;
+      }
+    }
+  } else if (timeout) {
     cv_.wait_for(lock, *timeout, answered);
   } else {
     cv_.wait(lock, answered);

@@ -11,7 +11,14 @@ namespace sessmpi::pmix {
 PmixRuntime::PmixRuntime(base::Topology topo, base::CostModel cost)
     : topo_(topo), cost_(cost) {
   collectives_ = std::make_unique<CollectiveEngine>(
-      [this](ProcId p) { return is_failed(p); });
+      [this](ProcId p) { return is_failed(p); },
+      [this] { return failure_epoch(); });
+  failed_flags_ =
+      std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(topo_.size()));
+  for (int i = 0; i < topo_.size(); ++i) {
+    failed_flags_[static_cast<std::size_t>(i)].store(false,
+                                                     std::memory_order_relaxed);
+  }
   servers_.reserve(static_cast<std::size_t>(topo_.num_nodes));
   for (int n = 0; n < topo_.num_nodes; ++n) {
     servers_.push_back(std::make_unique<PmixServer>(*this, n));
@@ -42,7 +49,14 @@ void PmixRuntime::notify_proc_failed(ProcId proc) {
       return;
     }
     failed_.push_back(proc);
+    if (topo_.valid_rank(proc)) {
+      failed_flags_[static_cast<std::size_t>(proc)].store(
+          true, std::memory_order_release);
+    }
   }
+  // Invalidate every (pset, epoch) snapshot and memoized pset->group
+  // resolution: the next re-query rebuilds against the survivor set.
+  failure_epoch_.fetch_add(1, std::memory_order_acq_rel);
   datastore_.purge(proc);
   // Raise proc_failed events to co-members of groups that requested
   // termination notification (paper §III-A).
@@ -85,8 +99,9 @@ void PmixRuntime::notify_proc_failed(ProcId proc) {
 }
 
 bool PmixRuntime::is_failed(ProcId proc) const {
-  std::lock_guard lock(failed_mu_);
-  return std::find(failed_.begin(), failed_.end(), proc) != failed_.end();
+  return topo_.valid_rank(proc) &&
+         failed_flags_[static_cast<std::size_t>(proc)].load(
+             std::memory_order_acquire);
 }
 
 std::vector<ProcId> PmixRuntime::failed_procs() const {
@@ -94,10 +109,59 @@ std::vector<ProcId> PmixRuntime::failed_procs() const {
   return failed_;
 }
 
+std::shared_ptr<const std::vector<ProcId>> PmixRuntime::pset_snapshot(
+    const std::string& name) {
+  // Epoch is sampled before the registry lookup: if a failure lands while
+  // we build, the stored snapshot carries the older epoch and the next
+  // asker rebuilds — never a stale-forever entry.
+  const std::uint64_t epoch = failure_epoch();
+  {
+    std::lock_guard lock(snap_mu_);
+    auto it = pset_snaps_.find(name);
+    if (it != pset_snaps_.end() && it->second.epoch == epoch) {
+      return it->second.members;
+    }
+  }
+  auto members = psets_.lookup(name);
+  if (!members) {
+    throw base::Error(base::ErrClass::rte_not_found, "unknown pset: " + name);
+  }
+  auto filtered = std::make_shared<std::vector<ProcId>>();
+  filtered->reserve(members->size());
+  for (ProcId p : *members) {
+    if (!is_failed(p)) {
+      filtered->push_back(p);
+    }
+  }
+  std::shared_ptr<const std::vector<ProcId>> snap = std::move(filtered);
+  std::lock_guard lock(snap_mu_);
+  auto& slot = pset_snaps_[name];
+  if (!slot.members || slot.epoch <= epoch) {
+    slot.epoch = epoch;
+    slot.members = snap;
+  }
+  return snap;
+}
+
 void PmixServer::rpc_delay() {
   rpcs_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard lock(rpc_mu_);
-  base::precise_delay(runtime_.cost().srv_rpc_ns);
+  const std::int64_t cost = runtime_.cost().srv_rpc_ns;
+  if (cost <= 0) {
+    return;
+  }
+  // Reserve this RPC's slot on the server timeline, then wait out our own
+  // reservation. Serialization cost is identical to the old mutex (the
+  // server is busy until `end`), but no thread ever sleeps holding a lock —
+  // a requirement for cooperative (fiber) rank scheduling.
+  const std::int64_t now = base::now_ns();
+  std::int64_t prev = next_free_ns_.load(std::memory_order_relaxed);
+  std::int64_t end = 0;
+  do {
+    end = std::max(now, prev) + cost;
+  } while (!next_free_ns_.compare_exchange_weak(prev, end,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed));
+  base::precise_delay(end - base::now_ns());
 }
 
 }  // namespace sessmpi::pmix

@@ -2,6 +2,7 @@
 
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/error.hpp"
+#include "sessmpi/base/yield.hpp"
 #include "sessmpi/obs/trace.hpp"
 
 namespace sessmpi::prte {
@@ -31,25 +32,33 @@ bool Dvm::load_components(int node) {
     throw base::Error(base::ErrClass::rte_bad_param, "invalid node");
   }
   NodeLoad& nl = *node_loads_[static_cast<std::size_t>(node)];
-  std::lock_guard lock(nl.mu);
-  if (nl.loaded) {
-    return false;
+  // Lock-free once-per-node state machine (0 = unloaded, 1 = loading,
+  // 2 = loaded): the old mutex was held across the multi-millisecond NFS
+  // delay, which would freeze a cooperative scheduler worker while its
+  // node-mates' fibers queue behind it. Now only the first process pays
+  // the delay; node-mates yield-wait on the flag.
+  int expected = 0;
+  if (nl.state.compare_exchange_strong(expected, 1,
+                                       std::memory_order_acq_rel)) {
+    // First process on the node pulls the component stack over NFS; the cost
+    // grows with allocation size because every node hits the filer at once.
+    OBS_SPAN_ARG("prte.nfs_load", "prte", static_cast<std::uint64_t>(node));
+    base::precise_delay(spec_.cost.nfs_load_cost(spec_.topo.num_nodes));
+    nl.state.store(2, std::memory_order_release);
+    return true;
   }
-  // First process on the node pulls the component stack over NFS; the cost
-  // grows with allocation size because every node hits the filer at once.
-  OBS_SPAN_ARG("prte.nfs_load", "prte", static_cast<std::uint64_t>(node));
-  base::precise_delay(spec_.cost.nfs_load_cost(spec_.topo.num_nodes));
-  nl.loaded = true;
-  return true;
+  while (nl.state.load(std::memory_order_acquire) != 2) {
+    base::try_yield();
+  }
+  return false;
 }
 
 bool Dvm::components_loaded(int node) const {
   if (node < 0 || node >= spec_.topo.num_nodes) {
     return false;
   }
-  NodeLoad& nl = *node_loads_[static_cast<std::size_t>(node)];
-  std::lock_guard lock(nl.mu);
-  return nl.loaded;
+  return node_loads_[static_cast<std::size_t>(node)]->state.load(
+             std::memory_order_acquire) == 2;
 }
 
 void Dvm::attach_process(pmix::ProcId proc) {

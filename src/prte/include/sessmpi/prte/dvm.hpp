@@ -8,8 +8,8 @@
 // per process lifetime: the first process to need them pays the NFS cost
 // while its node-mates block on the same load.
 
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -68,8 +68,8 @@ class Dvm {
   JobSpec spec_;
   pmix::PmixRuntime pmix_;
   struct NodeLoad {
-    std::mutex mu;
-    bool loaded = false;
+    /// 0 = unloaded, 1 = a process is loading, 2 = loaded.
+    std::atomic<int> state{0};
   };
   std::vector<std::unique_ptr<NodeLoad>> node_loads_;
 };

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "sessmpi/base/error.hpp"
+#include "sessmpi/base/yield.hpp"
 #include "sessmpi/pmix/pset.hpp"
 #include "sessmpi/sim/cluster.hpp"
 
@@ -29,7 +30,11 @@ class SenseBarrier {
       // leader, so back off briefly between checks. Detection latency stays
       // far below the sessions barrier's message rounds.
       while (sense_.load(std::memory_order_acquire) != *local_sense) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        if (base::cooperative()) {
+          base::try_yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
       }
     }
   }
@@ -129,7 +134,12 @@ void QuoContext::barrier() {
     // nanosleep so quiesced ranks yield the cores to the threaded phase.
     Request req = im.sess_comm.ibarrier();
     while (!req.test()) {
-      std::this_thread::sleep_for(std::chrono::nanoseconds(im.quiesce_sleep_ns));
+      if (base::cooperative()) {
+        base::try_yield();
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(im.quiesce_sleep_ns));
+      }
     }
   }
   ++im.barriers;

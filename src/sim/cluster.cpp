@@ -5,6 +5,7 @@
 #include "sessmpi/base/error.hpp"
 #include "sessmpi/base/log.hpp"
 #include "sessmpi/obs/trace.hpp"
+#include "sessmpi/sim/scheduler.hpp"
 
 namespace sessmpi::sim {
 
@@ -89,18 +90,12 @@ void Cluster::run_on(const std::vector<Rank>& ranks,
     std::exception_ptr error;
   };
   std::vector<Outcome> outcomes(ranks.size());
-  std::vector<std::thread> threads;
-  threads.reserve(ranks.size());
 
-  for (std::size_t i = 0; i < ranks.size(); ++i) {
-    const Rank r = ranks[i];
-    process(r);  // validate before spawning
-    threads.emplace_back([this, r, i, &outcomes, &rank_main] {
+  // The rank body is identical in both scheduling modes; only the carrier
+  // differs (dedicated OS thread vs pinned fiber).
+  const auto body_of = [this, &outcomes, &rank_main](std::size_t i, Rank r) {
+    return [this, r, i, &outcomes, &rank_main] {
       Process& proc = *procs_[static_cast<std::size_t>(r)];
-      tls_current = &proc;
-      // Rank threads own their merged-trace track: every probe this thread
-      // fires lands on rank r's timeline.
-      obs::Tracer::set_thread_track(r);
       try {
         dvm_.attach_process(r);
         rank_main(proc);
@@ -112,12 +107,47 @@ void Cluster::run_on(const std::vector<Rank>& ranks,
         aborted_.store(true, std::memory_order_release);
         proc.fail();
       }
-      obs::Tracer::set_thread_track(-1);
-      tls_current = nullptr;
-    });
-  }
-  for (auto& t : threads) {
-    t.join();
+    };
+  };
+
+  if (scheduler_mode() == SchedulerMode::fibers) {
+    std::vector<FiberTask> tasks(ranks.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      const Rank r = ranks[i];
+      Process* proc = &process(r);  // validate before scheduling
+      tasks[i].body = body_of(i, r);
+      // Rank TLS travels with the fiber: every resume rebinds the worker
+      // thread to this rank (Cluster::current(), merged-trace track);
+      // every suspend unbinds so scheduler code never impersonates a rank.
+      tasks[i].on_resume = [proc, r] {
+        tls_current = proc;
+        obs::Tracer::set_thread_track(r);
+      };
+      tasks[i].on_suspend = [] {
+        obs::Tracer::set_thread_track(-1);
+        tls_current = nullptr;
+      };
+    }
+    FiberPool::run(std::move(tasks));
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(ranks.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      const Rank r = ranks[i];
+      (void)process(r);  // validate before spawning
+      threads.emplace_back([this, r, body = body_of(i, r)] {
+        tls_current = procs_[static_cast<std::size_t>(r)].get();
+        // Rank threads own their merged-trace track: every probe this
+        // thread fires lands on rank r's timeline.
+        obs::Tracer::set_thread_track(r);
+        body();
+        obs::Tracer::set_thread_track(-1);
+        tls_current = nullptr;
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
   }
   for (auto& o : outcomes) {
     if (o.error) {

@@ -1,0 +1,96 @@
+// Thread-interleaving witness for the lazy-modex / memoized-pset paths
+// (run under ThreadSanitizer in CI): on every rank, several adopted
+// application threads issue Session_init + Group_from_pset concurrently —
+// racing each other over the per-process session refcount, the per-rank
+// modex cache, and the (failure-epoch keyed) memoized pset->group table —
+// while a whole node dies mid-run and bumps the failure epoch underneath
+// them. Every thread must observe a coherent world: group sizes only ever
+// shrink, and every post-failure re-query converges to the survivor set.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "../core/harness.hpp"
+#include "sessmpi/obs/tvar.hpp"
+#include "sessmpi/sim/scheduler.hpp"
+
+namespace sessmpi {
+namespace {
+
+TEST(ConcurrentSessions, AdoptedThreadsRaceEpochBumpFromNodeFailure) {
+  // Adopted threads are plain OS threads even in fiber mode; pin the
+  // scheduler to threads so the rank bodies that join them never park a
+  // fiber worker behind a helper that needs nothing from other ranks.
+  sim::register_scheduler_cvar();
+  ASSERT_TRUE(obs::cvar_write("sim.scheduler", "threads"));
+
+  constexpr int kNodes = 2, kPpn = 3;
+  constexpr int kHelpers = 3, kIters = 40;
+  const int world = kNodes * kPpn;
+  const int survivors = kPpn;  // node 1 dies whole
+  std::atomic<int> torn_reads{0};
+
+  testing::mpi_run(kNodes, kPpn, [&](sim::Process& p) {
+    if (p.node() == 1) {
+      // Victim node: race a few init/query cycles first so the epoch bump
+      // lands while survivors are mid-query, then die.
+      for (int i = 0; i < 4; ++i) {
+        Session s = Session::init();
+        (void)s.group_from_pset("mpi://world");
+        s.finalize();
+      }
+      p.fail();
+      return;
+    }
+
+    std::vector<std::thread> helpers;
+    helpers.reserve(kHelpers);
+    for (int t = 0; t < kHelpers; ++t) {
+      helpers.emplace_back([&p, world, survivors, &torn_reads] {
+        sim::ProcessAdopter adopt(p);
+        int last = world;
+        for (int i = 0; i < kIters; ++i) {
+          Session s = Session::init();
+          const Group g = s.group_from_pset("mpi://world");
+          const int size = g.size();
+          // Coherence: a snapshot is some prefix of the failure history —
+          // between full world and the survivor set, never growing back.
+          if (size > last || size < survivors) {
+            ++torn_reads;
+          }
+          last = size;
+          s.finalize();
+        }
+      });
+    }
+    for (auto& h : helpers) {
+      h.join();
+    }
+
+    // After the dust settles the memoized entry must re-key to the final
+    // epoch and return exactly the survivors.
+    Session s = Session::init();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    int size = -1;
+    for (;;) {
+      size = s.group_from_pset("mpi://world").size();
+      if (size == survivors ||
+          std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(size, survivors) << "rank " << p.rank();
+    s.finalize();
+  });
+
+  EXPECT_EQ(torn_reads.load(), 0);
+}
+
+}  // namespace
+}  // namespace sessmpi
