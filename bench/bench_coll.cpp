@@ -94,7 +94,7 @@ void run_sweep() {
   }
 }
 
-int run_smoke() {
+int run_smoke(int argc, char** argv) {
   constexpr int kNodes = 8;
   constexpr int kPpn = 8;
   constexpr std::size_t kBytes = 65536;
@@ -108,7 +108,11 @@ int run_smoke() {
   std::cout << "64-rank 64 KiB allreduce: flat " << base::Table::fmt(flat, 1)
             << " us, hier " << base::Table::fmt(hier, 1) << " us, speedup "
             << base::Table::fmt(flat / hier, 2) << "\n";
+  record_metric("hier_speedup", flat / hier, "higher");
+  record_metric("payload_copies", static_cast<double>(copies), "lower");
   print_counters_json("bench_coll");
+  print_metrics_json("bench_coll");
+  write_bench_json(argc, argv, "bench_coll");
 
   const bool fast_enough = hier * 2.0 <= flat;
   const bool zero_copy = copies == 0;
@@ -128,7 +132,7 @@ int main(int argc, char** argv) {
   std::cout << "bench_coll: hierarchical vs flat collectives "
                "(--smoke for the CI gate)\n";
   if (flag_present(argc, argv, "--smoke")) {
-    return run_smoke();
+    return run_smoke(argc, argv);
   }
   run_sweep();
   print_counters_json("bench_coll");

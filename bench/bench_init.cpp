@@ -179,6 +179,12 @@ int smoke(int argc, char** argv) {
               << "] (n^2 would be " << n * n << ")\n";
     ok = false;
   }
+  record_metric("wall_s", c.wall_s, "lower");
+  record_metric("lazy_fetches_per_rank",
+                static_cast<double>(c.lazy_fetches) / static_cast<double>(n),
+                "lower");
+  print_metrics_json("bench_init_smoke");
+  write_bench_json(argc, argv, "bench_init_smoke");
   std::cout << (ok ? "SMOKE PASS" : "SMOKE FAIL") << ": " << n
             << " ranks in " << base::Table::fmt(c.wall_s) << "s, "
             << c.lazy_fetches << " lazy fetches (n=" << n << ", n^2 would be "

@@ -224,6 +224,9 @@ int main(int argc, char** argv) {
     // sits far above this on any host).
     const double ratio = rows[2].directed_ns / rows[0].directed_ns;
     const bool pass = ratio <= 3.0;
+    bench::record_metric("depth_ratio", ratio, "lower");
+    bench::print_metrics_json("bench_matching");
+    bench::write_bench_json(argc, argv, "bench_matching");
     std::cout << "MATCH_SMOKE " << (pass ? "PASS" : "FAIL")
               << " (depth-256 / depth-1 = " << base::Table::fmt(ratio, 2)
               << ", budget 3.00)\n";

@@ -198,7 +198,7 @@ void figure(const char* title, int nprocs) {
 /// CI regression gate (`--smoke`): one 2-process run at the paper's 8-byte
 /// point, checking the three properties the message-path overhaul bought:
 /// the message rate itself, a zero-copy eager path, and buffer-pool reuse.
-int run_smoke() {
+int run_smoke(int argc, char** argv) {
   constexpr double kRateFloor = 8'000;  // seed main measured ~4.4k msg/s
   std::vector<double> rates;
   run_cluster(1, 2, [&](sim::Process& p) {
@@ -230,7 +230,12 @@ int run_smoke() {
             << "fabric.payload_copies: " << copies << " (must be 0)\n"
             << "buffer pool hit rate: " << base::Table::fmt(hit_rate * 100, 1)
             << "% (floor 50%)\n";
+  record_metric("msg_rate", rate, "higher");
+  record_metric("pool_hit_pct", hit_rate * 100.0, "higher");
+  record_metric("payload_copies", static_cast<double>(copies), "lower");
   print_counters_json("bench_mbw_mr");
+  print_metrics_json("bench_mbw_mr");
+  write_bench_json(argc, argv, "bench_mbw_mr");
   const bool ok = rate >= kRateFloor && copies == 0 && hit_rate >= 0.5;
   std::cout << (ok ? "MBW_SMOKE PASS\n" : "MBW_SMOKE FAIL\n");
   return ok ? 0 : 1;
@@ -245,7 +250,7 @@ int main(int argc, char** argv) {
   std::cout << "bench_mbw_mr: reproduces Figures 5b/5c (osu_mbw_mr message "
                "rate, MPI_Init vs Sessions)\n";
   if (flag_present(argc, argv, "--smoke")) {
-    return run_smoke();
+    return run_smoke(argc, argv);
   }
   figure("Figure 5b: 2 processes (1 pair) on one node", 2);
   figure("Figure 5c: 16 processes (8 pairs) on one node", 16);

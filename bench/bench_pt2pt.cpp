@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
                "smoke (--trace <dir>, --smoke)\n";
 
   const auto trace_dir = trace_dir_from_args(argc, argv);
+  const auto metrics_period = metrics_period_from_args(argc, argv);
   const bool smoke = flag_present(argc, argv, "--smoke");
   obs::Tracer& tracer = obs::Tracer::instance();
 
@@ -102,8 +103,14 @@ int main(int argc, char** argv) {
   t.add_row({"on", base::Table::fmt(lat_on_us, 3), base::Table::fmt(ratio, 3)});
   t.print(std::cout);
 
+  // Only the overhead *ratio* is baseline-gated: absolute latency is host
+  // noise, the on/off ratio is what the obs layer owns.
+  record_metric("overhead_ratio", ratio, "lower");
   print_counters_json("bench_pt2pt");
+  print_metrics_json("bench_pt2pt");
+  write_bench_json(argc, argv, "bench_pt2pt");
   flush_trace(trace_dir, "bench_pt2pt");
+  flush_metrics(metrics_period, trace_dir.value_or("."), "bench_pt2pt");
 
   if (smoke) {
     const bool pass = ratio <= 1.10;

@@ -19,6 +19,7 @@
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/mpi.hpp"
+#include "sessmpi/obs/sampler.hpp"
 #include "sessmpi/obs/trace.hpp"
 #include "sessmpi/obs/trace_json.hpp"
 #include "sessmpi/obs/tvar.hpp"
@@ -106,6 +107,107 @@ inline std::optional<std::string> arg_value(int argc, char** argv,
     }
   }
   return out;
+}
+
+/// One headline result a bench wants regression-gated. `better` says which
+/// direction is an improvement, so the gate in `report_merge --baseline`
+/// knows that a falling msg_rate is a regression but a falling latency is
+/// not.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  const char* better = "lower";  ///< "lower" | "higher"
+};
+
+inline std::vector<BenchMetric>& bench_metrics() {
+  static std::vector<BenchMetric> metrics;
+  return metrics;
+}
+
+/// Record one headline metric for this invocation. Printed by
+/// print_metrics_json and persisted by write_bench_json; names should be
+/// stable across runs — they are the join key against the checked-in
+/// BENCH_<bench>.json baselines.
+inline void record_metric(const std::string& name, double value,
+                          const char* better) {
+  bench_metrics().push_back({name, value, better});
+}
+
+inline void write_metrics_object(std::ostream& os) {
+  os << "{";
+  bool first = true;
+  for (const auto& m : bench_metrics()) {
+    os << (first ? "" : ", ") << "\"" << m.name << "\": {\"value\": "
+       << m.value << ", \"better\": \"" << m.better << "\"}";
+    first = false;
+  }
+  os << "}";
+}
+
+/// Tagged one-line JSON dump of the recorded headline metrics — the
+/// "METRICS_JSON " marker is what `report_merge --baseline` scans for.
+inline void print_metrics_json(const std::string& bench_name) {
+  if (bench_metrics().empty()) {
+    return;
+  }
+  std::cout << "METRICS_JSON {\"bench\": \"" << bench_name
+            << "\", \"metrics\": ";
+  write_metrics_object(std::cout);
+  std::cout << "}\n";
+}
+
+/// `--bench-json=<dir>`: write the recorded metrics as
+/// `<dir>/BENCH_<bench>.json`, the baseline file format consumed by
+/// `report_merge --baseline`. Refreshing a checked-in baseline is just
+/// re-running the bench with this flag pointed at bench/baselines/.
+inline void write_bench_json(int argc, char** argv,
+                             const std::string& bench_name) {
+  const auto dir = arg_value(argc, argv, "--bench-json=");
+  if (!dir || bench_metrics().empty()) {
+    return;
+  }
+  const std::string path = *dir + "/BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\"bench\": \"" << bench_name << "\", \"metrics\": ";
+  write_metrics_object(out);
+  out << "}\n";
+  std::cout << "BENCH_JSON=" << path << "\n";
+}
+
+/// `--metrics=<period_ms>`: start the background pvar sampler for the whole
+/// run (via the obs.metrics.period_ms cvar, so the same knob works outside
+/// the benches). Returns the period for flush_metrics' symmetry.
+inline std::optional<int> metrics_period_from_args(int argc, char** argv) {
+  const auto v = arg_value(argc, argv, "--metrics=");
+  if (!v) {
+    return std::nullopt;
+  }
+  if (!obs::cvar_write("obs.metrics.period_ms", *v)) {
+    std::cerr << "bad --metrics=" << *v << " (period in ms, 0..60000)\n";
+    std::exit(2);
+  }
+  return std::stoi(*v);
+}
+
+/// Stop the sampler and export the collected time-series as
+/// `<dir>/<bench>.metrics.jsonl` (one `{"ts_ns":..,"pvars":{..}}` object
+/// per line). Prints a `METRICS=<path>` marker like TRACE=/COUNTERS_JSON.
+inline void flush_metrics(const std::optional<int>& period,
+                          const std::string& dir,
+                          const std::string& bench_name) {
+  if (!period) {
+    return;
+  }
+  obs::MetricsSampler& sampler = obs::MetricsSampler::instance();
+  sampler.set_period_ms(0);
+  sampler.sample_now();  // final snapshot so even a short run has data
+  const std::string path = dir + "/" + bench_name + ".metrics.jsonl";
+  const std::size_t lines = sampler.write_jsonl(path);
+  std::cout << "METRICS=" << path << " (" << lines << " samples)\n";
 }
 
 /// Apply `--sched=threads|fibers` and `--modex=eager|lazy` (if present) to

@@ -29,6 +29,7 @@
 #include "sessmpi/ckpt/planner.hpp"
 #include "sessmpi/ft/ft.hpp"
 #include "sessmpi/obs/hist.hpp"
+#include "sessmpi/obs/postmortem.hpp"
 #include "sessmpi/obs/trace.hpp"
 #include "sessmpi/op.hpp"
 #include "sessmpi/prte/simfs.hpp"
@@ -194,6 +195,15 @@ std::uint64_t Checkpointer::save(const Communicator& comm) {
   const base::Rank my_global = s->global_of(me);
   const std::int64_t t0 = mono_ns();
   OBS_SPAN("ckpt.save", "ckpt");
+  // One distributed trace per save: partner exchange, redundancy-set and
+  // commit-vote messages all inherit this id (agree() nests its own scope
+  // for the vote itself, which composes — see ScopedFlowContext).
+  std::uint64_t save_flow = 0;
+  if (obs::Tracer::instance().enabled()) {
+    save_flow = obs::Tracer::next_span_id();
+    OBS_FLOW_START("ckpt.save", "ckpt", save_flow, 0);
+  }
+  obs::ScopedFlowContext save_flow_scope(save_flow);
 
   // A partner offset that is 0 mod n would self-partner — the "copy" lands
   // on the owner and dies with it. Refuse instead of silently saving with
@@ -1081,6 +1091,9 @@ RestoreResult Checkpointer::restore(const Communicator& comm) {
   std::uint64_t worst = 0;
   comm.allreduce(&bad, &worst, 1, datatype_of<std::uint64_t>(), Op::max());
   if (worst != 0) {
+    // Flight recorder: an unrecoverable restore is the end of the line for
+    // this job — capture the rings before unwinding destroys the evidence.
+    obs::trigger_postmortem("ckpt_unrecoverable_restore");
     throw Error(ErrClass::rte_not_found,
                 "ckpt: unrecoverable shard in epoch " + std::to_string(chosen) +
                     " (no surviving redundancy or durable spill)");

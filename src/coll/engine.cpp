@@ -1190,12 +1190,37 @@ void flat_alltoall(const Ctx& c, const void* sendbuf, int sendcount,
 
 }  // namespace
 
+namespace {
+
+/// Pins one span id for the duration of a collective entry point: every
+/// constituent message this rank sends (tree hops, token exchanges, leader
+/// fan-out) carries the op's id as its wire trace context, so the merged
+/// trace renders the whole collective as a single distributed flow rooted
+/// at this rank's coll.* slice (DESIGN.md §16). Delegating ops (allreduce's
+/// flat path, allgather) nest — each sub-op opens its own flow, and
+/// ScopedFlowContext restores the outer id on exit.
+struct CollFlow {
+  std::uint64_t id;
+  obs::ScopedFlowContext scope;
+  CollFlow(const char* name, std::uint64_t arg)
+      : id(obs::Tracer::instance().enabled() ? obs::Tracer::next_span_id()
+                                             : 0),
+        scope(id) {
+    if (id != 0) {
+      OBS_FLOW_START(name, "coll", id, arg);
+    }
+  }
+};
+
+}  // namespace
+
 // --- Communicator entry points ---------------------------------------------
 
 void Communicator::barrier() const {
   const auto& s = coll_state(state_);
   ProcState& ps = *s->ps;
   OBS_SPAN("coll.barrier", "coll");
+  const CollFlow flow("coll.barrier", 0);
   auto plan = coll::plan_for(ps, s);
   if (!hier_selected(*plan)) {
     pick("barrier", "flat");
@@ -1232,6 +1257,7 @@ void Communicator::bcast(void* buf, int count, const Datatype& dt,
   }
   const std::size_t bytes = static_cast<std::size_t>(count) * dt.extent();
   OBS_SPAN_ARG("coll.bcast", "coll", bytes);
+  const CollFlow flow("coll.bcast", bytes);
   auto plan = coll::plan_for(ps, s);
   const Ctx c = make_ctx(ps, s, *plan, next_seq(s));
   if (hier_selected(*plan)) {
@@ -1253,6 +1279,7 @@ void Communicator::reduce(const void* sendbuf, void* recvbuf, int count,
   }
   const std::size_t bytes = static_cast<std::size_t>(count) * dt.extent();
   OBS_SPAN_ARG("coll.reduce", "coll", bytes);
+  const CollFlow flow("coll.reduce", bytes);
   std::vector<std::byte> stage;
   const void* contrib = resolve_contrib(sendbuf, recvbuf, bytes, &stage);
   auto plan = coll::plan_for(ps, s);
@@ -1279,6 +1306,7 @@ void Communicator::allreduce(const void* sendbuf, void* recvbuf, int count,
   ProcState& ps = *s->ps;
   const std::size_t bytes = static_cast<std::size_t>(count) * dt.extent();
   OBS_SPAN_ARG("coll.allreduce", "coll", bytes);
+  const CollFlow flow("coll.allreduce", bytes);
   auto plan = coll::plan_for(ps, s);
   // Both legs of the branch are chosen from data identical on every member
   // (op, count, plan, the process-global algorithm knob), so no rank can
@@ -1315,6 +1343,7 @@ void Communicator::gather(const void* sendbuf, int sendcount,
           : static_cast<std::size_t>(sendcount) * sdt.extent();
   const std::size_t rslot = static_cast<std::size_t>(recvcount) * rdt.extent();
   OBS_SPAN_ARG("coll.gather", "coll", sbytes);
+  const CollFlow flow("coll.gather", sbytes);
   auto plan = coll::plan_for(ps, s);
   const Ctx c = make_ctx(ps, s, *plan, next_seq(s));
   if (hier_selected(*plan)) {
@@ -1347,6 +1376,7 @@ void Communicator::scatter(const void* sendbuf, int sendcount,
       root_in_place ? sslot
                     : static_cast<std::size_t>(recvcount) * rdt.extent();
   OBS_SPAN_ARG("coll.scatter", "coll", sslot);
+  const CollFlow flow("coll.scatter", sslot);
   auto plan = coll::plan_for(ps, s);
   const Ctx c = make_ctx(ps, s, *plan, next_seq(s));
   if (hier_selected(*plan)) {
@@ -1390,6 +1420,7 @@ void Communicator::alltoall(const void* sendbuf, int sendcount,
   const std::size_t sslot = static_cast<std::size_t>(sendcount) * sdt.extent();
   const std::size_t rslot = static_cast<std::size_t>(recvcount) * rdt.extent();
   OBS_SPAN_ARG("coll.alltoall", "coll", sslot);
+  const CollFlow flow("coll.alltoall", sslot);
   auto plan = coll::plan_for(ps, s);
   const Ctx c = make_ctx(ps, s, *plan, next_seq(s));
   if (hier_selected(*plan)) {
@@ -1409,6 +1440,7 @@ void Communicator::exscan(const void* sendbuf, void* recvbuf, int count,
   const int n = s->size();
   const std::size_t bytes = static_cast<std::size_t>(count) * dt.extent();
   OBS_SPAN_ARG("coll.exscan", "coll", bytes);
+  const CollFlow flow("coll.exscan", bytes);
   // IN_PLACE must be staged before the prefix overwrites recvbuf.
   std::vector<std::byte> stage;
   const void* contrib = resolve_contrib(sendbuf, recvbuf, bytes, &stage);
@@ -1458,6 +1490,7 @@ void Communicator::gatherv(const void* sendbuf, int sendcount,
     s->errh.raise(ErrClass::arg, "gatherv counts/displs size mismatch");
   }
   OBS_SPAN("coll.gatherv", "coll");
+  const CollFlow flow("coll.gatherv", 0);
   const int tag = detail::internal_tag(next_seq(s), 0);
   if (s->myrank == root) {
     auto* out = static_cast<std::byte*>(recvbuf);
@@ -1509,6 +1542,7 @@ void Communicator::scan(const void* sendbuf, void* recvbuf, int count,
   const int n = s->size();
   const std::size_t bytes = static_cast<std::size_t>(count) * dt.extent();
   OBS_SPAN_ARG("coll.scan", "coll", bytes);
+  const CollFlow flow("coll.scan", bytes);
   const int tag = detail::internal_tag(next_seq(s), 0);
 
   if (sendbuf != in_place) {

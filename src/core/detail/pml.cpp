@@ -4,6 +4,7 @@
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/obs/hist.hpp"
+#include "sessmpi/obs/postmortem.hpp"
 #include "sessmpi/obs/trace.hpp"
 #include "detail/state.hpp"
 
@@ -224,6 +225,13 @@ bool ProcState::match_against_unexpected(CommState& comm,
 void ProcState::handle_incoming(const std::shared_ptr<CommState>& comm,
                                 fabric::Packet&& pkt) {
   OBS_SPAN("pml.match", "core");
+  // Causal edge in: closes the flow the sender opened in isend_impl, so the
+  // merged view draws a send->match arrow across rank tracks. The fabric
+  // delivers exactly once (retransmits dedup at the flow layer), so each
+  // context yields exactly one flow_end.
+  if (pkt.match.trace_ctx != 0) {
+    OBS_FLOW_END("pml.msg", "core", pkt.match.trace_ctx);
+  }
   // Exactly-once cross-check of the fabric's reliable-delivery guarantee:
   // sends stamp MatchHeader::seq per (comm,peer), so a duplicate or
   // overtaking arrival would show up here as a non-+1 step.
@@ -426,7 +434,7 @@ void ProcState::dispatch(fabric::Packet&& pkt) {
         comm = comm_by_cid[pkt.match.cid];
       }
       if (comm && !comm->freed) {
-        revoke_comm_locked(comm, /*flood=*/true);
+        revoke_comm_locked(comm, /*flood=*/true, pkt.match.trace_ctx);
       }
       return;
     }
@@ -438,7 +446,7 @@ void ProcState::dispatch(fabric::Packet&& pkt) {
 // ---------------------------------------------------------------------------
 
 void ProcState::revoke_comm_locked(const std::shared_ptr<CommState>& comm,
-                                   bool flood) {
+                                   bool flood, std::uint64_t trace_ctx) {
   if (comm->revoked) {
     return;  // idempotent: also terminates the re-flood recursion
   }
@@ -449,6 +457,18 @@ void ProcState::revoke_comm_locked(const std::shared_ptr<CommState>& comm,
   comm->coll_plan.reset();
   base::counters().add("ft.comms_revoked");
   OBS_INSTANT_ARG("ft.revoked", "ft", flood ? 1 : 0);
+  obs::trigger_postmortem("comm_revoked");
+  // One distributed trace per revoke wave: the initiator opens the flow,
+  // every hop that re-floods adds a step with the same id, and the flood
+  // below stamps that id on each outgoing packet.
+  if (obs::Tracer::instance().enabled()) {
+    if (trace_ctx != 0) {
+      OBS_FLOW_STEP("ft.revoke", "ft", trace_ctx);
+    } else {
+      trace_ctx = obs::Tracer::next_span_id();
+      OBS_FLOW_START("ft.revoke", "ft", trace_ctx, 0);
+    }
+  }
 
   const auto poison = [](const RequestPtr& r, int source, int tag) {
     Status st;
@@ -561,6 +581,7 @@ void ProcState::revoke_comm_locked(const std::shared_ptr<CommState>& comm,
     } else {
       pkt.match.cid = comm->cid;
     }
+    pkt.match.trace_ctx = trace_ctx;
     fab.send(std::move(pkt));
   }
 }
@@ -751,6 +772,20 @@ RequestPtr ProcState::isend_impl(const std::shared_ptr<CommState>& comm,
     }
     auto& peer = comm->peer_at(dst);
     pkt.match.seq = ++peer.send_seq;
+    if (obs::Tracer::instance().enabled()) {
+      // Causal trace context (DESIGN.md §16): inside a collective the
+      // engine pins one shared id per op (ScopedFlowContext) so every
+      // constituent message joins the op's distributed trace; otherwise
+      // each message gets its own span id and opens its own flow here.
+      // With tracing off this branch never runs, trace_ctx stays 0, and
+      // the packet's modeled wire size is unchanged.
+      const std::uint64_t shared = obs::Tracer::flow_context();
+      pkt.match.trace_ctx =
+          shared != 0 ? shared : obs::Tracer::next_span_id();
+      if (shared == 0) {
+        OBS_FLOW_START("pml.msg", "core", pkt.match.trace_ctx, bytes);
+      }
+    }
     const bool need_ext = comm->uses_excid && peer.remote_cid < 0;
     if (need_ext) {
       // First messages on a sessions-derived communicator: prepend the

@@ -1,13 +1,52 @@
 #include "detail/state.hpp"
 
+#include <ostream>
+
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/log.hpp"
 
 namespace sessmpi::detail {
 
+namespace {
+
+/// Flight-recorder section body: this rank's communicator table plus the
+/// in-flight request maps, as one line of JSON. Runs on the dumping thread
+/// while rank threads may still be inside the PML, so it must not block:
+/// try_lock succeeds immediately when the dumping thread itself holds
+/// ps.mu (recursive — the revoke trigger fires under it) and degrades to a
+/// "busy" marker when another thread owns the state.
+void dump_proc_state(ProcState& ps, std::ostream& os) {
+  std::unique_lock lk(ps.mu, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    os << "{\"rank\":" << ps.proc.rank() << ",\"skipped\":\"busy\"}";
+    return;
+  }
+  os << "{\"rank\":" << ps.proc.rank() << ",\"comms\":[";
+  bool first = true;
+  for (const auto& c : ps.comm_by_cid) {
+    if (!c || c->freed) continue;
+    os << (first ? "" : ",") << "{\"cid\":" << c->cid
+       << ",\"size\":" << c->size() << ",\"myrank\":" << c->myrank
+       << ",\"revoked\":" << (c->revoked ? "true" : "false")
+       << ",\"posted\":" << c->posted.size()
+       << ",\"unexpected\":" << c->unexpected.size() << "}";
+    first = false;
+  }
+  os << "],\"send_tokens\":" << ps.send_tokens.size()
+     << ",\"recv_tokens\":" << ps.recv_tokens.size()
+     << ",\"nbc_live\":" << ps.nbc_live.size()
+     << ",\"orphans\":" << ps.orphans.size()
+     << ",\"failure_notices\":" << ps.failure_notices.size() << "}";
+}
+
+}  // namespace
+
 ProcState::ProcState(sim::Process& p)
     : proc(p), cost(p.cluster().dvm().cost()) {
   ensure_subsystems_defined();
+  pm_section = obs::PostmortemSection(
+      "core.rank" + std::to_string(p.rank()),
+      [this](std::ostream& os) { dump_proc_state(*this, os); });
 }
 
 ProcState& ProcState::of(sim::Process& p) {

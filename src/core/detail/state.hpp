@@ -27,6 +27,7 @@
 #include "sessmpi/constants.hpp"
 #include "sessmpi/excid.hpp"
 #include "sessmpi/fabric/fabric.hpp"
+#include "sessmpi/obs/postmortem.hpp"
 #include "sessmpi/session.hpp"
 #include "sessmpi/sim/cluster.hpp"
 
@@ -420,6 +421,12 @@ struct ProcState {
   /// shares the runtime's single snapshot vector via Group::of_shared.
   std::map<std::string, std::pair<std::uint64_t, Group>> pset_groups;
 
+  // --- observability --------------------------------------------------------
+  /// Flight-recorder hook (DESIGN.md §16): dumps this rank's communicator
+  /// and in-flight request tables into a postmortem bundle. Registered in
+  /// the constructor; the RAII member unregisters at teardown.
+  obs::PostmortemSection pm_section;
+
   // --- access ----------------------------------------------------------------
   /// ProcState of a simulated process (created on demand).
   static ProcState& of(sim::Process& p);
@@ -481,8 +488,12 @@ struct ProcState {
   /// Revoke `comm` (mu held): mark it, complete every pending non-FT
   /// operation with comm_revoked, and — when `flood` — reliably broadcast
   /// the revocation to all live peers (each receiver re-floods once, so the
-  /// wave survives the initiator dying mid-broadcast).
-  void revoke_comm_locked(const std::shared_ptr<CommState>& comm, bool flood);
+  /// wave survives the initiator dying mid-broadcast). `trace_ctx` is the
+  /// causal trace context of the incoming revoke packet (0 when we are the
+  /// initiator); the re-flood carries the same id so the whole wave renders
+  /// as one distributed trace.
+  void revoke_comm_locked(const std::shared_ptr<CommState>& comm, bool flood,
+                          std::uint64_t trace_ctx = 0);
 
  private:
   // Matching internals; all called with mu held.

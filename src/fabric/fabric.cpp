@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <mutex>
 
+#include <ostream>
+
 #include "sessmpi/base/buffer_pool.hpp"
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/base/yield.hpp"
 #include "sessmpi/obs/hist.hpp"
+#include "sessmpi/obs/postmortem.hpp"
 #include "sessmpi/obs/trace.hpp"
 #include "sessmpi/obs/tvar.hpp"
 
@@ -25,7 +28,53 @@ namespace {
          (static_cast<std::uint64_t>(dst) << 32) | (seq & 0xFFFFFFFFu);
 }
 
+/// Live fabrics, for the process-wide `fabric.flow.inflight` gauge and the
+/// flight-recorder flow-window section (several simulated clusters can
+/// coexist in one test binary). Fabrics deregister first thing in their
+/// destructor, so a reader holding reg.mu never sees a dying instance.
+struct FabricRegistry {
+  std::mutex mu;
+  std::vector<Fabric*> live;
+};
+
+FabricRegistry& fabric_registry() {
+  static FabricRegistry r;
+  return r;
+}
+
 }  // namespace
+
+void Fabric::dump_flow_windows(std::ostream& os) {
+  // Postmortem section: every flow that still has unacked or reordered
+  // packets — exactly the state that explains why a rank was declared
+  // unreachable. Runs with reg.mu held (blocks fabric teardown) and takes
+  // each flow's mutex briefly; callers of escalate_unreachable hold no
+  // flow locks, so the failure-path trigger cannot self-deadlock here.
+  FabricRegistry& reg = fabric_registry();
+  std::lock_guard lock(reg.mu);
+  std::uint64_t total_unacked = 0;
+  std::size_t total_flows = 0;
+  os << "{\"flows\":[";
+  bool first = true;
+  for (Fabric* fab : reg.live) {
+    for (const Flow* f : fab->active_flows()) {
+      std::lock_guard flock(f->mu);
+      ++total_flows;
+      total_unacked += f->window.size();
+      if (f->window.empty() && f->reorder.empty()) {
+        continue;
+      }
+      os << (first ? "" : ",") << "{\"src\":" << f->src
+         << ",\"dst\":" << f->dst << ",\"next_seq\":" << f->next_seq
+         << ",\"window\":" << f->window.size()
+         << ",\"cum_delivered\":" << f->cum_delivered
+         << ",\"reorder\":" << f->reorder.size() << "}";
+      first = false;
+    }
+  }
+  os << "],\"total_flows\":" << total_flows
+     << ",\"total_unacked\":" << total_unacked << "}";
+}
 
 Fabric::Fabric(base::Topology topo, base::CostModel cost, ReliabilityConfig rel)
     : topo_(topo),
@@ -38,20 +87,44 @@ Fabric::Fabric(base::Topology topo, base::CostModel cost, ReliabilityConfig rel)
     endpoints_.push_back(std::make_unique<Endpoint>());
     failed_[i].store(false, std::memory_order_relaxed);
   }
+  {
+    FabricRegistry& reg = fabric_registry();
+    std::lock_guard lock(reg.mu);
+    reg.live.push_back(this);
+  }
   // Expose the payload slab pool's effectiveness as an MPI_T-style gauge
   // (percent of acquires served from a freelist). Process-wide, registered
-  // once no matter how many simulated clusters exist.
+  // once no matter how many simulated clusters exist; same for the
+  // in-flight window gauge and the flight-recorder flow-window section,
+  // which sum over every live fabric via the registry.
   static std::once_flag pool_gauge_once;
   std::call_once(pool_gauge_once, [] {
     obs::register_pvar_gauge("fabric.pool_hit_rate", [] {
       return static_cast<std::uint64_t>(
           base::BufferPool::global().stats().hit_rate() * 100.0 + 0.5);
     });
+    obs::register_pvar_gauge("fabric.flow.inflight", [] {
+      FabricRegistry& reg = fabric_registry();
+      std::lock_guard lock(reg.mu);
+      std::uint64_t total = 0;
+      for (const Fabric* fab : reg.live) {
+        total += fab->unacked();
+      }
+      return total;
+    });
+    obs::register_postmortem_section("fabric.flows", Fabric::dump_flow_windows);
   });
   pump_ = std::thread([this] { pump_main(); });
 }
 
 Fabric::~Fabric() {
+  {
+    // Deregister before any teardown so the gauge/section never walk a
+    // half-destroyed instance.
+    FabricRegistry& reg = fabric_registry();
+    std::lock_guard lock(reg.mu);
+    std::erase(reg.live, this);
+  }
   stop_.store(true, std::memory_order_release);
   if (pump_.joinable()) {
     pump_.join();
@@ -366,6 +439,9 @@ void Fabric::escalate_unreachable(Rank dst) {
   escalations_counter.add();
   OBS_INSTANT_ON(dst, "fabric.rto_escalate", "fabric",
                  static_cast<std::uint64_t>(dst));
+  // Flight recorder: an unreachable verdict is a root-cause moment — dump
+  // before the unreachable callback cascades into revokes and sweeps.
+  obs::trigger_postmortem("rto_escalation");
   std::function<void(Rank)> cb;
   {
     std::lock_guard lock(unreachable_mu_);

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -185,6 +186,11 @@ class Fabric {
   }
   /// Sequenced packets currently awaiting acknowledgment (all flows).
   [[nodiscard]] std::uint64_t unacked() const;
+
+  /// Flight-recorder section body (obs::register_postmortem_section):
+  /// one-line JSON of every live fabric's flows that still hold unacked or
+  /// reordered packets — the state that explains an unreachable verdict.
+  static void dump_flow_windows(std::ostream& os);
 
  private:
   /// Directed per-(src,dst) flow state. tx_* is the sender-side unacked

@@ -44,8 +44,15 @@ struct MatchHeader {
   std::int32_t tag = 0;
   std::int32_t src = 0;    ///< source rank within the communicator
   std::uint32_t seq = 0;   ///< per (comm,peer) sequence number
+  /// Causal trace context (DESIGN.md §16): the sender-side span id this
+  /// message flows out of, carried as an optional 8-byte ext-header field.
+  /// 0 = absent, and absent costs zero wire bytes (header_bytes below), so
+  /// a run with tracing disabled is byte-identical on the wire.
+  std::uint64_t trace_ctx = 0;
 };
 inline constexpr std::size_t kMatchHeaderBytes = 14;
+/// Modeled bytes for a non-zero MatchHeader::trace_ctx.
+inline constexpr std::size_t kTraceCtxBytes = 8;
 
 /// Extended header for sessions-derived communicators (exCID + sender CID).
 struct ExtHeader {
@@ -96,25 +103,30 @@ struct Packet {
   /// Modeled wire header size in bytes (charged by the cost model). Every
   /// kind pays the flow header: sequenced packets carry seq + piggybacked
   /// ACK; flow_ack carries cum ACK + entry count + its selective entries.
+  /// A non-zero trace context adds kTraceCtxBytes on the kinds that can
+  /// carry one (message-bearing kinds + the revoke flood); with tracing
+  /// off, trace_ctx stays 0 and the modeled wire is unchanged.
   [[nodiscard]] std::size_t header_bytes() const noexcept {
+    const std::size_t tc = match.trace_ctx != 0 ? kTraceCtxBytes : 0;
     switch (kind) {
       case PacketKind::eager:
-        return kFlowHeaderBytes + kMatchHeaderBytes;
+        return kFlowHeaderBytes + kMatchHeaderBytes + tc;
       case PacketKind::eager_ext:
-        return kFlowHeaderBytes + kMatchHeaderBytes + kExtHeaderBytes;
+        return kFlowHeaderBytes + kMatchHeaderBytes + kExtHeaderBytes + tc;
       case PacketKind::rndv_rts:
-        return kFlowHeaderBytes + kMatchHeaderBytes + 8;  // + advertised size
+        return kFlowHeaderBytes + kMatchHeaderBytes + 8 + tc;  // + adv. size
       case PacketKind::rndv_rts_ext:
-        return kFlowHeaderBytes + kMatchHeaderBytes + kExtHeaderBytes + 8;
+        return kFlowHeaderBytes + kMatchHeaderBytes + kExtHeaderBytes + 8 + tc;
       case PacketKind::cid_ack:
         return kFlowHeaderBytes + kExtHeaderBytes + 2;  // exCID + receiver CID
       case PacketKind::rndv_cts:
       case PacketKind::sync_ack:
         return kFlowHeaderBytes + 8;  // token
       case PacketKind::rndv_data:
-        return kFlowHeaderBytes + 8 + kMatchHeaderBytes;
+        return kFlowHeaderBytes + 8 + kMatchHeaderBytes + tc;
       case PacketKind::comm_revoke:
-        return kFlowHeaderBytes + kExtHeaderBytes + 2;  // exCID + sender CID
+        // exCID + sender CID
+        return kFlowHeaderBytes + kExtHeaderBytes + 2 + tc;
       case PacketKind::flow_ack:
         return kFlowHeaderBytes + 2 + kSackEntryBytes * sack.size();
     }

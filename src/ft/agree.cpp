@@ -27,6 +27,7 @@
 #include "detail/state.hpp"
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/ft/ft.hpp"
+#include "sessmpi/obs/postmortem.hpp"
 #include "sessmpi/obs/trace.hpp"
 
 namespace sessmpi {
@@ -99,6 +100,15 @@ std::uint64_t Communicator::agree(std::uint64_t contribution) const {
   fabric::Fabric& fab = ps.proc.cluster().fabric();
   base::counters().add("ft.agrees");
   OBS_SPAN_ARG("ft.agree", "ft", contribution);
+  // One flow per participant: every vote push and result flood this rank
+  // sends carries the same span id, so the merged trace draws arrows from
+  // this agree slice into the coordinator's match and every flood target.
+  std::uint64_t agree_flow = 0;
+  if (obs::Tracer::instance().enabled()) {
+    agree_flow = obs::Tracer::next_span_id();
+    OBS_FLOW_START("ft.agree", "ft", agree_flow, contribution);
+  }
+  obs::ScopedFlowContext agree_flow_scope(agree_flow);
 
   const int n = s->size();
   const int me = s->myrank;
@@ -208,8 +218,12 @@ std::uint64_t Communicator::agree(std::uint64_t contribution) const {
       decided = watched;
       break;
     }
-    // Coordinator died; converge on the next lowest live rank.
+    // Coordinator died; converge on the next lowest live rank. This is the
+    // closest thing the protocol has to an "agreement timeout" (there is no
+    // timer — the failure sweep completes the watch), so it doubles as a
+    // flight-recorder trigger.
     base::counters().add("ft.agree_coordinator_deaths");
+    obs::trigger_postmortem("agree_coordinator_death");
   }
   } catch (...) {
     // A throw mid-protocol (self marked failed, cluster abort, or a test

@@ -1,0 +1,97 @@
+#pragma once
+
+// Failure flight recorder (DESIGN.md §16). When something goes wrong mid-run
+// (proc_failed, revoke, coordinator death during agreement, RTO escalation,
+// unrecoverable restore), the postmortem path freezes every thread's trace
+// ring, snapshots all pvars, and asks each registered subsystem section for
+// its in-flight state, writing the lot as a bundle:
+//
+//   <dir>/postmortem.json              manifest: reason, pvar snapshot,
+//                                      subsystem sections (one JSON per line)
+//   <dir>/postmortem.rank<N>.trace.json   last-N events of each rank's ring
+//   <dir>/postmortem.runtime.trace.json   unattributed runtime-thread events
+//
+// `tools/postmortem` pretty-prints a bundle; tools/trace_merge loads the
+// per-rank files like any other trace set.
+//
+// Triggering is disabled by default: `trigger_postmortem` is a no-op until
+// the `obs.postmortem.dir` cvar names a directory. Only the FIRST trigger
+// per process dumps (later ones count obs.postmortem.suppressed) — the
+// first failure is the interesting one, and the cascade that follows a
+// revoke must not re-freeze the world N times.
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace sessmpi::obs {
+
+/// Writes one single-line JSON value describing a subsystem's in-flight
+/// state (request tables, flow windows, ...). Called with the world frozen
+/// only in the sense that tracing is off — other threads still run, so the
+/// callback must take its own locks, and should prefer try_lock + a
+/// `{"skipped":"busy"}` placeholder over blocking on a lock a crashed peer
+/// might hold.
+using PostmortemSectionFn = std::function<void(std::ostream&)>;
+
+/// Register a named section; returns a token for unregistration. Sections
+/// appear in the manifest in registration order. Thread-safe.
+int register_postmortem_section(const std::string& name,
+                                PostmortemSectionFn fn);
+void unregister_postmortem_section(int token);
+
+/// RAII section registration (movable, not copyable). Default-constructed
+/// is empty; assignment from a registered one transfers ownership.
+class PostmortemSection {
+ public:
+  PostmortemSection() = default;
+  PostmortemSection(const std::string& name, PostmortemSectionFn fn)
+      : token_(register_postmortem_section(name, std::move(fn))) {}
+  ~PostmortemSection() { reset(); }
+  PostmortemSection(PostmortemSection&& other) noexcept
+      : token_(other.token_) {
+    other.token_ = -1;
+  }
+  PostmortemSection& operator=(PostmortemSection&& other) noexcept {
+    if (this != &other) {
+      reset();
+      token_ = other.token_;
+      other.token_ = -1;
+    }
+    return *this;
+  }
+  PostmortemSection(const PostmortemSection&) = delete;
+  PostmortemSection& operator=(const PostmortemSection&) = delete;
+
+ private:
+  void reset() {
+    if (token_ >= 0) {
+      unregister_postmortem_section(token_);
+      token_ = -1;
+    }
+  }
+  int token_ = -1;
+};
+
+/// Write a bundle under `dir` (created if needed): freeze the tracer, dump
+/// per-rank trace files plus the manifest, then restore the tracer to its
+/// pre-freeze state. Never throws; returns the manifest path, or "" if the
+/// bundle could not be written. Safe to call from any thread, including
+/// with subsystem locks held (section callbacks use try_lock).
+std::string dump_postmortem(const std::string& dir, const std::string& reason);
+
+/// Failure-path hook: dump a bundle into the configured directory. No-op
+/// unless `obs.postmortem.dir` is set; only the first trigger per process
+/// dumps (later triggers count obs.postmortem.suppressed). Never throws.
+void trigger_postmortem(const char* reason);
+
+/// Bundle directory for trigger_postmortem ("" = disabled). Exposed as the
+/// `obs.postmortem.dir` cvar.
+void set_postmortem_dir(const std::string& dir);
+std::string postmortem_dir();
+
+/// Re-arm the one-shot trigger (tests run many failure scenarios per
+/// process).
+void reset_postmortem_for_testing();
+
+}  // namespace sessmpi::obs

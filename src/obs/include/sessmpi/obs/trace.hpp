@@ -40,6 +40,9 @@ enum class Phase : std::uint8_t {
   async_begin,    ///< "b"
   async_instant,  ///< "n"
   async_end,      ///< "e"
+  flow_start,     ///< "s" — causal edge out of the enclosing slice
+  flow_step,      ///< "t" — intermediate hop (e.g. a revoke re-flood)
+  flow_end,       ///< "f" — causal edge into the enclosing slice
 };
 
 /// One trace event. Names and categories must be string literals (or
@@ -83,10 +86,22 @@ class TraceBuffer {
   /// Writer must be quiescent.
   void reset() noexcept { head_.store(0, std::memory_order_release); }
 
+  /// Dekker handshake with Tracer::freeze(): the owner marks the ring busy
+  /// (seq_cst) before re-checking `enabled`, so a freezer that disabled the
+  /// tracer (seq_cst) and then observes busy == false knows no write is in
+  /// flight and none can start. The release/acquire pair on clearing busy
+  /// gives the freezer happens-before over the final ring write.
+  void begin_write() noexcept { busy_.store(true, std::memory_order_seq_cst); }
+  void end_write() noexcept { busy_.store(false, std::memory_order_release); }
+  [[nodiscard]] bool busy() const noexcept {
+    return busy_.load(std::memory_order_acquire);
+  }
+
  private:
   std::vector<Event> ring_;
   std::uint32_t tid_;
   std::atomic<std::uint64_t> head_{0};
+  std::atomic<bool> busy_{false};
 };
 
 /// Process-wide tracer: owns every thread's ring (created lazily on first
@@ -138,6 +153,24 @@ class Tracer {
                      std::uint64_t id, std::uint64_t arg = 0);
   void async_end(std::int32_t track, const char* name, const char* cat,
                  std::uint64_t id);
+  /// Chrome flow events: a flow with one id draws causal arrows between the
+  /// slices enclosing its s/t/f points, across pids — how a send on rank 0
+  /// links to its match on rank 3 in the merged view. `id` is the span id
+  /// carried on the wire as the message's trace context.
+  void flow_start(const char* name, const char* cat, std::uint64_t id,
+                  std::uint64_t arg = 0);
+  void flow_step(const char* name, const char* cat, std::uint64_t id);
+  void flow_end(const char* name, const char* cat, std::uint64_t id);
+
+  /// Process-unique 64-bit span id (never 0; 0 means "no trace context").
+  [[nodiscard]] static std::uint64_t next_span_id() noexcept;
+
+  /// Thread-local flow context override: while non-zero, message-level
+  /// trace contexts allocated by the send path reuse this id instead of a
+  /// fresh one, so every message a rank sends inside one collective joins
+  /// that collective's single distributed trace. 0 = no override.
+  static void set_flow_context(std::uint64_t ctx) noexcept;
+  [[nodiscard]] static std::uint64_t flow_context() noexcept;
 
   /// All surviving events across all rings, sorted by timestamp.
   /// Writers must be quiescent (see file comment).
@@ -145,6 +178,17 @@ class Tracer {
 
   /// Drop all events (rings stay registered). Writers must be quiescent.
   void clear();
+
+  /// Flight-recorder stop-the-world: disable tracing and wait until every
+  /// ring's in-flight emission has drained, after which collect() is safe
+  /// even though writer threads are still running (they observe disabled
+  /// before touching their rings — see TraceBuffer::begin_write). Returns
+  /// whether tracing was enabled, for a later thaw(). Unlike collect()'s
+  /// usual quiescence contract, freeze() may be called mid-run — that is
+  /// the whole point of a postmortem dump.
+  bool freeze();
+  /// Resume after a freeze()+collect(): re-enables iff `re_enable`.
+  void thaw(bool re_enable) noexcept;
 
   /// Total events evicted by ring wraparound since the last clear().
   [[nodiscard]] std::uint64_t evicted() const;
@@ -185,6 +229,22 @@ class Span {
   const char* cat_ = nullptr;
 };
 
+/// RAII thread-local flow-context override (see Tracer::set_flow_context).
+/// Saves and restores, so nested scopes compose.
+class ScopedFlowContext {
+ public:
+  explicit ScopedFlowContext(std::uint64_t ctx) noexcept
+      : saved_(Tracer::flow_context()) {
+    Tracer::set_flow_context(ctx);
+  }
+  ~ScopedFlowContext() { Tracer::set_flow_context(saved_); }
+  ScopedFlowContext(const ScopedFlowContext&) = delete;
+  ScopedFlowContext& operator=(const ScopedFlowContext&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
 }  // namespace sessmpi::obs
 
 // --- probe macros -----------------------------------------------------------
@@ -204,6 +264,9 @@ class Span {
 #define OBS_ASYNC_BEGIN2(track, name, cat, id, arg, arg2) ((void)0)
 #define OBS_ASYNC_INSTANT(track, name, cat, id, arg) ((void)0)
 #define OBS_ASYNC_END(track, name, cat, id) ((void)0)
+#define OBS_FLOW_START(name, cat, id, arg) ((void)0)
+#define OBS_FLOW_STEP(name, cat, id) ((void)0)
+#define OBS_FLOW_END(name, cat, id) ((void)0)
 
 #else
 
@@ -231,5 +294,11 @@ class Span {
   ::sessmpi::obs::Tracer::instance().async_instant(track, name, cat, id, arg)
 #define OBS_ASYNC_END(track, name, cat, id) \
   ::sessmpi::obs::Tracer::instance().async_end(track, name, cat, id)
+#define OBS_FLOW_START(name, cat, id, arg) \
+  ::sessmpi::obs::Tracer::instance().flow_start(name, cat, id, arg)
+#define OBS_FLOW_STEP(name, cat, id) \
+  ::sessmpi::obs::Tracer::instance().flow_step(name, cat, id)
+#define OBS_FLOW_END(name, cat, id) \
+  ::sessmpi::obs::Tracer::instance().flow_end(name, cat, id)
 
 #endif  // SESSMPI_OBS_DISABLED

@@ -18,8 +18,11 @@
 //   {"name":"pml.send","cat":"core","ph":"B","ts":12.345,"pid":0,"tid":1},
 //   ...
 //   ]}
-// ts is microseconds (Chrome's unit) with nanosecond precision; async
-// events add "id":"0x..." and "scope" is implied by cat.
+// ts is microseconds (Chrome's unit) with nanosecond precision; async and
+// flow events add "id":"0x..." and "scope" is implied by cat. Flow events
+// (ph s/t/f) additionally carry "bp":"e" so Perfetto binds the causal
+// arrow to the enclosing slice (the pml.send/pml.match span), not to the
+// next slice on the track.
 
 #include <cstdint>
 #include <iosfwd>
@@ -73,7 +76,9 @@ std::vector<ParsedEvent> parse_trace_file(const std::string& path);
 /// Merge per-rank trace files into one Perfetto-loadable stream: applies
 /// each file's clock offset, rebases the earliest event to t=0, sorts by
 /// timestamp, and prepends process_name metadata ("rank N" / "runtime")
-/// so Perfetto labels the tracks. Returns the merged event count.
+/// so Perfetto labels the tracks. Missing, empty, or truncated inputs are
+/// skipped with a warning on stderr (a killed rank must not abort the
+/// merge of the survivors). Returns the merged event count.
 std::size_t merge_traces(const std::vector<std::string>& files,
                          std::ostream& out);
 

@@ -1,6 +1,7 @@
 #include "sessmpi/obs/trace.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "sessmpi/base/clock.hpp"
 
@@ -9,6 +10,11 @@ namespace sessmpi::obs {
 namespace {
 
 thread_local std::int32_t tls_track = -1;
+thread_local std::uint64_t tls_flow_ctx = 0;
+
+// Span-id allocator: process-wide so ids are unique across ranks in the
+// in-process sim (a receiver must never confuse two senders' contexts).
+std::atomic<std::uint64_t> g_next_span_id{1};
 
 // Per-thread ring handle. shared_ptr keeps the ring alive in the Tracer's
 // registry after the owning thread exits (sim rank threads are short-lived;
@@ -51,6 +57,16 @@ void Tracer::set_thread_track(std::int32_t track) noexcept {
 
 std::int32_t Tracer::thread_track() noexcept { return tls_track; }
 
+std::uint64_t Tracer::next_span_id() noexcept {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::set_flow_context(std::uint64_t ctx) noexcept {
+  tls_flow_ctx = ctx;
+}
+
+std::uint64_t Tracer::flow_context() noexcept { return tls_flow_ctx; }
+
 void Tracer::set_track_skew_ns(std::int32_t track, std::int64_t ns) noexcept {
   if (track >= 0 && track < kMaxSkewTracks) {
     g_track_skew_ns[track].store(ns, std::memory_order_relaxed);
@@ -91,6 +107,15 @@ TraceBuffer& Tracer::local_buffer() {
 void Tracer::emit(const char* name, const char* cat, Phase ph,
                   std::int32_t track, std::uint64_t id, std::uint64_t arg,
                   std::uint64_t arg2) {
+  TraceBuffer& buf = local_buffer();
+  // Dekker handshake with freeze(): publish busy (seq_cst), then re-check
+  // enabled (seq_cst). Either the freezer sees busy and waits for us, or we
+  // see disabled and back out — never a write racing the freeze-side read.
+  buf.begin_write();
+  if (!enabled_.load(std::memory_order_seq_cst)) {
+    buf.end_write();
+    return;
+  }
   Event ev;
   ev.name = name;
   ev.cat = cat;
@@ -100,9 +125,9 @@ void Tracer::emit(const char* name, const char* cat, Phase ph,
   ev.arg2 = arg2;
   ev.track = track;
   ev.phase = ph;
-  TraceBuffer& buf = local_buffer();
   ev.tid = buf.tid();
   buf.emit(ev);
+  buf.end_write();
 }
 
 void Tracer::begin(const char* name, const char* cat, std::uint64_t arg) {
@@ -146,6 +171,22 @@ void Tracer::async_end(std::int32_t track, const char* name, const char* cat,
   emit(name, cat, Phase::async_end, track, id, 0);
 }
 
+void Tracer::flow_start(const char* name, const char* cat, std::uint64_t id,
+                        std::uint64_t arg) {
+  if (!enabled()) return;
+  emit(name, cat, Phase::flow_start, tls_track, id, arg);
+}
+
+void Tracer::flow_step(const char* name, const char* cat, std::uint64_t id) {
+  if (!enabled()) return;
+  emit(name, cat, Phase::flow_step, tls_track, id, 0);
+}
+
+void Tracer::flow_end(const char* name, const char* cat, std::uint64_t id) {
+  if (!enabled()) return;
+  emit(name, cat, Phase::flow_end, tls_track, id, 0);
+}
+
 std::vector<Event> Tracer::collect() const {
   std::vector<Event> out;
   {
@@ -172,6 +213,26 @@ std::uint64_t Tracer::evicted() const {
   std::uint64_t total = 0;
   for (const auto& buf : buffers_) total += buf->evicted();
   return total;
+}
+
+bool Tracer::freeze() {
+  const bool was = enabled_.load(std::memory_order_relaxed);
+  enabled_.store(false, std::memory_order_seq_cst);
+  std::lock_guard lk(mu_);
+  // Holding mu_ also blocks new ring registration; a thread parked in
+  // local_buffer() will see disabled once it gets in, and back out.
+  for (const auto& buf : buffers_) {
+    while (buf->busy()) {
+      std::this_thread::yield();
+    }
+  }
+  return was;
+}
+
+void Tracer::thaw(bool re_enable) noexcept {
+  if (re_enable) {
+    enabled_.store(true, std::memory_order_release);
+  }
 }
 
 }  // namespace sessmpi::obs

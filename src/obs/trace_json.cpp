@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <ostream>
@@ -31,11 +32,19 @@ char phase_char(Phase ph) {
       return 'n';
     case Phase::async_end:
       return 'e';
+    case Phase::flow_start:
+      return 's';
+    case Phase::flow_step:
+      return 't';
+    case Phase::flow_end:
+      return 'f';
   }
   return 'i';
 }
 
 bool is_async(char ph) { return ph == 'b' || ph == 'n' || ph == 'e'; }
+
+bool is_flow(char ph) { return ph == 's' || ph == 't' || ph == 'f'; }
 
 /// Chrome wants microseconds; keep nanosecond precision as 3 decimals.
 std::string format_ts_us(std::int64_t ts_ns) {
@@ -57,7 +66,7 @@ void write_event_json(std::ostream& os, const Event& ev, int pid_override) {
      << "\",\"cat\":\"" << (ev.cat != nullptr ? ev.cat : "?")
      << "\",\"ph\":\"" << ph << "\",\"ts\":" << format_ts_us(ev.ts_ns)
      << ",\"pid\":" << pid << ",\"tid\":" << ev.tid;
-  if (is_async(ph)) {
+  if (is_async(ph) || is_flow(ph)) {
     char idbuf[24];
     std::snprintf(idbuf, sizeof idbuf, "0x%llx",
                   static_cast<unsigned long long>(ev.id));
@@ -70,6 +79,9 @@ void write_event_json(std::ostream& os, const Event& ev, int pid_override) {
   }
   if (ev.phase == Phase::instant) {
     os << ",\"s\":\"t\"";  // thread-scoped instant (draws as a tick)
+  }
+  if (is_flow(ph)) {
+    os << ",\"bp\":\"e\"";  // bind to enclosing slice, not the next one
   }
   os << "}";
 }
@@ -210,8 +222,15 @@ std::size_t merge_traces(const std::vector<std::string>& files,
                          std::ostream& out) {
   std::vector<ParsedEvent> all;
   for (const auto& file : files) {
-    auto events = parse_trace_file(file);
-    all.insert(all.end(), events.begin(), events.end());
+    // A killed-rank chaos run routinely leaves missing, empty, or truncated
+    // per-rank files; losing one rank's view must not lose the merge.
+    try {
+      auto events = parse_trace_file(file);
+      all.insert(all.end(), events.begin(), events.end());
+    } catch (const base::Error& e) {
+      std::cerr << "trace_merge: skipping " << file << ": " << e.what()
+                << "\n";
+    }
   }
   std::stable_sort(all.begin(), all.end(),
                    [](const ParsedEvent& a, const ParsedEvent& b) {
@@ -254,6 +273,7 @@ std::size_t merge_traces(const std::vector<std::string>& files,
       out << "}";
     }
     if (ev.ph == 'i') out << ",\"s\":\"t\"";
+    if (is_flow(ev.ph)) out << ",\"bp\":\"e\"";
     out << "}";
   }
   out << "\n]}\n";

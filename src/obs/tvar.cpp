@@ -6,6 +6,8 @@
 
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/obs/hist.hpp"
+#include "sessmpi/obs/postmortem.hpp"
+#include "sessmpi/obs/sampler.hpp"
 #include "sessmpi/obs/trace.hpp"
 
 namespace sessmpi::obs {
@@ -63,6 +65,29 @@ void ensure_builtin_cvars() {
           }
           if (n < 2 || n > (1u << 24)) return false;
           Tracer::instance().set_ring_capacity(n);
+          return true;
+        });
+    register_cvar(
+        "obs.postmortem.dir",
+        "flight-recorder bundle directory; empty disables triggers",
+        [] { return postmortem_dir(); },
+        [](const std::string& v) {
+          set_postmortem_dir(v);
+          return true;
+        });
+    register_cvar(
+        "obs.metrics.period_ms",
+        "background pvar sampling period in ms; 0 stops the sampler",
+        [] { return std::to_string(MetricsSampler::instance().period_ms()); },
+        [](const std::string& v) {
+          if (v.empty()) return false;
+          int n = 0;
+          for (char c : v) {
+            if (c < '0' || c > '9') return false;
+            n = n * 10 + (c - '0');
+            if (n > 60'000) return false;
+          }
+          MetricsSampler::instance().set_period_ms(n);
           return true;
         });
   });

@@ -5,6 +5,7 @@
 #include "sessmpi/base/clock.hpp"
 #include "sessmpi/base/error.hpp"
 #include "sessmpi/base/stats.hpp"
+#include "sessmpi/obs/postmortem.hpp"
 
 namespace sessmpi::pmix {
 
@@ -54,6 +55,9 @@ void PmixRuntime::notify_proc_failed(ProcId proc) {
           true, std::memory_order_release);
     }
   }
+  // Flight recorder: the first (deduplicated) failure report is the moment
+  // the postmortem rings are still warm with the dying rank's last events.
+  obs::trigger_postmortem("proc_failed");
   // Invalidate every (pset, epoch) snapshot and memoized pset->group
   // resolution: the next re-query rebuilds against the survivor set.
   failure_epoch_.fetch_add(1, std::memory_order_acq_rel);

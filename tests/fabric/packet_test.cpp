@@ -49,6 +49,50 @@ TEST(Packet, FlowAckHeaderGrowsWithSelectiveEntries) {
   EXPECT_EQ(ack.header_bytes(), kFlowHeaderBytes + 2u + 3u * kSackEntryBytes);
 }
 
+TEST(Packet, TraceContextCostsZeroWireBytesWhenAbsent) {
+  // The zero-wire-bytes-when-disabled guarantee (DESIGN.md §16): a default
+  // packet has trace_ctx == 0 and every header size is exactly its
+  // pre-tracing value. These constants are the CI gate — if a change makes
+  // an untraced packet carry context bytes, one of these golden sizes
+  // moves.
+  for (const auto kind :
+       {PacketKind::eager, PacketKind::eager_ext, PacketKind::rndv_rts,
+        PacketKind::rndv_rts_ext, PacketKind::rndv_data,
+        PacketKind::comm_revoke}) {
+    Packet p;
+    p.kind = kind;
+    ASSERT_EQ(p.match.trace_ctx, 0u);
+    const std::size_t untraced = p.header_bytes();
+    p.match.trace_ctx = 0xabcdef12u;
+    EXPECT_EQ(p.header_bytes(), untraced + kTraceCtxBytes)
+        << "kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(Packet, TraceContextGoldenHeaderSizes) {
+  Packet p;
+  p.match.trace_ctx = 1;
+  p.kind = PacketKind::eager;
+  EXPECT_EQ(p.header_bytes(), kFlowHeaderBytes + 14u + kTraceCtxBytes);
+  p.kind = PacketKind::eager_ext;
+  EXPECT_EQ(p.header_bytes(), kFlowHeaderBytes + 14u + 18u + kTraceCtxBytes);
+  p.kind = PacketKind::rndv_rts;
+  EXPECT_EQ(p.header_bytes(), kFlowHeaderBytes + 14u + 8u + kTraceCtxBytes);
+}
+
+TEST(Packet, PureControlPacketsNeverCarryTraceContext) {
+  // ACK-class packets are not application messages: no flow edge targets
+  // them, so a (stray) context must not change their wire size.
+  for (const auto kind : {PacketKind::cid_ack, PacketKind::rndv_cts,
+                          PacketKind::sync_ack, PacketKind::flow_ack}) {
+    Packet p;
+    p.kind = kind;
+    const std::size_t untraced = p.header_bytes();
+    p.match.trace_ctx = 7;
+    EXPECT_EQ(p.header_bytes(), untraced) << "kind " << static_cast<int>(kind);
+  }
+}
+
 TEST(Packet, DefaultsAreInert) {
   const Packet p;
   EXPECT_EQ(p.kind, PacketKind::eager);

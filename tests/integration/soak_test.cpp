@@ -30,6 +30,7 @@
 #include "sessmpi/ckpt/ckpt.hpp"
 #include "sessmpi/ckpt/planner.hpp"
 #include "sessmpi/ft/ft.hpp"
+#include "sessmpi/obs/postmortem.hpp"
 #include "sessmpi/obs/tvar.hpp"
 #include "sessmpi/obs/trace.hpp"
 #include "sessmpi/obs/trace_json.hpp"
@@ -368,6 +369,78 @@ TEST(Soak, TracedLossyRunNestsRetransmitsUnderOwningSends) {
   }
   EXPECT_GE(fully_nested, 1)
       << "no retransmit fully enclosed by its owning inflight span";
+}
+
+TEST(Soak, NodeKillDumpsPostmortemBundle) {
+  // Flight-recorder acceptance: a node kill mid-run leaves a postmortem
+  // bundle written by the FIRST failure trigger (proc_failed / revoke /
+  // RTO escalation — whichever path won the race); the cascade that
+  // follows is suppressed, and the survivors still recover and finish.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_enabled(false);
+  tracer.clear();
+  tracer.set_enabled(true);
+  obs::reset_postmortem_for_testing();
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "soak_postmortem")
+          .string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(obs::cvar_write("obs.postmortem.dir", dir));
+  const std::uint64_t dumps_before =
+      base::counters().value("obs.postmortem.dumps");
+
+  SoakParams prm;
+  prm.nodes = 2;
+  prm.ppn = 4;
+  prm.iters = 9;
+  prm.seed = 31;
+  prm.kill_node_at = {{5, 1}};
+  run_soak(prm);
+
+  tracer.set_enabled(false);
+  ASSERT_TRUE(obs::cvar_write("obs.postmortem.dir", ""));
+  obs::reset_postmortem_for_testing();
+
+  // Exactly one dump; the failure cascade (4 deaths + revoke storm) was
+  // deduplicated into obs.postmortem.suppressed.
+  EXPECT_EQ(base::counters().value("obs.postmortem.dumps"), dumps_before + 1);
+  EXPECT_GT(base::counters().value("obs.postmortem.suppressed"), 0u);
+
+  const std::string manifest = dir + "/postmortem.json";
+  ASSERT_TRUE(std::filesystem::exists(manifest));
+  std::string text;
+  {
+    std::ifstream is(manifest);
+    std::stringstream slurp;
+    slurp << is.rdbuf();
+    text = slurp.str();
+  }
+  EXPECT_NE(text.find("\"postmortem\": {\"reason\": \""), std::string::npos);
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  // Subsystem sections captured in-flight state: the fabric's flow windows
+  // and at least one rank's request-table snapshot.
+  EXPECT_NE(text.find("\"fabric.flows\""), std::string::npos);
+  EXPECT_NE(text.find("\"core.rank"), std::string::npos);
+
+  // The per-rank trace files in the bundle are regular parseable traces
+  // holding the pre-failure activity (the rings were warm when frozen).
+  bool saw_rank_trace = false;
+  bool saw_activity = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name == "postmortem.json" ||
+        name.find(".trace.json") == std::string::npos) {
+      continue;
+    }
+    saw_rank_trace = true;
+    for (const auto& ev : obs::parse_trace_file(entry.path().string())) {
+      saw_activity = saw_activity || ev.name == "pml.send" ||
+                     ev.name == "pml.match" || ev.name == "fabric.inflight";
+    }
+  }
+  EXPECT_TRUE(saw_rank_trace);
+  EXPECT_TRUE(saw_activity) << "bundle traces hold no pre-failure pml events";
+  tracer.clear();
 }
 
 TEST(Soak, GoldenBitwiseRestoreAfterNodeKill) {

@@ -8,21 +8,29 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "sessmpi/base/cost_model.hpp"
 #include "sessmpi/base/stats.hpp"
 #include "sessmpi/capi.hpp"
+#include "sessmpi/fabric/fabric.hpp"
+#include "sessmpi/fabric/packet.hpp"
 #include "sessmpi/mpi.hpp"
 #include "sessmpi/obs/hist.hpp"
+#include "sessmpi/obs/postmortem.hpp"
+#include "sessmpi/obs/sampler.hpp"
 #include "sessmpi/obs/trace.hpp"
 #include "sessmpi/obs/trace_json.hpp"
 #include "sessmpi/obs/tvar.hpp"
@@ -198,6 +206,87 @@ TEST(ObsTrace, AsyncEventsCarryExplicitTrackAndId) {
   }
 }
 
+// --- flow events / freeze --------------------------------------------------
+
+#if !defined(SESSMPI_OBS_DISABLED)
+TEST(ObsFlow, FlowEventsShareTheWireCarriedId) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+  const std::uint64_t id = Tracer::next_span_id();
+  ASSERT_NE(id, 0u);
+  EXPECT_GT(Tracer::next_span_id(), id);  // process-unique, monotone
+  OBS_FLOW_START("obs_test.flow", "test", id, 64);
+  OBS_FLOW_STEP("obs_test.flow", "test", id);
+  OBS_FLOW_END("obs_test.flow", "test", id);
+  t.set_enabled(false);
+
+  const auto flow = events_named(t.collect(), "obs_test.flow");
+  ASSERT_EQ(flow.size(), 3u);
+  EXPECT_EQ(flow[0].phase, Phase::flow_start);
+  EXPECT_EQ(flow[0].arg, 64u);
+  EXPECT_EQ(flow[1].phase, Phase::flow_step);
+  EXPECT_EQ(flow[2].phase, Phase::flow_end);
+  for (const Event& ev : flow) {
+    EXPECT_EQ(ev.id, id);
+  }
+}
+#endif  // !SESSMPI_OBS_DISABLED
+
+TEST(ObsFlow, ScopedFlowContextNestsAndRestores) {
+  ASSERT_EQ(Tracer::flow_context(), 0u);
+  {
+    ScopedFlowContext outer(11);
+    EXPECT_EQ(Tracer::flow_context(), 11u);
+    {
+      ScopedFlowContext inner(22);
+      EXPECT_EQ(Tracer::flow_context(), 22u);
+    }
+    EXPECT_EQ(Tracer::flow_context(), 11u);
+  }
+  EXPECT_EQ(Tracer::flow_context(), 0u);
+}
+
+TEST(ObsFlow, FreezeQuiescesAConcurrentWriter) {
+  // TSan witness for the flight-recorder stop-the-world: a writer thread
+  // hammers its ring while the main thread freezes, reads, and thaws.
+  // After freeze() returns, the ring contents must be stable even though
+  // the writer is still running (it observes enabled == false).
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> emitted{0};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      t.instant("obs_test.freeze", "test");
+      emitted.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // collect() is only safe against a live writer *after* freeze(), so wait
+  // on the writer's own progress counter, not on the ring.
+  while (emitted.load(std::memory_order_relaxed) < 100) {
+    std::this_thread::yield();
+  }
+
+  const bool was = t.freeze();
+  EXPECT_TRUE(was);
+  EXPECT_FALSE(t.enabled());
+  const auto n1 = events_named(t.collect(), "obs_test.freeze").size();
+  const auto n2 = events_named(t.collect(), "obs_test.freeze").size();
+  EXPECT_EQ(n1, n2) << "ring moved while frozen";
+
+  t.thaw(/*re_enable=*/true);
+  EXPECT_TRUE(t.enabled());
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  t.set_enabled(false);
+  // A freeze of a disabled tracer reports the prior state for thaw().
+  EXPECT_FALSE(t.freeze());
+  t.thaw(false);
+  EXPECT_FALSE(t.enabled());
+}
+
 // --- histograms ------------------------------------------------------------
 
 TEST(ObsHist, SmallValuesAreExact) {
@@ -371,6 +460,15 @@ std::vector<Event> golden_events() {
   evs[9] = {"ckpt.drain", "ckpt", 4000000, (4ull << 32) | 7,
             0,            0,      3,       2,
             Phase::async_end};
+  // Causal flow triplet (tentpole: cross-rank causality): the 's' edge out
+  // of a sending slice, a 't' hop (a revoke re-flood), and the 'f' edge
+  // into the matching slice, all sharing the wire-carried span id.
+  evs.resize(13);
+  evs[10] = {"pml.msg", "core", 4100000, 0x1234, 16, 0, 3, 1,
+             Phase::flow_start};
+  evs[11] = {"ft.revoke", "ft", 4200000, 0x1234, 0, 0, 3, 1,
+             Phase::flow_step};
+  evs[12] = {"pml.msg", "core", 4300000, 0x1234, 0, 0, 3, 2, Phase::flow_end};
   return evs;
 }
 
@@ -404,7 +502,7 @@ TEST(ObsJson, ParseRoundTripsTheWriter) {
   }
 
   const auto parsed = parse_trace_file(path);
-  ASSERT_EQ(parsed.size(), 10u);
+  ASSERT_EQ(parsed.size(), 13u);
   EXPECT_EQ(parsed[0].name, "pml.send");
   EXPECT_EQ(parsed[0].cat, "core");
   EXPECT_EQ(parsed[0].ph, 'B');
@@ -436,6 +534,15 @@ TEST(ObsJson, ParseRoundTripsTheWriter) {
   EXPECT_EQ(parsed[8].arg2, 4242u);
   EXPECT_EQ(parsed[9].ph, 'e');
   EXPECT_EQ(parsed[9].id, (4ull << 32) | 7);
+  // Flow events round-trip their shared correlation id through the hex
+  // "id" field, exactly like async events.
+  EXPECT_EQ(parsed[10].ph, 's');
+  EXPECT_TRUE(parsed[10].has_id);
+  EXPECT_EQ(parsed[10].id, 0x1234u);
+  EXPECT_EQ(parsed[10].arg, 16u);
+  EXPECT_EQ(parsed[11].ph, 't');
+  EXPECT_EQ(parsed[12].ph, 'f');
+  EXPECT_EQ(parsed[12].id, 0x1234u);
 }
 
 TEST(ObsJson, ParseRejectsNonTraceFile) {
@@ -565,6 +672,357 @@ TEST(ObsClockSkew, InjectedSkewRoundTripsThroughMergeAlignment) {
   ASSERT_EQ(aligned_us.size(), 2u);
   EXPECT_LT(std::abs(aligned_us[1] - aligned_us[0]),
             static_cast<double>(kSkew) / 2 / 1000.0);
+}
+#endif  // !SESSMPI_OBS_DISABLED
+
+// --- postmortem bundle -----------------------------------------------------
+
+#if !defined(SESSMPI_OBS_DISABLED)
+TEST(ObsPostmortem, DumpWritesManifestTracesAndSections) {
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+  Tracer::set_thread_track(0);
+  t.instant("obs_test.pm_event", "test", 9);
+  Tracer::set_thread_track(-1);
+
+  PostmortemSection sec("obs_test.section",
+                        [](std::ostream& os) { os << "{\"k\":1}"; });
+  base::counters().add("obs_test.pm_counter", 2);
+
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "obs_pm").string();
+  const std::string manifest = dump_postmortem(dir, "unit_test");
+  ASSERT_FALSE(manifest.empty());
+  // The dump froze the rings, then thawed back to the pre-dump state.
+  EXPECT_TRUE(t.enabled());
+  t.set_enabled(false);
+
+  std::ifstream is(manifest);
+  ASSERT_TRUE(is);
+  std::stringstream slurp;
+  slurp << is.rdbuf();
+  const std::string text = slurp.str();
+  EXPECT_NE(text.find("\"reason\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test.section\""), std::string::npos);
+  EXPECT_NE(text.find("{\"k\":1}"), std::string::npos);
+  EXPECT_NE(text.find("obs_test.pm_counter"), std::string::npos);
+
+  // The rank trace file in the bundle is a regular parseable trace holding
+  // the pre-failure event.
+  const std::string trace =
+      (std::filesystem::path(dir) / "postmortem.rank0.trace.json").string();
+  const auto parsed = parse_trace_file(trace);
+  bool saw = false;
+  for (const auto& ev : parsed) saw = saw || ev.name == "obs_test.pm_event";
+  EXPECT_TRUE(saw);
+}
+#endif  // !SESSMPI_OBS_DISABLED
+
+TEST(ObsPostmortem, TriggerIsOneShotAndGatedByCvar) {
+  TracerGuard guard;
+  reset_postmortem_for_testing();
+  set_postmortem_dir("");
+  const auto dumps0 = base::counters().value("obs.postmortem.dumps");
+  trigger_postmortem("not_configured");  // no dir -> no-op, not armed
+  EXPECT_EQ(base::counters().value("obs.postmortem.dumps"), dumps0);
+
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "obs_pm_trig").string();
+  ASSERT_TRUE(cvar_write("obs.postmortem.dir", dir));
+  EXPECT_EQ(cvar_read("obs.postmortem.dir").value_or(""), dir);
+  trigger_postmortem("first_failure");
+  EXPECT_EQ(base::counters().value("obs.postmortem.dumps"), dumps0 + 1);
+  EXPECT_TRUE(
+      std::filesystem::exists(std::filesystem::path(dir) / "postmortem.json"));
+
+  // The cascade after the first failure must not re-freeze the world.
+  const auto supp0 = base::counters().value("obs.postmortem.suppressed");
+  trigger_postmortem("cascade");
+  EXPECT_EQ(base::counters().value("obs.postmortem.dumps"), dumps0 + 1);
+  EXPECT_EQ(base::counters().value("obs.postmortem.suppressed"), supp0 + 1);
+
+  set_postmortem_dir("");
+  reset_postmortem_for_testing();
+}
+
+// --- metrics sampler -------------------------------------------------------
+
+TEST(ObsSampler, ManualSampleRoundTripsThroughJsonl) {
+  MetricsSampler& s = MetricsSampler::instance();
+  s.set_period_ms(0);
+  s.clear();
+  base::counters().add("obs_test.sampler_counter", 7);
+  s.sample_now();
+  const auto samples = s.samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_GT(samples[0].ts_ns, 0);
+  bool saw = false;
+  for (const auto& p : samples[0].points) {
+    if (p.name == "obs_test.sampler_counter") {
+      saw = true;
+      EXPECT_GE(p.value, 7.0);
+    }
+  }
+  EXPECT_TRUE(saw);
+
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "obs_metrics.jsonl")
+          .string();
+  EXPECT_EQ(s.write_jsonl(path), 1u);
+  std::ifstream is(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_NE(line.find("\"ts_ns\""), std::string::npos);
+  EXPECT_NE(line.find("\"pvars\""), std::string::npos);
+  EXPECT_NE(line.find("obs_test.sampler_counter"), std::string::npos);
+  s.clear();
+}
+
+TEST(ObsSampler, CvarStartsStopsAndValidatesThePeriod) {
+  MetricsSampler& s = MetricsSampler::instance();
+  s.set_period_ms(0);
+  s.clear();
+  ASSERT_TRUE(cvar_write("obs.metrics.period_ms", "1"));
+  EXPECT_EQ(s.period_ms(), 1);
+  EXPECT_EQ(cvar_read("obs.metrics.period_ms").value_or("?"), "1");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (s.samples().empty() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(cvar_write("obs.metrics.period_ms", "0"));  // stops + joins
+  EXPECT_FALSE(s.samples().empty()) << "sampler thread never ticked";
+
+  EXPECT_FALSE(cvar_write("obs.metrics.period_ms", "not_a_number"));
+  EXPECT_FALSE(cvar_write("obs.metrics.period_ms", "-5"));
+  EXPECT_FALSE(cvar_write("obs.metrics.period_ms", "99999999"));  // > 60s cap
+  EXPECT_EQ(s.period_ms(), 0);
+  s.clear();
+}
+
+// --- merge tolerance -------------------------------------------------------
+
+TEST(ObsJson, MergeSkipsMissingEmptyAndTruncatedInputs) {
+  // A killed rank leaves its trace file absent, empty, or cut mid-write;
+  // the survivors' merge must still succeed (the postmortem path depends
+  // on this).
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "obs_merge_tol")
+          .string();
+  std::filesystem::create_directories(dir);
+  std::vector<Event> evs(2);
+  evs[0] = {"tol.span", "test", 1000, 0, 0, 0, 0, 1, Phase::begin};
+  evs[1] = {"tol.span", "test", 2000, 0, 0, 0, 0, 1, Phase::end};
+  auto inputs = write_rank_traces(dir, "tol", evs);
+  ASSERT_EQ(inputs.size(), 1u);
+
+  const std::string empty = dir + "/empty.trace.json";
+  {
+    std::ofstream f(empty, std::ios::trunc);
+  }
+  std::string good_text;
+  {
+    std::ifstream is(inputs[0]);
+    std::stringstream slurp;
+    slurp << is.rdbuf();
+    good_text = slurp.str();
+  }
+  const std::string truncated = dir + "/truncated.trace.json";
+  {
+    std::ofstream f(truncated, std::ios::trunc);
+    f << good_text.substr(0, good_text.size() / 2);  // cut mid-line
+  }
+  inputs.push_back(dir + "/missing.trace.json");
+  inputs.push_back(empty);
+  inputs.push_back(truncated);
+
+  const std::string merged_path = dir + "/merged.trace.json";
+  std::size_t merged = 0;
+  {
+    std::ofstream out(merged_path, std::ios::trunc);
+    merged = merge_traces(inputs, out);
+  }
+  EXPECT_EQ(merged, evs.size());  // only the intact file contributes
+  const auto parsed = parse_trace_file(merged_path);
+  ASSERT_EQ(parsed.size(), evs.size());
+  EXPECT_EQ(parsed[0].name, "tol.span");
+}
+
+// --- cross-rank flow linkage -----------------------------------------------
+
+#if !defined(SESSMPI_OBS_DISABLED)
+TEST(ObsFlowLinkage, EveryMatchedMessageLinksSendToRecvAcrossEightRanks) {
+  // The tentpole acceptance check: run real pt2pt + collectives on 8 ranks
+  // and verify every receive-side flow edge ('f') resolves to a send-side
+  // edge ('s'), and that a collective's fan-out shares one id (one 's'
+  // consumed by several 'f's = one distributed trace per op).
+  TracerGuard guard;
+  Tracer& t = Tracer::instance();
+  t.set_ring_capacity(1 << 16);
+  t.set_enabled(true);
+
+  // 4 nodes x 2 ranks: intra-node collective traffic is zero-copy (no
+  // packets), so the cross-node binomial tree is what exercises flows --
+  // with 4 node heads the bcast root fans out 2 messages under one id.
+  sim::Cluster::Options o;
+  o.topo = {4, 2};
+  o.cost = base::CostModel::zero();
+  {
+    sim::Cluster cluster{o};
+    cluster.run([](sim::Process&) {
+      init();
+      Communicator world = comm_world();
+      const int rank = world.rank();
+      const int n = world.size();
+      // Ring pt2pt: every rank sends one matched message.
+      std::int64_t token = 100 + rank;
+      std::int64_t in = 0;
+      const int next = (rank + 1) % n;
+      const int prev = (rank + n - 1) % n;
+      if (rank % 2 == 0) {
+        world.send(&token, 1, Datatype::int64(), next, 7);
+        world.recv(&in, 1, Datatype::int64(), prev, 7);
+      } else {
+        world.recv(&in, 1, Datatype::int64(), prev, 7);
+        world.send(&token, 1, Datatype::int64(), next, 7);
+      }
+      // Collectives: each op pins one flow id for all its messages.
+      std::int64_t v = rank;
+      world.bcast(&v, 1, Datatype::int64(), 0);
+      std::int64_t one = 1;
+      std::int64_t sum = 0;
+      world.allreduce(&one, &sum, 1, Datatype::int64(), Op::sum());
+      world.barrier();
+      finalize();
+    });
+  }
+  t.set_enabled(false);
+
+  const auto all = t.collect();
+  std::set<std::uint64_t> starts;
+  std::map<std::uint64_t, int> end_fanout;
+  std::size_t ends = 0;
+  for (const Event& ev : all) {
+    if (ev.phase == Phase::flow_start) starts.insert(ev.id);
+    if (ev.phase == Phase::flow_end) {
+      ++ends;
+      ++end_fanout[ev.id];
+    }
+  }
+  // 8 ring messages matched => at least 8 'f' edges.
+  EXPECT_GE(ends, 8u);
+  std::size_t orphans = 0;
+  for (const auto& [id, cnt] : end_fanout) {
+    if (starts.count(id) == 0) ++orphans;
+  }
+  EXPECT_EQ(orphans, 0u) << "flow_end with no matching flow_start";
+  // The bcast root's binomial fan-out shares one flow id across >= 2
+  // receivers: one distributed trace spanning the whole collective.
+  int max_fanout = 0;
+  for (const auto& [id, cnt] : end_fanout) max_fanout = std::max(max_fanout, cnt);
+  EXPECT_GE(max_fanout, 2);
+
+  // The merged trace renders those edges: 's' and 'f' events survive the
+  // per-rank split + merge with their ids intact.
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "obs_flow_link")
+          .string();
+  const auto paths = write_rank_traces(dir, "flow", all);
+  ASSERT_GE(paths.size(), 8u);
+  const std::string merged_path = dir + "/merged.trace.json";
+  {
+    std::ofstream out(merged_path, std::ios::trunc);
+    merge_traces(paths, out);
+  }
+  std::set<std::uint64_t> merged_starts;
+  std::set<std::uint64_t> merged_end_ids;
+  std::size_t merged_ends = 0;
+  for (const auto& ev : parse_trace_file(merged_path)) {
+    if (ev.ph == 's') {
+      EXPECT_TRUE(ev.has_id);
+      merged_starts.insert(ev.id);
+    }
+    if (ev.ph == 'f') {
+      EXPECT_TRUE(ev.has_id);
+      ++merged_ends;
+      merged_end_ids.insert(ev.id);
+    }
+  }
+  EXPECT_GE(merged_starts.size(), 8u);
+  EXPECT_GE(merged_ends, 8u);
+  for (const std::uint64_t id : merged_end_ids) {
+    EXPECT_TRUE(merged_starts.count(id)) << "merged orphan flow id " << id;
+  }
+}
+
+TEST(ObsWire, TraceContextRidesTheWireOnlyWhileTracing) {
+  // Wire-level witness for the zero-overhead-when-off guarantee: a
+  // never-drop packet filter records (kind, trace_ctx) for every packet
+  // the fabric carries. Tracing off => every context is zero. Tracing on
+  // => every application message carries one, ACK-class packets never do.
+  for (const bool tracing : {false, true}) {
+    TracerGuard guard;
+    Tracer& t = Tracer::instance();
+    t.set_enabled(tracing);
+
+    std::mutex mu;
+    std::vector<std::pair<fabric::PacketKind, std::uint64_t>> seen;
+    sim::Cluster::Options o;
+    o.topo = {1, 2};
+    o.cost = base::CostModel::zero();
+    {
+      sim::Cluster cluster{o};
+      cluster.fabric().set_drop_filter([&](const fabric::Packet& p) {
+        std::lock_guard lk(mu);
+        seen.emplace_back(p.kind, p.match.trace_ctx);
+        return false;  // observe only
+      });
+      cluster.run([](sim::Process&) {
+        init();
+        Communicator world = comm_world();
+        std::vector<std::int64_t> big(1024, 42);  // 8 KiB > kEagerLimit
+        std::int64_t small = 7;
+        if (world.rank() == 0) {
+          world.send(&small, 1, Datatype::int64(), 1, 1);  // eager
+          world.send(big.data(), 1024, Datatype::int64(), 1, 2);  // rndv
+        } else {
+          world.recv(&small, 1, Datatype::int64(), 0, 1);
+          world.recv(big.data(), 1024, Datatype::int64(), 0, 2);
+        }
+        world.barrier();
+        finalize();
+      });
+      cluster.fabric().set_drop_filter(nullptr);
+    }
+    t.set_enabled(false);
+
+    std::size_t app_msgs = 0;
+    for (const auto& [kind, ctx] : seen) {
+      const bool is_app_msg = kind == fabric::PacketKind::eager ||
+                              kind == fabric::PacketKind::eager_ext ||
+                              kind == fabric::PacketKind::rndv_rts ||
+                              kind == fabric::PacketKind::rndv_rts_ext;
+      if (!tracing) {
+        EXPECT_EQ(ctx, 0u) << "wire carried trace context while tracing off";
+        continue;
+      }
+      if (is_app_msg) {
+        ++app_msgs;
+        EXPECT_NE(ctx, 0u) << "untagged app message while tracing on";
+      }
+      if (kind == fabric::PacketKind::cid_ack ||
+          kind == fabric::PacketKind::rndv_cts ||
+          kind == fabric::PacketKind::sync_ack ||
+          kind == fabric::PacketKind::flow_ack) {
+        EXPECT_EQ(ctx, 0u) << "ACK-class packet carrying trace context";
+      }
+    }
+    if (tracing) {
+      EXPECT_GE(app_msgs, 2u);  // at least the eager + the rndv RTS
+    }
+  }
 }
 #endif  // !SESSMPI_OBS_DISABLED
 

@@ -1,0 +1,193 @@
+// Pretty-print a flight-recorder bundle written by obs::dump_postmortem
+// (DESIGN.md §16):
+//
+//   ./postmortem /tmp/pm-bundle
+//
+// prints the manifest (reason, counters, gauges, histograms, per-subsystem
+// sections) and then round-trips every per-rank trace file in the bundle
+// through the trace parser, reporting each file's event count and final
+// event — the quickest way to see what a killed rank was doing last.
+//
+// Exit status: 0 on a readable bundle, 1 when the manifest is missing or
+// malformed, 2 on usage error. The manifest is the line-oriented JSON of
+// obs/postmortem.cpp write_manifest, so a purpose-built scanner suffices.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sessmpi/base/error.hpp"
+#include "sessmpi/obs/trace_json.hpp"
+
+namespace {
+
+/// Extract the next "quoted string" starting at or after `pos`; advances
+/// `pos` past the closing quote.
+bool next_quoted(const std::string& text, std::size_t& pos,
+                 std::string& out) {
+  const std::size_t open = text.find('"', pos);
+  if (open == std::string::npos) {
+    return false;
+  }
+  const std::size_t close = text.find('"', open + 1);
+  if (close == std::string::npos) {
+    return false;
+  }
+  out = text.substr(open + 1, close - open - 1);
+  pos = close + 1;
+  return true;
+}
+
+/// Value of `"key": <token>` in `text`, or empty. Handles both quoted and
+/// numeric values (returns the token without quotes).
+std::string find_value(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) {
+    return {};
+  }
+  pos += needle.size();
+  while (pos < text.size() && (text[pos] == ' ')) {
+    ++pos;
+  }
+  if (pos < text.size() && text[pos] == '"') {
+    std::string out;
+    return next_quoted(text, pos, out) ? out : std::string{};
+  }
+  std::size_t end = pos;
+  while (end < text.size() && text[end] != ',' && text[end] != '}' &&
+         text[end] != '\n') {
+    ++end;
+  }
+  return text.substr(pos, end - pos);
+}
+
+/// Print every `"name": value` pair of a one-line JSON object, indented.
+void print_pairs(const std::string& line, std::size_t from) {
+  std::size_t pos = from;
+  std::string name;
+  while (next_quoted(line, pos, name)) {
+    const std::size_t colon = line.find(':', pos);
+    if (colon == std::string::npos) {
+      return;
+    }
+    std::size_t end = colon + 1;
+    while (end < line.size() && line[end] != ',' && line[end] != '}') {
+      ++end;
+    }
+    std::cout << "  " << name << " =" << line.substr(colon + 1, end - colon - 1)
+              << "\n";
+    pos = end;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: postmortem <bundle-dir>\n";
+    return 2;
+  }
+  namespace fs = std::filesystem;
+  fs::path dir = argv[1];
+  if (dir.extension() == ".json") {
+    dir = dir.parent_path();  // accept the manifest path itself
+  }
+  const fs::path manifest = dir / "postmortem.json";
+  std::ifstream in(manifest);
+  if (!in) {
+    std::cerr << "postmortem: no manifest at " << manifest.string() << "\n";
+    return 1;
+  }
+  std::stringstream slurp;
+  slurp << in.rdbuf();
+  const std::string text = slurp.str();
+
+  const std::string reason = find_value(text, "reason");
+  if (reason.empty()) {
+    std::cerr << "postmortem: malformed manifest (no reason) in "
+              << manifest.string() << "\n";
+    return 1;
+  }
+  std::cout << "postmortem bundle: " << dir.string() << "\n";
+  std::cout << "reason: " << reason
+            << "  (trace files: " << find_value(text, "trace_files")
+            << ", ring events evicted: " << find_value(text, "evicted")
+            << ")\n";
+
+  // The manifest is line-oriented: counters/gauges each live on one line,
+  // every histogram and section object on its own line.
+  std::istringstream lines(text);
+  std::string line;
+  bool in_hists = false;
+  bool in_sections = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("\"counters\":", 0) == 0) {
+      std::cout << "\ncounters:\n";
+      print_pairs(line, std::string("\"counters\":").size());
+    } else if (line.rfind("\"gauges\":", 0) == 0) {
+      std::cout << "\ngauges:\n";
+      print_pairs(line, std::string("\"gauges\":").size());
+    } else if (line.rfind("\"histograms\":", 0) == 0) {
+      std::cout << "\nhistograms:\n";
+      in_hists = true;
+    } else if (line.rfind("\"sections\":", 0) == 0) {
+      in_hists = false;
+      std::cout << "\nsections:\n";
+      in_sections = true;
+    } else if (in_hists && !line.empty() && line[0] == '{') {
+      std::cout << "  " << find_value(line, "name")
+                << "  count=" << find_value(line, "count")
+                << " mean=" << find_value(line, "mean")
+                << " p99=" << find_value(line, "p99") << "\n";
+    } else if (in_sections && !line.empty() && line[0] == '{') {
+      const std::string name = find_value(line, "name");
+      const std::size_t data = line.find("\"data\":");
+      std::string body =
+          data == std::string::npos ? "" : line.substr(data + 7);
+      if (!body.empty() && body.back() == '}') {
+        body.pop_back();  // the section object's own closing brace
+      }
+      std::cout << "  " << name << ": " << body << "\n";
+    }
+  }
+
+  // Round-trip every trace file in the bundle through the parser: a bundle
+  // whose traces do not parse is a bug in the dumper, and the last event
+  // per file is the "what was this rank doing" headline.
+  std::vector<fs::path> traces;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("postmortem.", 0) == 0 &&
+        name.size() > 11 + 11 &&
+        name.compare(name.size() - 11, 11, ".trace.json") == 0) {
+      traces.push_back(entry.path());
+    }
+  }
+  std::sort(traces.begin(), traces.end());
+  std::cout << "\ntraces:\n";
+  bool trace_err = false;
+  for (const auto& path : traces) {
+    try {
+      const auto events = sessmpi::obs::parse_trace_file(path.string());
+      std::cout << "  " << path.filename().string() << "  " << events.size()
+                << " events";
+      if (!events.empty()) {
+        const auto& last = events.back();
+        std::cout << "  last: " << last.name << " (" << last.ph << ") @ "
+                  << last.ts_us << "us";
+      }
+      std::cout << "\n";
+    } catch (const sessmpi::base::Error& e) {
+      std::cerr << "  " << path.filename().string()
+                << "  UNPARSEABLE: " << e.what() << "\n";
+      trace_err = true;
+    }
+  }
+  return trace_err ? 1 : 0;
+}

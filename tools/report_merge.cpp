@@ -9,12 +9,26 @@
 // tagged line per bench run,
 //   COUNTERS_JSON {"bench": "<name>", "counters": {"<counter>": <n>, ...}}
 // so a purpose-built scanner beats pulling in a JSON library.
+//
+// Baseline-gate mode (CI regression gate, DESIGN.md §16):
+//
+//   ./report_merge --baseline bench/baselines pt2pt.txt mbw.txt
+//
+// scans each input for its METRICS_JSON line (bench/common.hpp
+// record_metric/print_metrics_json), joins it against the checked-in
+// `<dir>/BENCH_<bench>.json` baseline, and exits 1 when any metric moved
+// more than 15% in its worse direction ("better": "lower"|"higher" names
+// which way that is). A missing baseline file fails the gate (run the
+// bench with --bench-json=<dir> to create it); a metric the baseline does
+// not know yet only warns, so adding a metric does not break CI.
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -72,12 +86,160 @@ bool parse_line(const std::string& line, BenchCounters& out) {
   return true;
 }
 
+constexpr const char* kMetricsTag = "METRICS_JSON ";
+constexpr double kRegressionTolerance = 0.15;
+
+struct Metric {
+  double value = 0.0;
+  std::string better;  ///< "lower" | "higher"
+};
+
+struct BenchMetrics {
+  std::string bench;
+  std::map<std::string, Metric> metrics;
+};
+
+/// Parse a metrics object. Layout (fixed by bench/common.hpp
+/// write_metrics_object): quoted strings run "bench", <name>, "metrics",
+/// then per metric <metric>, "value" (": <double>" follows), "better",
+/// <lower|higher>.
+bool parse_metrics(const std::string& text, BenchMetrics& out) {
+  std::size_t pos = 0;
+  std::string key;
+  if (!next_quoted(text, pos, key) || key != "bench" ||
+      !next_quoted(text, pos, out.bench) ||
+      !next_quoted(text, pos, key) || key != "metrics") {
+    return false;
+  }
+  std::string name;
+  while (next_quoted(text, pos, name)) {
+    if (!next_quoted(text, pos, key) || key != "value") {
+      return false;
+    }
+    const std::size_t colon = text.find(':', pos);
+    if (colon == std::string::npos) {
+      return false;
+    }
+    Metric m;
+    m.value = std::stod(text.substr(colon + 1));
+    pos = colon + 1;
+    if (!next_quoted(text, pos, key) || key != "better" ||
+        !next_quoted(text, pos, m.better)) {
+      return false;
+    }
+    out.metrics[name] = m;
+  }
+  return true;
+}
+
+/// True when `run` is more than the tolerance worse than `base` in the
+/// metric's worse direction. A zero baseline (e.g. payload_copies = 0)
+/// gates any nonzero lower-is-better value.
+bool is_regression(const Metric& base, double run) {
+  if (base.better == "higher") {
+    return run < base.value * (1.0 - kRegressionTolerance);
+  }
+  return run > base.value * (1.0 + kRegressionTolerance);
+}
+
+int run_baseline_gate(const std::string& dir,
+                      const std::vector<std::string>& files) {
+  bool failed = false;
+  sessmpi::base::Table table{
+      {"bench", "metric", "baseline", "current", "verdict"}};
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "report_merge: cannot open " << file << "\n";
+      return 1;
+    }
+    BenchMetrics run;
+    bool found = false;
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t pos = line.find(kMetricsTag);
+      if (pos == std::string::npos) {
+        continue;
+      }
+      if (!parse_metrics(line.substr(pos + std::string(kMetricsTag).size()),
+                         run)) {
+        std::cerr << "report_merge: malformed METRICS_JSON in " << file
+                  << "\n";
+        return 1;
+      }
+      found = true;
+    }
+    if (!found) {
+      std::cerr << "report_merge: no METRICS_JSON block in " << file << "\n";
+      return 1;
+    }
+    const std::string base_path = dir + "/BENCH_" + run.bench + ".json";
+    std::ifstream base_in(base_path);
+    if (!base_in) {
+      std::cerr << "report_merge: missing baseline " << base_path
+                << " (create it with --bench-json=" << dir << ")\n";
+      return 1;
+    }
+    std::stringstream slurp;
+    slurp << base_in.rdbuf();
+    BenchMetrics base;
+    if (!parse_metrics(slurp.str(), base) || base.bench != run.bench) {
+      std::cerr << "report_merge: malformed baseline " << base_path << "\n";
+      return 1;
+    }
+    for (const auto& [name, m] : run.metrics) {
+      const auto it = base.metrics.find(name);
+      if (it == base.metrics.end()) {
+        std::cerr << "report_merge: warning: metric " << run.bench << "/"
+                  << name << " has no baseline yet (not gated)\n";
+        continue;
+      }
+      const bool regressed = is_regression(it->second, m.value);
+      failed = failed || regressed;
+      std::ostringstream bval;
+      bval << it->second.value;
+      std::ostringstream rval;
+      rval << m.value;
+      table.add_row({run.bench, name, bval.str(), rval.str(),
+                     regressed ? "REGRESSED" : "ok"});
+    }
+    for (const auto& [name, m] : base.metrics) {
+      if (run.metrics.find(name) == run.metrics.end()) {
+        std::cerr << "report_merge: warning: baseline metric " << run.bench
+                  << "/" << name << " missing from this run\n";
+      }
+    }
+  }
+  table.print(std::cout);
+  if (failed) {
+    std::cerr << "report_merge: baseline gate FAILED (>"
+              << static_cast<int>(kRegressionTolerance * 100)
+              << "% regression)\n";
+    return 1;
+  }
+  std::cout << "baseline gate: ok\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: report_merge <bench-output-file>...\n";
+    std::cerr << "usage: report_merge [--baseline <dir>] "
+                 "<bench-output-file>...\n";
     return 2;
+  }
+  if (std::string(argv[1]) == "--baseline") {
+    if (argc < 4) {
+      std::cerr << "usage: report_merge --baseline <dir> "
+                   "<bench-output-file>...\n";
+      return 2;
+    }
+    std::vector<std::string> files;
+    for (int i = 3; i < argc; ++i) {
+      files.emplace_back(argv[i]);
+    }
+    return run_baseline_gate(argv[2], files);
   }
   std::vector<BenchCounters> runs;
   for (int i = 1; i < argc; ++i) {
