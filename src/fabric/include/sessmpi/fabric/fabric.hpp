@@ -30,11 +30,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include <optional>
+
 #include "sessmpi/base/backoff.hpp"
 #include "sessmpi/base/cost_model.hpp"
 #include "sessmpi/base/error.hpp"
 #include "sessmpi/base/inbox.hpp"
 #include "sessmpi/base/topology.hpp"
+#include "sessmpi/fabric/cc.hpp"
 #include "sessmpi/fabric/packet.hpp"
 
 namespace sessmpi::fabric {
@@ -69,6 +72,11 @@ struct ReliabilityConfig {
   int max_retries = 10;
   /// Cap on selective-ACK entries carried by one flow_ack packet.
   std::size_t max_sack_entries = 16;
+  /// Congestion control + striping policy (DESIGN.md §17). nullopt means
+  /// "snapshot the fabric.cc / fabric.rails / fabric.stripe_threshold cvars
+  /// at construction" — tests and benches that want a specific engine set
+  /// this directly.
+  std::optional<CcConfig> cc;
 };
 
 /// A chaos filter slot that is safe to install, swap, or clear while
@@ -148,6 +156,16 @@ class Fabric {
   /// mid-run swap guarantees as set_drop_filter.
   void set_reorder_filter(PacketFilter filter);
 
+  /// ECN hook: the sim installs a link-load model here; sequenced packets
+  /// for which it returns true get the CE bit set (congestion experienced)
+  /// and the receiver echoes ECE in its flow_acks, triggering a sender-side
+  /// multiplicative decrease without waiting for loss (DESIGN.md §17).
+  /// Same mid-run swap guarantees as the chaos filters.
+  void set_ce_marker(PacketFilter marker);
+
+  /// The congestion/striping policy this fabric resolved at construction.
+  [[nodiscard]] const CcConfig& cc_config() const noexcept { return cc_; }
+
   /// Block until every unacked window, reorder buffer, held (reordered)
   /// packet, and pending ACK has drained, or `timeout` elapses. Returns
   /// true when fully quiesced. Tests and benches use this to wait out the
@@ -184,6 +202,27 @@ class Fabric {
   [[nodiscard]] std::uint64_t rto_escalations() const noexcept {
     return rto_escalations_.load(std::memory_order_relaxed);
   }
+  /// Dup-ack/SACK-triggered retransmissions (loss repaired without an RTO).
+  [[nodiscard]] std::uint64_t fast_retransmits() const noexcept {
+    return fast_retransmits_.load(std::memory_order_relaxed);
+  }
+  /// Tail-loss probes: highest-unacked retransmissions fired after an ack
+  /// silence, repairing tail losses dup-acks cannot see (adaptive only).
+  [[nodiscard]] std::uint64_t tlp_probes() const noexcept {
+    return tlp_probes_.load(std::memory_order_relaxed);
+  }
+  /// Packets the sim marked CE (congestion experienced on a modeled link).
+  [[nodiscard]] std::uint64_t ecn_marks() const noexcept {
+    return ecn_marks_.load(std::memory_order_relaxed);
+  }
+  /// Payload bytes of striped segments first-transmitted on `rail`
+  /// (retransmits excluded), for the rail-imbalance gauge.
+  [[nodiscard]] std::uint64_t rail_striped_bytes(int rail) const noexcept {
+    return rail < 0 || rail >= kMaxRails
+               ? 0
+               : rail_striped_bytes_[static_cast<std::size_t>(rail)].load(
+                     std::memory_order_relaxed);
+  }
   /// Sequenced packets currently awaiting acknowledgment (all flows).
   [[nodiscard]] std::uint64_t unacked() const;
 
@@ -193,23 +232,34 @@ class Fabric {
   static void dump_flow_windows(std::ostream& os);
 
  private:
-  /// Directed per-(src,dst) flow state. tx_* is the sender-side unacked
-  /// window (touched by src's threads and the pump); rx_* is the
+  /// Directed per-(src,dst,rail) flow state. tx_* is the sender-side
+  /// unacked window (touched by src's threads and the pump); rx_* is the
   /// receiver-side dedup/reorder state (touched by delivering threads and
   /// the pump). One mutex guards both; it is never held across a wire
-  /// delay, another flow's mutex, or an inbox wait.
+  /// delay, another flow's mutex, or an inbox wait (it IS held across the
+  /// reassembly table's mutex — that lock order, flow then reassembly, is
+  /// the only nesting).
   struct Flow {
-    Flow(Rank s, Rank d) : src(s), dst(d) {}
+    Flow(Rank s, Rank d, std::uint8_t r, const CcConfig& cfg)
+        : src(s), dst(d), rail(r), cc(cfg) {}
     const Rank src;
     const Rank dst;
+    const std::uint8_t rail;  ///< rail id; non-zero only for striped traffic
     mutable std::mutex mu;
     // --- tx (packets src -> dst) ---
     std::uint64_t next_seq = 1;
+    CcState cc;  ///< congestion window state machine (DESIGN.md §17)
+    std::uint64_t last_cum_seen = 0;  ///< last explicit-ack cum (dup detect)
     struct Unacked {
       Packet pkt;
       base::Deadline deadline;
       std::int64_t rto_ns = 0;  ///< current (backed-off) RTO
       int retries = 0;
+      /// Marked by a triple-dup/SACK verdict; the next pump pass
+      /// retransmits immediately (no RTO wait, no backoff, no retry charge).
+      bool fast_retx = false;
+      /// Already fast-retransmitted once; further repair is RTO-only.
+      bool fast_retxed = false;
       /// Completed pump passes when (re)armed. An entry only expires after
       /// BOTH the wall RTO and two further completed passes: ACKs are
       /// flushed by the pump itself, so when the pump is starved (e.g. an
@@ -219,21 +269,36 @@ class Fabric {
       std::uint64_t armed_pass = 0;
     };
     std::map<std::uint64_t, Unacked> window;
+    /// Wall clock of the last forward progress on the tx side — a newly
+    /// windowed packet or an ack that retired one. The tail-loss probe
+    /// timer (adaptive engines only) measures silence from here.
+    std::int64_t last_progress_ns = 0;
+    /// One tail-loss probe per silence episode; re-armed by ack progress.
+    bool tlp_fired = false;
     // --- rx (same direction, state kept at dst) ---
     std::uint64_t cum_delivered = 0;  ///< highest contiguously delivered seq
     std::map<std::uint64_t, Packet> reorder;  ///< out-of-order arrivals
     bool ack_pending = false;  ///< new data since the last ACK we emitted
+    bool ece_rx_pending = false;  ///< CE seen since the last ACK we emitted
   };
 
-  /// Get-or-create the (src,dst) flow. Flows materialize on first touch:
-  /// preallocating topo.size()^2 of them costs tens of GB at 16k ranks,
-  /// while real traffic touches O(active peer pairs). Created flows are
-  /// never destroyed before the Fabric, so the returned reference (and the
-  /// pointers in active_) stay valid for the fabric's lifetime.
-  Flow& flow(Rank src, Rank dst);
+  /// One partially reassembled striped message at the receiver, keyed by
+  /// (src,dst,msg_id). Segment byte ranges are derived from the stripe
+  /// header, so segments can complete in any cross-rail order.
+  struct PartialMessage {
+    Payload buf;
+    std::uint16_t segments_seen = 0;
+  };
+
+  /// Get-or-create the (src,dst,rail) flow. Flows materialize on first
+  /// touch: preallocating topo.size()^2 of them costs tens of GB at 16k
+  /// ranks, while real traffic touches O(active peer pairs). Created flows
+  /// are never destroyed before the Fabric, so the returned reference (and
+  /// the pointers in active_) stay valid for the fabric's lifetime.
+  Flow& flow(Rank src, Rank dst, std::uint8_t rail = 0);
   /// Lookup without materializing (piggyback-ACK reads of the reverse
   /// flow: if it never existed, there is nothing to acknowledge).
-  Flow* flow_if_exists(Rank src, Rank dst) noexcept;
+  Flow* flow_if_exists(Rank src, Rank dst, std::uint8_t rail = 0) noexcept;
   /// Stable snapshot of every materialized flow (pump/quiesce iteration).
   std::vector<Flow*> active_flows() const;
 
@@ -246,12 +311,30 @@ class Fabric {
   /// inbox.
   void deliver(Packet&& pkt);
   void push_to_inbox(Packet&& pkt);
-  /// Apply a cumulative + selective ACK to the (src,dst) sender window.
-  void apply_ack(Rank src, Rank dst, std::uint64_t cum,
-                 const std::vector<std::uint64_t>& sack);
+  /// In-order release of one sequenced packet at the receiver: striped
+  /// segments feed the reassembly table, everything else goes straight to
+  /// the inbox. Called with the owning flow's mutex held.
+  void release_in_order(Packet&& pkt);
+  /// Merge a striped segment; pushes the logical message to the inbox once
+  /// all its segments arrived.
+  void reassemble(Packet&& seg);
+  /// Apply a cumulative + selective ACK to the (src,dst,rail) sender
+  /// window. `ece` echoes a CE mark; `is_explicit` distinguishes flow_acks
+  /// (which drive dup-ack counting) from piggybacked data acks (which must
+  /// not — data arrival order says nothing about ack duplication).
+  void apply_ack(Rank src, Rank dst, std::uint8_t rail, std::uint64_t cum,
+                 const std::vector<std::uint64_t>& sack, bool ece,
+                 bool is_explicit);
+  /// Block (cooperatively) until flow `f` has congestion window room, then
+  /// assign the next seq and window the packet. Returns false when the
+  /// destination died while waiting (the packet is charged and dropped).
+  bool window_packet(Flow& f, Packet& packet, std::int64_t rto_ns);
+  /// Split an at-or-above-threshold rndv_data across the configured rails.
+  void send_striped(Packet&& packet);
   /// Start the RTO clock on window entry `seq` after its transmit returned
   /// (no-op when the entry was acknowledged mid-wire).
-  void arm_entry(Rank src, Rank dst, std::uint64_t seq, std::int64_t rto_ns);
+  void arm_entry(Rank src, Rank dst, std::uint8_t rail, std::uint64_t seq,
+                 std::int64_t rto_ns);
   /// Emit one flow_ack for `f` if it has unacknowledged deliveries. ACK
   /// wire time is not charged: ACKs model piggybacked / NIC-offloaded
   /// reverse traffic (DESIGN.md §9).
@@ -264,6 +347,7 @@ class Fabric {
   base::Topology topo_;
   base::CostModel cost_;
   ReliabilityConfig rel_;
+  CcConfig cc_;  ///< resolved at construction (rel_.cc or the cvars)
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   /// Lazy flow table, sharded by (src,dst) hash to keep first-touch
   /// creation off a single global lock. Values are heap-owned so Flow*
@@ -281,6 +365,12 @@ class Fabric {
   std::vector<std::atomic<bool>> failed_;
   FilterSlot drop_filter_;
   FilterSlot reorder_filter_;
+  FilterSlot ce_marker_;
+  /// Receiver-side reassembly of striped messages, keyed
+  /// (src,dst,msg_id). Locked after a flow mutex, never before one.
+  std::mutex reass_mu_;
+  std::map<std::array<std::uint64_t, 3>, PartialMessage> reassembly_;
+  std::atomic<std::uint64_t> next_msg_id_{0};
   std::mutex unreachable_mu_;
   std::function<void(Rank)> unreachable_cb_;
 
@@ -294,6 +384,10 @@ class Fabric {
   std::atomic<std::uint64_t> retransmits_{0};
   std::atomic<std::uint64_t> dup_suppressed_{0};
   std::atomic<std::uint64_t> rto_escalations_{0};
+  std::atomic<std::uint64_t> fast_retransmits_{0};
+  std::atomic<std::uint64_t> tlp_probes_{0};
+  std::atomic<std::uint64_t> ecn_marks_{0};
+  std::array<std::atomic<std::uint64_t>, kMaxRails> rail_striped_bytes_{};
   std::atomic<std::uint64_t> pump_passes_{0};  ///< completed pump passes
 
   std::atomic<bool> stop_{false};

@@ -62,17 +62,39 @@ struct ExtHeader {
 };
 inline constexpr std::size_t kExtHeaderBytes = 18;
 
-/// Reliable-delivery flow header: 48-bit per-(src,dst) sequence number plus
-/// a 48-bit piggybacked cumulative ACK for the reverse flow (12 modeled
-/// bytes). seq == 0 marks an unsequenced packet (flow_ack control traffic,
+/// Reliable-delivery flow header (12 modeled bytes). On the modeled wire
+/// this packs a 46-bit per-(src,dst,rail) sequence number, a 46-bit
+/// piggybacked cumulative ACK for the reverse flow, a 2-bit rail id, and
+/// the two ECN bits (CE set by a congested modeled link, ECE echoed by the
+/// receiver in flow_acks) — the congestion-control additions ride in the
+/// four bits the 48+48 layout left spare, so kFlowHeaderBytes stays 12 and
+/// `fabric.cc=fixed` runs are byte-identical to the pre-cc wire (DESIGN.md
+/// §17). seq == 0 marks an unsequenced packet (flow_ack control traffic,
 /// which must not itself be acknowledged).
 struct FlowHeader {
   std::uint64_t seq = 0;  ///< flow sequence number; 0 = unsequenced
   std::uint64_t ack = 0;  ///< cumulative ACK for the reverse (dst->src) flow
+  std::uint8_t rail = 0;  ///< rail id within the (src,dst) pair (2 wire bits)
+  bool ce = false;        ///< congestion experienced: set by a loaded link
+  bool ece = false;       ///< ECN echo: receiver -> sender, in flow_acks
 };
 inline constexpr std::size_t kFlowHeaderBytes = 12;
 /// Modeled bytes per selective-ACK entry in a flow_ack packet.
 inline constexpr std::size_t kSackEntryBytes = 6;
+
+/// Striping header carried by rndv_data segments when a bulk message is
+/// split across rails (DESIGN.md §17): message id (8) + segment index (2) +
+/// segment count (2) + total logical bytes (4). count == 0 marks an
+/// unstriped packet and costs zero wire bytes. Segment byte ranges are
+/// derived deterministically from (index, count, total_bytes), so offsets
+/// and lengths never travel on the wire.
+struct StripeHeader {
+  std::uint64_t msg_id = 0;   ///< sender-unique id of the logical message
+  std::uint16_t index = 0;    ///< this segment's position [0, count)
+  std::uint16_t count = 0;    ///< total segments; 0 = not striped
+  std::uint32_t total_bytes = 0;  ///< logical message payload size
+};
+inline constexpr std::size_t kStripeHeaderBytes = 16;
 
 struct Packet {
   PacketKind kind = PacketKind::eager;
@@ -81,6 +103,7 @@ struct Packet {
   MatchHeader match;
   ExtHeader ext;                    ///< valid for *_ext and cid_ack kinds
   FlowHeader flow;                  ///< stamped by the fabric's send path
+  StripeHeader stripe;              ///< rndv_data only; count == 0 = unstriped
   std::uint64_t token = 0;          ///< rendezvous / sync-send pairing token
   std::uint64_t advertised_size = 0;  ///< rndv_rts: payload size to come
   std::vector<std::uint64_t> sack;  ///< flow_ack: out-of-order seqs held at rx
@@ -99,6 +122,9 @@ struct Packet {
   [[nodiscard]] bool is_sequenced() const noexcept {
     return kind != PacketKind::flow_ack;
   }
+
+  /// True when this rndv_data packet is one segment of a striped message.
+  [[nodiscard]] bool is_striped() const noexcept { return stripe.count > 0; }
 
   /// Modeled wire header size in bytes (charged by the cost model). Every
   /// kind pays the flow header: sequenced packets carry seq + piggybacked
@@ -123,7 +149,8 @@ struct Packet {
       case PacketKind::sync_ack:
         return kFlowHeaderBytes + 8;  // token
       case PacketKind::rndv_data:
-        return kFlowHeaderBytes + 8 + kMatchHeaderBytes + tc;
+        return kFlowHeaderBytes + 8 + kMatchHeaderBytes + tc +
+               (stripe.count > 0 ? kStripeHeaderBytes : 0);
       case PacketKind::comm_revoke:
         // exCID + sender CID
         return kFlowHeaderBytes + kExtHeaderBytes + 2 + tc;

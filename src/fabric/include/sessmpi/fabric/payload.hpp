@@ -26,15 +26,18 @@ class Payload {
   Payload() noexcept = default;
   explicit Payload(std::size_t n) { resize(n); }
 
-  Payload(const Payload& other) noexcept : hdr_(other.hdr_), size_(other.size_) {
+  Payload(const Payload& other) noexcept
+      : hdr_(other.hdr_), size_(other.size_), off_(other.off_) {
     if (hdr_ != nullptr) {
       hdr_->refs.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  Payload(Payload&& other) noexcept : hdr_(other.hdr_), size_(other.size_) {
+  Payload(Payload&& other) noexcept
+      : hdr_(other.hdr_), size_(other.size_), off_(other.off_) {
     other.hdr_ = nullptr;
     other.size_ = 0;
+    other.off_ = 0;
   }
 
   Payload& operator=(const Payload& other) noexcept {
@@ -50,8 +53,10 @@ class Payload {
       release();
       hdr_ = other.hdr_;
       size_ = other.size_;
+      off_ = other.off_;
       other.hdr_ = nullptr;
       other.size_ = 0;
+      other.off_ = 0;
     }
     return *this;
   }
@@ -70,11 +75,30 @@ class Payload {
   /// fresh payload once before packing — never copies.
   void resize(std::size_t n);
 
+  /// A view of `[off, off+len)` sharing this payload's slab (refcount bump,
+  /// zero byte copies). Striped rndv_data segments are slices of the staged
+  /// message, so splitting across rails never touches fabric.payload_copies.
+  /// The slice pins the whole slab until released, which is exactly the
+  /// retransmission window's lifetime anyway.
+  [[nodiscard]] Payload slice(std::size_t off, std::size_t len) const noexcept {
+    Payload out(*this);
+    if (off > size_) {
+      off = size_;
+    }
+    if (len > size_ - off) {
+      len = size_ - off;
+    }
+    out.off_ = off_ + off;
+    out.size_ = len;
+    return out;
+  }
+
   /// Drop this reference (frees the slab when it is the last one).
   void clear() noexcept {
     release();
     hdr_ = nullptr;
     size_ = 0;
+    off_ = 0;
   }
 
   /// Number of Payload objects sharing the block (0 for empty).
@@ -85,6 +109,7 @@ class Payload {
   void swap(Payload& other) noexcept {
     std::swap(hdr_, other.hdr_);
     std::swap(size_, other.size_);
+    std::swap(off_, other.off_);
   }
 
  private:
@@ -97,13 +122,14 @@ class Payload {
   [[nodiscard]] std::byte* bytes() const noexcept {
     return hdr_ == nullptr
                ? nullptr
-               : reinterpret_cast<std::byte*>(hdr_) + sizeof(Header);
+               : reinterpret_cast<std::byte*>(hdr_) + sizeof(Header) + off_;
   }
 
   void release() noexcept;
 
   Header* hdr_ = nullptr;
   std::size_t size_ = 0;
+  std::size_t off_ = 0;  ///< slice offset into the slab's data bytes
 };
 
 }  // namespace sessmpi::fabric

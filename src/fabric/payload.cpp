@@ -10,7 +10,7 @@
 namespace sessmpi::fabric {
 
 void Payload::resize(std::size_t n) {
-  if (hdr_ != nullptr && n <= hdr_->capacity &&
+  if (hdr_ != nullptr && n <= hdr_->capacity - off_ &&
       hdr_->refs.load(std::memory_order_relaxed) == 1) {
     size_ = n;
     return;
@@ -34,6 +34,7 @@ void Payload::resize(std::size_t n) {
   release();
   hdr_ = hdr;
   size_ = n;
+  off_ = 0;
 }
 
 void Payload::release() noexcept {

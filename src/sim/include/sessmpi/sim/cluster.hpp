@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "sessmpi/fabric/fabric.hpp"
 #include "sessmpi/pmix/client.hpp"
 #include "sessmpi/prte/dvm.hpp"
+#include "sessmpi/sim/linkload.hpp"
 
 namespace sessmpi::sim {
 
@@ -78,7 +80,13 @@ class Cluster {
     base::CostModel cost = base::CostModel::calibrated();
     /// Fabric reliable-delivery policy (RTO, backoff, retry cap). Tests
     /// shorten the timescales; the defaults fit the calibrated cost model.
+    /// `reliability.cc` additionally selects the congestion-control engine
+    /// and striping policy (nullopt = snapshot the fabric.* cvars).
     fabric::ReliabilityConfig reliability;
+    /// ECN marking threshold override: modeled inter-node link backlog (ns)
+    /// above which packets get the CE bit. nullopt = the
+    /// fabric.ecn_threshold_ns cvar; 0 disables marking.
+    std::optional<std::int64_t> ecn_threshold_ns;
     std::vector<std::pair<std::string, std::vector<pmix::ProcId>>> extra_psets;
     /// Per-rank simulated clock skew (ns), index = rank; shorter vectors
     /// leave the remaining ranks unskewed. Applied to trace timestamps at
@@ -146,6 +154,10 @@ class Cluster {
 
  private:
   prte::Dvm dvm_;
+  /// Shared link-occupancy model backing the fabric's CE marker (ECN).
+  /// Declared before fabric_ so it destructs after the pump thread joins —
+  /// the marker closure dereferences it until the fabric dies.
+  std::unique_ptr<LinkLoad> link_load_;
   fabric::Fabric fabric_;
   std::vector<std::unique_ptr<Process>> procs_;
   std::atomic<bool> aborted_{false};

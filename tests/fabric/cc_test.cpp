@@ -1,0 +1,221 @@
+// Congestion-control state machine unit tests (DESIGN.md §17): slow start
+// -> avoidance -> fast recovery transitions, RTO collapse, ECN decrease
+// with its once-per-window guard, and the CUBIC W_max anchor math. CcState
+// is pure logic, so the tests drive it with synthetic acks and timestamps.
+
+#include "sessmpi/fabric/cc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sessmpi::fabric {
+namespace {
+
+CcConfig aimd_cfg() {
+  CcConfig cfg;
+  cfg.engine = CcEngine::aimd;
+  return cfg;
+}
+
+CcConfig cubic_cfg() {
+  CcConfig cfg;
+  cfg.engine = CcEngine::cubic;
+  return cfg;
+}
+
+TEST(Cc, FixedEngineIsUnlimitedAndInert) {
+  CcState cc{CcConfig{}};
+  EXPECT_TRUE(cc.unlimited());
+  EXPECT_TRUE(cc.can_send(0));
+  EXPECT_TRUE(cc.can_send(1u << 20));
+  // No transition ever fires: the fixed engine is PR 2's behavior.
+  EXPECT_FALSE(cc.on_dup_ack(100, 0));
+  EXPECT_FALSE(cc.on_dup_ack(100, 0));
+  EXPECT_FALSE(cc.on_dup_ack(100, 0));
+  cc.on_rto(100, 0);
+  cc.on_ecn_echo(50, 100, 0);
+  EXPECT_EQ(cc.phase(), CcPhase::slow_start);
+  EXPECT_TRUE(cc.can_send(1u << 20));
+}
+
+TEST(Cc, SlowStartDoublesPerWindowThenEntersAvoidance) {
+  CcConfig cfg = aimd_cfg();
+  cfg.initial_window = 4;
+  cfg.max_cwnd = 64;
+  CcState cc{cfg};
+  EXPECT_EQ(cc.phase(), CcPhase::slow_start);
+  EXPECT_EQ(cc.cwnd_packets(), 4u);
+  EXPECT_TRUE(cc.can_send(3));
+  EXPECT_FALSE(cc.can_send(4));
+  // Acking a full window in slow start doubles it (cwnd += acked).
+  cc.on_acked(4, 4, 1'000);
+  EXPECT_EQ(cc.cwnd_packets(), 8u);
+  EXPECT_EQ(cc.phase(), CcPhase::slow_start);
+  // ssthresh defaults to max_cwnd, so growth caps there and flips to
+  // congestion avoidance.
+  cc.on_acked(8, 12, 2'000);
+  cc.on_acked(16, 28, 3'000);
+  cc.on_acked(32, 60, 4'000);
+  EXPECT_EQ(cc.cwnd_packets(), 64u);
+  EXPECT_EQ(cc.phase(), CcPhase::avoidance);
+}
+
+TEST(Cc, AimdAvoidanceAddsOnePacketPerAckedWindow) {
+  CcConfig cfg = aimd_cfg();
+  cfg.initial_window = 32;
+  cfg.max_cwnd = 4096;
+  CcState cc{cfg};
+  cc.on_acked(32, 32, 0);  // slow start: cwnd 64
+  // A loss episode drops into recovery; acking past it lands in avoidance
+  // at ssthresh.
+  (void)cc.on_dup_ack(100, 0);
+  (void)cc.on_dup_ack(100, 0);
+  ASSERT_TRUE(cc.on_dup_ack(100, 0));
+  cc.on_acked(40, 100, 0);
+  ASSERT_EQ(cc.phase(), CcPhase::avoidance);
+  const double before = cc.cwnd();
+  // One full window's worth of acks in avoidance grows cwnd by ~1 packet.
+  cc.on_acked(static_cast<std::uint64_t>(before), 200, 1'000);
+  EXPECT_NEAR(cc.cwnd(), before + 1.0, 0.1);
+}
+
+TEST(Cc, TripleDupAckEntersFastRecoveryAndHalvesWindow) {
+  CcConfig cfg = aimd_cfg();
+  cfg.initial_window = 32;
+  cfg.max_cwnd = 32;
+  CcState cc{cfg};
+  cc.on_acked(32, 32, 0);  // avoidance at cwnd 32
+  ASSERT_EQ(cc.phase(), CcPhase::avoidance);
+  EXPECT_FALSE(cc.on_dup_ack(64, 1'000));  // 1st dup
+  EXPECT_FALSE(cc.on_dup_ack(64, 1'100));  // 2nd dup
+  EXPECT_EQ(cc.phase(), CcPhase::avoidance);
+  EXPECT_TRUE(cc.on_dup_ack(64, 1'200));  // 3rd dup: fast retransmit
+  EXPECT_EQ(cc.phase(), CcPhase::recovery);
+  EXPECT_EQ(cc.cwnd_packets(), 16u);  // beta = 0.5 for aimd
+  EXPECT_EQ(cc.ssthresh(), 16u);
+  EXPECT_EQ(cc.recover_seq(), 64u);
+  // While in recovery every further dup keeps asking for hole repair.
+  EXPECT_TRUE(cc.on_dup_ack(64, 1'300));
+  // A partial ack (cum below recover_seq) does not exit recovery.
+  cc.on_acked(4, 40, 1'400);
+  EXPECT_EQ(cc.phase(), CcPhase::recovery);
+  // Acking past the loss episode exits to avoidance at ssthresh.
+  cc.on_acked(10, 64, 1'500);
+  EXPECT_EQ(cc.phase(), CcPhase::avoidance);
+  EXPECT_EQ(cc.cwnd_packets(), 16u);
+}
+
+TEST(Cc, RtoCollapsesToMinAndRestartsSlowStartOncePerEpisode) {
+  CcConfig cfg = aimd_cfg();
+  cfg.initial_window = 32;
+  cfg.max_cwnd = 32;
+  cfg.min_cwnd = 2;
+  CcState cc{cfg};
+  cc.on_acked(32, 32, 0);
+  ASSERT_EQ(cc.phase(), CcPhase::avoidance);
+  cc.on_rto(64, 1'000);
+  EXPECT_EQ(cc.phase(), CcPhase::slow_start);
+  EXPECT_EQ(cc.cwnd_packets(), 2u);
+  EXPECT_EQ(cc.ssthresh(), 16u);
+  // A second expiry from the same in-flight window must not halve
+  // ssthresh again.
+  cc.on_rto(64, 2'000);
+  EXPECT_EQ(cc.ssthresh(), 16u);
+  EXPECT_EQ(cc.cwnd_packets(), 2u);
+  // New data sent past the episode -> a later RTO is a fresh loss event.
+  cc.on_acked(2, 66, 3'000);
+  cc.on_rto(80, 4'000);
+  EXPECT_EQ(cc.phase(), CcPhase::slow_start);
+  EXPECT_EQ(cc.cwnd_packets(), 2u);
+}
+
+TEST(Cc, EcnEchoDecreasesMultiplicativelyOncePerWindow) {
+  CcConfig cfg = aimd_cfg();
+  cfg.initial_window = 32;
+  cfg.max_cwnd = 32;
+  CcState cc{cfg};
+  cc.on_acked(32, 32, 0);
+  ASSERT_EQ(cc.phase(), CcPhase::avoidance);
+  cc.on_ecn_echo(/*cum=*/40, /*highest_sent=*/64, 1'000);
+  EXPECT_EQ(cc.cwnd_packets(), 16u);
+  // Echoes for data sent before the decrease are absorbed by the guard:
+  // cum has not yet passed the guard seq (64).
+  cc.on_ecn_echo(50, 70, 1'100);
+  cc.on_ecn_echo(60, 80, 1'200);
+  EXPECT_EQ(cc.cwnd_packets(), 16u);
+  // Once the cumulative ack passes the guard, a new echo bites again.
+  cc.on_ecn_echo(64, 90, 1'300);
+  EXPECT_EQ(cc.cwnd_packets(), 8u);
+}
+
+TEST(Cc, CubicWindowMathAnchorsAtWmax) {
+  // W(K) == W_max exactly: the curve's inflection sits at the anchor.
+  const double w_max = 100.0;
+  const double k =
+      std::cbrt(w_max * (1.0 - CcState::kCubicBeta) / CcState::kCubicC);
+  EXPECT_NEAR(CcState::cubic_window(k, w_max), w_max, 1e-9);
+  // Below K the curve is under W_max, above K it probes past it.
+  EXPECT_LT(CcState::cubic_window(k * 0.5, w_max), w_max);
+  EXPECT_GT(CcState::cubic_window(k * 1.5, w_max), w_max);
+  // At t = 0 the curve starts from the post-decrease window beta * W_max.
+  EXPECT_NEAR(CcState::cubic_window(0.0, w_max),
+              w_max * CcState::kCubicBeta, 1.0);
+}
+
+TEST(Cc, CubicRecoveryAnchorsWmaxAndGrowsTowardIt) {
+  CcConfig cfg = cubic_cfg();
+  cfg.initial_window = 100;
+  cfg.max_cwnd = 100;
+  CcState cc{cfg};
+  cc.on_acked(100, 100, 0);
+  ASSERT_EQ(cc.phase(), CcPhase::avoidance);
+  // Loss at cwnd 100: w_max anchors there, window drops to beta * 100.
+  EXPECT_FALSE(cc.on_dup_ack(200, 1'000'000));
+  EXPECT_FALSE(cc.on_dup_ack(200, 1'000'000));
+  EXPECT_TRUE(cc.on_dup_ack(200, 1'000'000));
+  EXPECT_EQ(cc.phase(), CcPhase::recovery);
+  EXPECT_NEAR(cc.w_max(), 100.0, 1e-9);
+  EXPECT_EQ(cc.cwnd_packets(), 70u);  // beta = 0.7 for cubic
+  cfg.max_cwnd = 4096;
+  CcState grown{cfg};
+  grown.on_acked(100, 100, 0);
+  (void)grown.on_dup_ack(200, 0);
+  (void)grown.on_dup_ack(200, 0);
+  (void)grown.on_dup_ack(200, 0);
+  grown.on_acked(50, 200, 0);  // exit recovery at t = 0
+  ASSERT_EQ(grown.phase(), CcPhase::avoidance);
+  // Half a K later the window has grown but still sits under the anchor;
+  // past K it exceeds it (probing).
+  const double k = std::cbrt(grown.w_max() * (1.0 - CcState::kCubicBeta) /
+                             CcState::kCubicC);
+  const auto at = [&](double t_s) {
+    return static_cast<std::int64_t>(t_s * 1e9);
+  };
+  grown.on_acked(1, 201, at(k / 2));
+  EXPECT_LT(grown.cwnd(), grown.w_max());
+  const double before_probe = grown.cwnd();
+  grown.on_acked(1, 202, at(k * 2));
+  EXPECT_GT(grown.cwnd(), grown.w_max());
+  EXPECT_GT(grown.cwnd(), before_probe);
+}
+
+TEST(Cc, CwndNeverFallsBelowMinOrAboveMax) {
+  CcConfig cfg = aimd_cfg();
+  cfg.initial_window = 4;
+  cfg.min_cwnd = 2;
+  cfg.max_cwnd = 8;
+  CcState cc{cfg};
+  for (int i = 0; i < 20; ++i) {
+    cc.on_acked(8, static_cast<std::uint64_t>(8 * (i + 1)), i * 1'000);
+  }
+  EXPECT_LE(cc.cwnd_packets(), 8u);
+  for (int i = 0; i < 10; ++i) {
+    cc.on_rto(1'000 + static_cast<std::uint64_t>(i) * 100, i * 1'000);
+    cc.on_acked(1, 2'000 + static_cast<std::uint64_t>(i), i * 1'000);
+  }
+  EXPECT_GE(cc.cwnd_packets(), 2u);
+}
+
+}  // namespace
+}  // namespace sessmpi::fabric

@@ -93,6 +93,40 @@ TEST(Packet, PureControlPacketsNeverCarryTraceContext) {
   }
 }
 
+TEST(Packet, EcnAndRailBitsCostZeroWireBytes) {
+  // The CE/ECE bits and the 2-bit rail id pack into the four spare bits of
+  // the 46+46-bit flow header layout (DESIGN.md §17): setting them must not
+  // move any modeled header size, or `fabric.cc=fixed` loses its
+  // bit-compatibility guarantee. These golden sizes are the CI gate.
+  for (const auto kind :
+       {PacketKind::eager, PacketKind::eager_ext, PacketKind::rndv_rts,
+        PacketKind::rndv_data, PacketKind::flow_ack, PacketKind::comm_revoke}) {
+    Packet p;
+    p.kind = kind;
+    const std::size_t plain = p.header_bytes();
+    p.flow.ce = true;
+    p.flow.ece = true;
+    p.flow.rail = 3;
+    EXPECT_EQ(p.header_bytes(), plain) << "kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(Packet, StripeHeaderAdds16BytesToStripedRndvDataOnly) {
+  // A striped segment pays the 16-byte stripe header (msg id + index +
+  // count + total); an unstriped rndv_data (count == 0) pays nothing.
+  Packet p;
+  p.kind = PacketKind::rndv_data;
+  const std::size_t unstriped = p.header_bytes();
+  EXPECT_FALSE(p.is_striped());
+  p.stripe.msg_id = 42;
+  p.stripe.index = 1;
+  p.stripe.count = 4;
+  p.stripe.total_bytes = 1 << 20;
+  EXPECT_TRUE(p.is_striped());
+  EXPECT_EQ(p.header_bytes(), unstriped + kStripeHeaderBytes);
+  EXPECT_EQ(kStripeHeaderBytes, 16u);
+}
+
 TEST(Packet, DefaultsAreInert) {
   const Packet p;
   EXPECT_EQ(p.kind, PacketKind::eager);
@@ -102,6 +136,10 @@ TEST(Packet, DefaultsAreInert) {
   EXPECT_EQ(p.match.cid, 0u);
   EXPECT_EQ(p.flow.seq, 0u);
   EXPECT_EQ(p.flow.ack, 0u);
+  EXPECT_EQ(p.flow.rail, 0u);
+  EXPECT_FALSE(p.flow.ce);
+  EXPECT_FALSE(p.flow.ece);
+  EXPECT_FALSE(p.is_striped());
 }
 
 }  // namespace

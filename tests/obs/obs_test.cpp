@@ -428,6 +428,65 @@ TEST(ObsTvar, BuiltinCvarsControlTheTracer) {
   EXPECT_FALSE(cvar_write("obs.no_such_cvar", "1"));
 }
 
+TEST(ObsTvar, CongestionControlGaugesAndCountersAreWired) {
+  // The §17 pvars: fabric.cwnd (mean adaptive window) and
+  // fabric.rail_imbalance_pct (striped-byte spread) are registered gauges,
+  // and the fabric.fast_retransmits counter mirrors the Fabric accessor.
+  fabric::ReliabilityConfig rel;
+  rel.tick_ns = 100'000;
+  rel.rto_base_ns = 500'000;
+  rel.rto_cap_ns = 2'000'000;
+  rel.max_retries = 100;
+  fabric::CcConfig cc;
+  cc.engine = fabric::CcEngine::aimd;
+  cc.rails = 4;
+  cc.stripe_threshold = 2048;
+  rel.cc = cc;
+  fabric::Fabric f{base::Topology{1, 2}, base::CostModel::zero(), rel};
+
+  const std::uint64_t fast_before =
+      base::counters().value("fabric.fast_retransmits");
+  const std::uint64_t fabric_fast_before = f.fast_retransmits();
+  // Seeded 10% loss over windowed bulk traffic: enough packets in flight
+  // behind any hole that the SACK/dup-ack path must fire.
+  auto n = std::make_shared<std::atomic<std::uint64_t>>(0);
+  f.set_drop_filter([n](const fabric::Packet&) {
+    std::uint64_t x = 0x0b5 + 0x9e3779b97f4a7c15ull *
+                                  (n->fetch_add(1, std::memory_order_relaxed) + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) * 0x1.0p-53 < 0.1;
+  });
+  for (int i = 0; i < 100; ++i) {
+    fabric::Packet p;
+    p.kind = fabric::PacketKind::rndv_data;
+    p.src_rank = 0;
+    p.dst_rank = 1;
+    p.token = static_cast<std::uint64_t>(i + 1);
+    p.payload.resize(4096);  // striped 4 ways, 1 KiB per rail
+    f.send(std::move(p));
+  }
+  ASSERT_TRUE(f.quiesce(std::chrono::seconds{60}));
+  f.set_drop_filter(nullptr);
+
+  // Gauges exist and read live values: a per-flow window within the
+  // configured bounds, and a rail spread that is a percentage.
+  const auto cwnd = pvar_read_gauge("fabric.cwnd");
+  ASSERT_TRUE(cwnd.has_value());
+  EXPECT_GE(*cwnd, cc.min_cwnd);
+  EXPECT_LE(*cwnd, cc.max_cwnd);
+  const auto imbalance = pvar_read_gauge("fabric.rail_imbalance_pct");
+  ASSERT_TRUE(imbalance.has_value());
+  EXPECT_LE(*imbalance, 100u);
+
+  // The counter pvar and the accessor tell the same story.
+  const std::uint64_t fast = f.fast_retransmits() - fabric_fast_before;
+  EXPECT_GT(fast, 0u);
+  EXPECT_EQ(base::counters().value("fabric.fast_retransmits") - fast_before,
+            fast);
+}
+
 // --- JSON schema -----------------------------------------------------------
 
 std::vector<Event> golden_events() {
@@ -469,6 +528,22 @@ std::vector<Event> golden_events() {
   evs[11] = {"ft.revoke", "ft", 4200000, 0x1234, 0, 0, 3, 1,
              Phase::flow_step};
   evs[12] = {"pml.msg", "core", 4300000, 0x1234, 0, 0, 3, 2, Phase::flow_end};
+  // Congestion-control instants (DESIGN.md §17): a CE mark on a sequenced
+  // packet (v = seq), the sender's ECE-driven multiplicative decrease
+  // (v = new cwnd in packets), a SACK-triggered fast retransmit (v = seq),
+  // a striped message's reassembly completing (v = total bytes), and a
+  // tail-loss probe (v = probed seq).
+  evs.resize(18);
+  evs[13] = {"fabric.ecn.mark", "fabric", 4400000, 0, 17, 0, 3, 2,
+             Phase::instant};
+  evs[14] = {"fabric.ecn.decrease", "fabric", 4500000, 0, 12, 0, 3, 2,
+             Phase::instant};
+  evs[15] = {"fabric.fast_retx", "fabric", 4600000, 0, 18, 0, 3, 2,
+             Phase::instant};
+  evs[16] = {"fabric.stripe.assembled", "fabric", 4700000, 0, 9999, 0, 3, 2,
+             Phase::instant};
+  evs[17] = {"fabric.tlp_probe", "fabric", 4800000, 0, 21, 0, 3, 2,
+             Phase::instant};
   return evs;
 }
 
@@ -502,7 +577,7 @@ TEST(ObsJson, ParseRoundTripsTheWriter) {
   }
 
   const auto parsed = parse_trace_file(path);
-  ASSERT_EQ(parsed.size(), 13u);
+  ASSERT_EQ(parsed.size(), 18u);
   EXPECT_EQ(parsed[0].name, "pml.send");
   EXPECT_EQ(parsed[0].cat, "core");
   EXPECT_EQ(parsed[0].ph, 'B');
@@ -543,6 +618,15 @@ TEST(ObsJson, ParseRoundTripsTheWriter) {
   EXPECT_EQ(parsed[11].ph, 't');
   EXPECT_EQ(parsed[12].ph, 'f');
   EXPECT_EQ(parsed[12].id, 0x1234u);
+  // Congestion-control instants round-trip their single-value payloads.
+  EXPECT_EQ(parsed[13].name, "fabric.ecn.mark");
+  EXPECT_EQ(parsed[13].ph, 'i');
+  EXPECT_EQ(parsed[13].arg, 17u);
+  EXPECT_EQ(parsed[15].name, "fabric.fast_retx");
+  EXPECT_EQ(parsed[16].name, "fabric.stripe.assembled");
+  EXPECT_EQ(parsed[16].arg, 9999u);
+  EXPECT_EQ(parsed[17].name, "fabric.tlp_probe");
+  EXPECT_EQ(parsed[17].arg, 21u);
 }
 
 TEST(ObsJson, ParseRejectsNonTraceFile) {
